@@ -1,0 +1,68 @@
+//! GMM benchmarks, including the paper's key engineering claim (Section V):
+//! the **incremental** O_syn update (Eq. 8–9) vs a **full EM refit**.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::gmm::{Gaussian, Gmm, GmmConfig, OMixture};
+
+fn clustered_data(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g1 = Gaussian::isotropic(vec![0.15, 0.1, 0.2, 0.1], 0.004).unwrap();
+    let g2 = Gaussian::isotropic(vec![0.85, 0.9, 0.8, 0.95], 0.004).unwrap();
+    (0..n)
+        .map(|i| if i % 4 == 0 { g2.sample(&mut rng) } else { g1.sample(&mut rng) })
+        .collect()
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmm");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    let data = clustered_data(800, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    g.bench_function("fit/g2/800x4d", |b| {
+        b.iter(|| Gmm::fit(black_box(&data), 2, &GmmConfig::default(), &mut rng).unwrap())
+    });
+    g.bench_function("fit_auto/800x4d", |b| {
+        b.iter(|| Gmm::fit_auto(black_box(&data), &GmmConfig::default(), &mut rng).unwrap())
+    });
+
+    // The ablation DESIGN.md §4 calls out: incremental update vs full refit
+    // when 20 new vectors arrive.
+    let fitted = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+    let delta = clustered_data(20, 3);
+    g.bench_function("update/incremental/+20", |b| {
+        b.iter_batched(
+            || fitted.clone(),
+            |mut m| m.update_incremental(black_box(&delta)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut grown = data.clone();
+    grown.extend(delta.iter().cloned());
+    g.bench_function("update/full_refit/+20", |b| {
+        b.iter(|| Gmm::fit(black_box(&grown), 2, &GmmConfig::default(), &mut rng).unwrap())
+    });
+
+    // Density / posterior / sampling / JSD — the rejection loop's hot calls.
+    let pos = clustered_data(200, 4);
+    let neg = clustered_data(600, 5);
+    let o1 = OMixture::learn(&pos, &neg, &GmmConfig::default(), &mut rng).unwrap();
+    let o2 = OMixture::learn(&pos, &neg, &GmmConfig::default(), &mut rng).unwrap();
+    let x = vec![0.5, 0.4, 0.6, 0.5];
+    g.bench_function("omixture/posterior", |b| {
+        b.iter(|| o1.posterior_match(black_box(&x)))
+    });
+    g.bench_function("omixture/sample", |b| b.iter(|| o1.sample(&mut rng)));
+    g.bench_function("omixture/jsd/200", |b| {
+        b.iter(|| o1.jsd(black_box(&o2), 200, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gmm);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Matcher benchmarks: training and prediction cost of each matcher family
+//! on similarity-feature data (the cost centers of Exp-2/Exp-3).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serd_repro::matchers::{
+    Classifier, LinearSvm, LogisticRegression, NeuralMatcher, NeuralMatcherConfig, RandomForest,
+    RandomForestConfig, SvmConfig,
+};
+
+fn training_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let pos = i % 5 == 0;
+        let base = if pos { 0.8 } else { 0.15 };
+        x.push((0..4).map(|_| base + rng.gen::<f64>() * 0.2).collect());
+        y.push(pos);
+    }
+    (x, y)
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matchers");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    let (x, y) = training_data(500, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    g.bench_function("fit/random_forest/500x4", |b| {
+        b.iter(|| RandomForest::fit(black_box(&x), &y, &RandomForestConfig::default(), &mut rng))
+    });
+    g.bench_function("fit/logistic/500x4", |b| {
+        b.iter(|| LogisticRegression::fit(black_box(&x), &y, 500, 0.5, 1e-4))
+    });
+    g.bench_function("fit/svm/500x4", |b| {
+        b.iter(|| {
+            LinearSvm::fit(
+                black_box(&x),
+                &y,
+                &SvmConfig {
+                    iterations: 5_000,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+    g.bench_function("fit/neural/500x4", |b| {
+        b.iter(|| {
+            NeuralMatcher::fit(
+                black_box(&x),
+                &y,
+                &NeuralMatcherConfig {
+                    epochs: 10,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+
+    let forest = RandomForest::fit(&x, &y, &RandomForestConfig::default(), &mut rng);
+    let neural = NeuralMatcher::fit(
+        &x,
+        &y,
+        &NeuralMatcherConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let probe = vec![0.5, 0.4, 0.6, 0.5];
+    g.bench_function("predict/random_forest", |b| {
+        b.iter(|| forest.predict_proba(black_box(&probe)))
+    });
+    g.bench_function("predict/neural", |b| {
+        b.iter(|| neural.predict_proba(black_box(&probe)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

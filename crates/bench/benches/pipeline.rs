@@ -1,0 +1,64 @@
+//! End-to-end pipeline benchmarks: similarity-vector extraction, blocking,
+//! entity synthesis, and the rejection check — the pieces whose cost adds up
+//! to the paper's Table IV online time.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::{generate, DatasetKind};
+use serd_repro::er_core::blocking::candidate_pairs;
+use serd_repro::serd::{SerdConfig, SerdSynthesizer};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(0);
+    let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+
+    g.bench_function("similarity_vectors/400neg", |b| {
+        b.iter(|| sim.er.similarity_vectors(400, &mut rng))
+    });
+    g.bench_function("blocking/dblp_acm_5pct", |b| {
+        b.iter(|| candidate_pairs(black_box(sim.er.a()), black_box(sim.er.b()), 3, 20))
+    });
+
+    let synthesizer =
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+            .expect("fit");
+    let entity = sim.er.a().entity(0).clone();
+    let x = vec![0.8, 0.7, 0.3, 0.9];
+    g.bench_function("synthesize_entity/4col", |b| {
+        b.iter(|| {
+            synthesizer
+                .columns()
+                .synthesize_entity(black_box(&entity), black_box(&x), serd_repro::serd::Side::B, &mut rng)
+        })
+    });
+
+    let small = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+    g.bench_function("serd_fit/restaurant_2pct", |b| {
+        b.iter(|| {
+            let mut fit_rng = StdRng::seed_from_u64(1);
+            SerdSynthesizer::fit(
+                black_box(&small.er),
+                &small.background,
+                SerdConfig::fast(),
+                &mut fit_rng,
+            )
+            .expect("fit")
+        })
+    });
+    let small_syn =
+        SerdSynthesizer::fit(&small.er, &small.background, SerdConfig::fast(), &mut rng)
+            .expect("fit");
+    g.bench_function("serd_synthesize/restaurant_2pct", |b| {
+        b.iter(|| small_syn.synthesize(&mut rng).expect("synthesize"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the similarity kernels — the innermost loops of the
+//! whole pipeline (every pair comparison calls them).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use serd_repro::similarity::{
+    edit_similarity, levenshtein, monge_elkan, numeric_similarity, qgram_jaccard, qgram_profile,
+    token_jaccard,
+};
+
+const TITLE_A: &str = "Adaptable Query Optimization and Evaluation in Temporal Middleware";
+const TITLE_B: &str = "adaptable query optimization and evaluation in temporal middleware systems";
+const AUTHORS_A: &str = "Christian S. Jensen, Richard T. Snodgrass, Giedrius Slivinskas";
+const AUTHORS_B: &str = "Giedrius Slivinskas, Christian S. Jensen, Richard Thomas Snodgrass";
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    g.bench_function("qgram_jaccard/title", |b| {
+        b.iter(|| qgram_jaccard(black_box(TITLE_A), black_box(TITLE_B), 3))
+    });
+    g.bench_function("qgram_profile/title", |b| {
+        b.iter(|| qgram_profile(black_box(TITLE_A), 3))
+    });
+    g.bench_function("levenshtein/title", |b| {
+        b.iter(|| levenshtein(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("edit_similarity/title", |b| {
+        b.iter(|| edit_similarity(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("token_jaccard/authors", |b| {
+        b.iter(|| token_jaccard(black_box(AUTHORS_A), black_box(AUTHORS_B)))
+    });
+    g.bench_function("monge_elkan/authors", |b| {
+        b.iter(|| monge_elkan(black_box(AUTHORS_A), black_box(AUTHORS_B)))
+    });
+    g.bench_function("numeric_similarity", |b| {
+        b.iter(|| numeric_similarity(black_box(2001.0), black_box(2004.0), black_box(10.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

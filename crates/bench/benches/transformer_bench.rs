@@ -1,0 +1,90 @@
+//! Transformer benchmarks: forward/backward cost, generation, guided
+//! perturbation, and the bucket-count sweep called out in DESIGN.md §4.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::neural::layers::Module;
+use serd_repro::transformer::guided::{perturb_toward, TokenPool};
+use serd_repro::transformer::{
+    BucketedSynthesizer, BucketedSynthesizerConfig, CharVocab, Seq2SeqTransformer,
+    TransformerConfig,
+};
+
+fn corpus() -> Vec<String> {
+    [
+        "adaptive query processing",
+        "query optimization in databases",
+        "parallel join algorithms",
+        "frequent pattern mining",
+        "stream processing systems",
+        "temporal data management",
+        "columnar storage engines",
+        "distributed consensus protocols",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transformer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(0);
+    let vocab = CharVocab::build(corpus().iter().map(String::as_str));
+    let model = Seq2SeqTransformer::new(TransformerConfig::tiny(vocab.len()), &mut rng);
+    let src = vocab.encode("adaptive query processing", false);
+    let tgt = vocab.encode("adaptive query evaluation", false);
+
+    g.bench_function("loss_forward/tiny/25chars", |b| {
+        b.iter(|| model.loss(black_box(&src), black_box(&tgt)))
+    });
+    g.bench_function("loss_backward/tiny/25chars", |b| {
+        b.iter(|| {
+            let loss = model.loss(black_box(&src), black_box(&tgt));
+            loss.backward();
+            model.zero_grad();
+        })
+    });
+    g.bench_function("generate/tiny/32max", |b| {
+        b.iter(|| model.generate(black_box(&src), 32, 0.8, &mut rng))
+    });
+
+    let pool = TokenPool::from_corpus(corpus().iter().map(String::as_str));
+    g.bench_function("guided_perturb/0.5", |b| {
+        b.iter(|| {
+            perturb_toward(
+                black_box("adaptive query processing for streams"),
+                0.5,
+                &pool,
+                0.03,
+                300,
+                &mut rng,
+            )
+        })
+    });
+
+    // Bucket-count sweep: training cost scales with k.
+    for k in [3usize, 5, 10] {
+        g.bench_function(format!("train_buckets/k{k}"), |b| {
+            b.iter(|| {
+                let cfg = BucketedSynthesizerConfig {
+                    buckets: k,
+                    candidates: 2,
+                    epochs: 1,
+                    max_pairs_per_bucket: 6,
+                    ..BucketedSynthesizerConfig::test_tiny()
+                };
+                let mut train_rng = StdRng::seed_from_u64(k as u64);
+                BucketedSynthesizer::train(black_box(&corpus()), cfg, &mut train_rng)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transformer);
+criterion_main!(benches);

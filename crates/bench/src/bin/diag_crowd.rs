@@ -1,0 +1,36 @@
+//! Diagnostic: trigram-LM plausibility scores of real vs synthesized
+//! entities, to calibrate the simulated crowd.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::eval::crowd::{entity_text, CharTrigramLm};
+use serd_repro::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let sim = serd_repro::datagen::generate_with_min_matches(DatasetKind::Restaurant, 0.08, 16, &mut rng);
+    let mut rng = StdRng::seed_from_u64(12);
+    let syn = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        .unwrap()
+        .synthesize(&mut rng)
+        .unwrap();
+    let schema = sim.er.a().schema();
+    let mut corpus: Vec<String> = sim.er.a().entities().iter().chain(sim.er.b().entities())
+        .map(|e| entity_text(schema, e)).collect();
+    for col in &sim.background { corpus.extend(col.iter().cloned()); }
+    let lm = CharTrigramLm::fit(corpus.iter().map(String::as_str));
+    let score_of = |r: &Relation| -> Vec<f64> {
+        r.entities().iter().map(|e| lm.score(&entity_text(schema, e))).collect()
+    };
+    let mut real: Vec<f64> = score_of(sim.er.a());
+    real.sort_by(|a,b| a.partial_cmp(b).unwrap());
+    let mut synv: Vec<f64> = score_of(syn.er.a());
+    synv.sort_by(|a,b| a.partial_cmp(b).unwrap());
+    println!("real scores: min {:.2} p25 {:.2} med {:.2}", real[0], real[real.len()/4], real[real.len()/2]);
+    println!("syn  scores: min {:.2} p25 {:.2} med {:.2}", synv[0], synv[synv.len()/4], synv[synv.len()/2]);
+    for (_, e) in syn.er.a().iter().take(5) {
+        println!("syn entity: {:?} -> {:.2}", entity_text(schema, e), lm.score(&entity_text(schema, e)));
+    }
+    for (_, e) in sim.er.a().iter().take(3) {
+        println!("real entity: {:?} -> {:.2}", entity_text(schema, e), lm.score(&entity_text(schema, e)));
+    }
+}

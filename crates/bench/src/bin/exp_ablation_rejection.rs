@@ -1,0 +1,73 @@
+//! Ablation: rejection strictness. Sweeps the distribution-rejection `α`
+//! (Eq. 10) and the discriminator threshold `β`, reporting rejection counts
+//! and the downstream F1 gap vs a real-trained matcher (DESIGN.md §4).
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_ablation_rejection
+//! ```
+
+use bench::{rule, scale_for, MIN_MATCHES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::{generate_with_min_matches, DatasetKind};
+use serd_repro::eval::experiment::model_evaluation;
+use serd_repro::matchers::MatcherKind;
+use serd_repro::serd::{SerdConfig, SerdSynthesizer};
+
+fn main() {
+    let kind = DatasetKind::Restaurant;
+    let mut rng = StdRng::seed_from_u64(2022);
+    let sim = generate_with_min_matches(kind, scale_for(kind), MIN_MATCHES, &mut rng);
+    println!(
+        "rejection ablation on {} (|A|={}, |B|={}, |M|={})",
+        kind.name(),
+        sim.er.a().len(),
+        sim.er.b().len(),
+        sim.er.num_matches()
+    );
+    rule(92);
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>8} {:>14}",
+        "alpha", "beta", "rej(D)", "rej(JSD)", "forced", "|F1-Real| (%)"
+    );
+    rule(92);
+    for (alpha, beta) in [
+        (1.0, 0.6),  // paper defaults
+        (1.0, 0.0),  // discriminator off-ish (never rejects)
+        (1e9, 0.6),  // distribution test off-ish
+        (0.8, 0.6),  // stricter distribution test
+        (1.0, 0.9),  // stricter discriminator
+        (1e9, 0.0),  // both effectively off (SERD-)
+    ] {
+        let cfg = SerdConfig {
+            alpha,
+            beta,
+            ..SerdConfig::fast()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let synthesizer =
+            SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("fit");
+        let out = synthesizer.synthesize(&mut rng).expect("synthesize");
+        let eval = model_evaluation(
+            MatcherKind::Magellan,
+            &sim.er,
+            &[("SERD", &out.er)],
+            4,
+            0.3,
+            &mut rng,
+        );
+        let diff = eval.rows[1].1.abs_diff(&eval.rows[0].1).f1;
+        println!(
+            "{:>6.1} {:>6.1} {:>10} {:>10} {:>8} {:>14.1}",
+            alpha,
+            beta,
+            out.stats.rejected_discriminator,
+            out.stats.rejected_distribution,
+            out.stats.forced_accepts,
+            100.0 * diff
+        );
+    }
+    rule(92);
+    println!("expected shape: rejection on (paper defaults) keeps |F1-Real| small;");
+    println!("disabling both (last row) behaves like SERD- in Figures 6-9.");
+}

@@ -1,0 +1,73 @@
+//! Reproduces **Figures 6 & 7** (Exp-2, model evaluation): matchers trained
+//! on Real / SERD / SERD- / EMBench, all tested on the same real test set.
+//! Figure 6 uses the Magellan-like (random forest) matcher, Figure 7 the
+//! Deepmatcher-like (neural) matcher.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_fig6_fig7
+//! ```
+
+use bench::{prepare, rule, Bundle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::DatasetKind;
+use serd_repro::eval::experiment::model_evaluation;
+use serd_repro::matchers::MatcherKind;
+
+fn run(kind: MatcherKind, bundles: &[Bundle], figure: &str) {
+    println!("{figure} (Exp-2, {} matcher): P / R / F1 on the same real test set", kind.name());
+    rule(100);
+    println!(
+        "{:<16} {:<24} {:<24} {:<24} {:<24}",
+        "Dataset", "Real", "SERD", "SERD-", "EMBench"
+    );
+    rule(100);
+    let mut avg_f1_diff = [0.0f64; 3];
+    for bundle in bundles {
+        let mut rng = StdRng::seed_from_u64(67);
+        let eval = model_evaluation(
+            kind,
+            &bundle.sim.er,
+            &[
+                ("SERD", &bundle.serd.er),
+                ("SERD-", &bundle.serd_minus.er),
+                ("EMBench", &bundle.embench.er),
+            ],
+            4,
+            0.3,
+            &mut rng,
+        );
+        let cell = |m: &serd_repro::eval::metrics::Metrics| {
+            format!("{:.2}/{:.2}/{:.2}", m.precision, m.recall, m.f1)
+        };
+        println!(
+            "{:<16} {:<24} {:<24} {:<24} {:<24}",
+            bundle.kind.name(),
+            cell(&eval.rows[0].1),
+            cell(&eval.rows[1].1),
+            cell(&eval.rows[2].1),
+            cell(&eval.rows[3].1),
+        );
+        for (i, row) in eval.rows[1..].iter().enumerate() {
+            avg_f1_diff[i] += row.1.abs_diff(&eval.rows[0].1).f1;
+        }
+    }
+    rule(100);
+    let n = bundles.len() as f64;
+    println!(
+        "avg |F1 - Real|: SERD {:.1}%  SERD- {:.1}%  EMBench {:.1}%",
+        100.0 * avg_f1_diff[0] / n,
+        100.0 * avg_f1_diff[1] / n,
+        100.0 * avg_f1_diff[2] / n
+    );
+    println!("paper: SERD ~4.1%/3.0%, SERD- ~40%/38%, EMBench ~31%/31% (Magellan/Deepmatcher)\n");
+}
+
+fn main() {
+    let bundles: Vec<Bundle> = DatasetKind::all()
+        .into_iter()
+        .map(|k| prepare(k, 2022))
+        .collect();
+    run(MatcherKind::Magellan, &bundles, "Figure 6");
+    run(MatcherKind::Deepmatcher, &bundles, "Figure 7");
+}

@@ -1,0 +1,76 @@
+//! Reproduces **Figures 8 & 9** (Exp-3, data evaluation): one matcher
+//! trained on real data, tested on `T_real` vs equally sized `T_syn` samples
+//! from each method's synthesized dataset. Figure 8 = Magellan-like,
+//! Figure 9 = Deepmatcher-like.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_fig8_fig9
+//! ```
+
+use bench::{prepare, rule, Bundle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::DatasetKind;
+use serd_repro::eval::experiment::data_evaluation;
+use serd_repro::matchers::MatcherKind;
+
+fn run(kind: MatcherKind, bundles: &[Bundle], figure: &str) {
+    println!(
+        "{figure} (Exp-3, {} matcher trained on Real): P / R / F1 on each test set",
+        kind.name()
+    );
+    rule(100);
+    println!(
+        "{:<16} {:<24} {:<24} {:<24} {:<24}",
+        "Dataset", "T_real", "T_syn(SERD)", "T_syn(SERD-)", "T_syn(EMBench)"
+    );
+    rule(100);
+    let mut avg_f1_diff = [0.0f64; 3];
+    for bundle in bundles {
+        let mut rng = StdRng::seed_from_u64(89);
+        let eval = data_evaluation(
+            kind,
+            &bundle.sim.er,
+            &[
+                ("SERD", &bundle.serd.er),
+                ("SERD-", &bundle.serd_minus.er),
+                ("EMBench", &bundle.embench.er),
+            ],
+            4,
+            0.3,
+            &mut rng,
+        );
+        let cell = |m: &serd_repro::eval::metrics::Metrics| {
+            format!("{:.2}/{:.2}/{:.2}", m.precision, m.recall, m.f1)
+        };
+        println!(
+            "{:<16} {:<24} {:<24} {:<24} {:<24}",
+            bundle.kind.name(),
+            cell(&eval.rows[0].1),
+            cell(&eval.rows[1].1),
+            cell(&eval.rows[2].1),
+            cell(&eval.rows[3].1),
+        );
+        for (i, row) in eval.rows[1..].iter().enumerate() {
+            avg_f1_diff[i] += row.1.abs_diff(&eval.rows[0].1).f1;
+        }
+    }
+    rule(100);
+    let n = bundles.len() as f64;
+    println!(
+        "avg |F1 - T_real|: SERD {:.1}%  SERD- {:.1}%  EMBench {:.1}%",
+        100.0 * avg_f1_diff[0] / n,
+        100.0 * avg_f1_diff[1] / n,
+        100.0 * avg_f1_diff[2] / n
+    );
+    println!("paper: SERD ~4.1%/2.9%, SERD- ~15%/16%, EMBench ~23%/22% (Magellan/Deepmatcher)\n");
+}
+
+fn main() {
+    let bundles: Vec<Bundle> = DatasetKind::all()
+        .into_iter()
+        .map(|k| prepare(k, 2022))
+        .collect();
+    run(MatcherKind::Magellan, &bundles, "Figure 8");
+    run(MatcherKind::Deepmatcher, &bundles, "Figure 9");
+}

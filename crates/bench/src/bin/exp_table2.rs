@@ -1,0 +1,46 @@
+//! Reproduces **Table II** (statistics of datasets): prints the simulated
+//! datasets' statistics next to the paper's originals.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table2
+//! ```
+
+use bench::{rule, scale_for, MIN_MATCHES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::{generate_with_min_matches, DatasetKind};
+
+fn main() {
+    println!("Table II: statistics of datasets (simulated vs paper)");
+    rule(96);
+    println!(
+        "{:<16} {:<12} {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>8}",
+        "Dataset", "Domain", "|A|", "|B|", "#Col", "|M|", "paper|A|", "paper|B|", "paper|M|"
+    );
+    rule(96);
+    for kind in DatasetKind::all() {
+        let mut rng = StdRng::seed_from_u64(2022);
+        let sim = generate_with_min_matches(kind, scale_for(kind), MIN_MATCHES, &mut rng);
+        let stats = kind.paper_stats();
+        let domain = match kind {
+            DatasetKind::DblpAcm => "scholar",
+            DatasetKind::Restaurant => "restaurant",
+            DatasetKind::WalmartAmazon => "electronics",
+            DatasetKind::ItunesAmazon => "music",
+        };
+        println!(
+            "{:<16} {:<12} {:>8} {:>8} {:>6} {:>8} | {:>8} {:>8} {:>8}",
+            kind.name(),
+            domain,
+            sim.er.a().len(),
+            sim.er.b().len(),
+            sim.er.a().schema().len(),
+            sim.er.num_matches(),
+            stats.size_a,
+            stats.size_b,
+            stats.matches,
+        );
+    }
+    rule(96);
+    println!("scales: SERD_SCALE multiplier applied to per-dataset defaults (see bench::default_scale)");
+}

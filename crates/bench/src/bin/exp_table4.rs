@@ -1,0 +1,43 @@
+//! Reproduces **Table IV** (Exp-5, efficiency): offline (model training) and
+//! online (synthesis) wall-clock time per dataset.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_table4
+//! ```
+
+use bench::{prepare, rule};
+use serd_repro::datagen::DatasetKind;
+
+fn main() {
+    println!("Table IV: efficiency evaluation (wall clock, this machine, scaled data)");
+    rule(78);
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "Dataset", "Offline (s)", "Online (s)", "|A|+|B|", "#text", "accepted"
+    );
+    rule(78);
+    for kind in DatasetKind::all() {
+        let bundle = prepare(kind, 2022);
+        let n_text = bundle
+            .sim
+            .er
+            .a()
+            .schema()
+            .columns()
+            .iter()
+            .filter(|c| c.ctype == serd_repro::er_core::ColumnType::Text)
+            .count();
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>10} {:>10} {:>10}",
+            kind.name(),
+            bundle.serd.stats.offline_secs,
+            bundle.serd.stats.online_secs,
+            bundle.sim.er.a().len() + bundle.sim.er.b().len(),
+            n_text,
+            bundle.serd.stats.accepted,
+        );
+    }
+    rule(78);
+    println!("paper (full scale, Python/GPU-free MacBook): offline 3.5-9.8 h, online 1.6-79 min;");
+    println!("shape to check: offline grows with #text columns, online with entity count.");
+}

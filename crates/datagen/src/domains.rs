@@ -1,0 +1,738 @@
+//! Per-domain dataset simulators.
+
+use crate::perturb::{abbreviate_tokens, misspell, perturb_n, reorder_tokens, Perturbation};
+use crate::wordlists as w;
+use er_core::{Column, ColumnType, Entity, ErDataset, Relation, Schema, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The four evaluation datasets of the paper (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Research papers: DBLP vs ACM.
+    DblpAcm,
+    /// Restaurant deduplication (single logical table).
+    Restaurant,
+    /// Electronics products: Walmart vs Amazon.
+    WalmartAmazon,
+    /// Music tracks: iTunes vs Amazon.
+    ItunesAmazon,
+}
+
+/// A simulated ER dataset plus the background corpora for its text columns.
+#[derive(Debug, Clone)]
+pub struct SimulatedDataset {
+    /// Which benchmark this simulates.
+    pub kind: DatasetKind,
+    /// The labeled dataset `(A, B, M)`.
+    pub er: ErDataset,
+    /// Background strings per column index (empty for non-text columns).
+    /// Disjoint from the active domain by construction (paper Section II-D).
+    pub background: Vec<Vec<String>>,
+}
+
+/// Generates a simulated dataset at `scale` × the paper's Table II sizes.
+///
+/// `scale = 1.0` reproduces the paper's row; tests and default benches use
+/// small scales (0.02–0.2) to stay CPU-friendly. Matching pairs are planted
+/// by dirtying A-side entities with domain-appropriate perturbations.
+pub fn generate<R: Rng + ?Sized>(kind: DatasetKind, scale: f64, rng: &mut R) -> SimulatedDataset {
+    generate_with_min_matches(kind, scale, 2, rng)
+}
+
+/// Like [`generate`], but guarantees at least `min_matches` planted matching
+/// pairs (still capped by the table sizes). Benchmarks at small scales use
+/// this so matcher training sets stay meaningful for low-match datasets like
+/// iTunes-Amazon (132 matches at scale 1.0).
+pub fn generate_with_min_matches<R: Rng + ?Sized>(
+    kind: DatasetKind,
+    scale: f64,
+    min_matches: usize,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let stats = kind.paper_stats();
+    let size_a = scaled(stats.size_a, scale);
+    let size_b = scaled(stats.size_b, scale);
+    let matches = scaled(stats.matches, scale)
+        .max(min_matches)
+        .min(size_a)
+        .min(size_b)
+        .max(2);
+    match kind {
+        DatasetKind::DblpAcm => gen_dblp_acm(size_a, size_b, matches, rng),
+        DatasetKind::Restaurant => gen_restaurant(size_a, size_b, matches, rng),
+        DatasetKind::WalmartAmazon => gen_walmart_amazon(size_a, size_b, matches, rng),
+        DatasetKind::ItunesAmazon => gen_itunes_amazon(size_a, size_b, matches, rng),
+    }
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(4)
+}
+
+/// Splits a word pool into disjoint active/background halves by parity.
+fn split_pool<'a>(pool: &[&'a str]) -> (Vec<&'a str>, Vec<&'a str>) {
+    let active = pool.iter().step_by(2).copied().collect();
+    let background = pool.iter().skip(1).step_by(2).copied().collect();
+    (active, background)
+}
+
+fn phrase<R: Rng + ?Sized>(pool: &[&str], len: std::ops::RangeInclusive<usize>, rng: &mut R) -> String {
+    let n = rng.gen_range(len);
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(*pool.choose(rng).expect("pool nonempty"));
+    }
+    words.join(" ")
+}
+
+fn person_name<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
+    let f = titlecase(firsts.choose(rng).unwrap());
+    let l = titlecase(lasts.choose(rng).unwrap());
+    if rng.gen_bool(0.3) {
+        let mid = firsts.choose(rng).unwrap().chars().next().unwrap();
+        format!("{f} {}. {l}", mid.to_uppercase())
+    } else {
+        format!("{f} {l}")
+    }
+}
+
+fn titlecase(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+fn author_list<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
+    let n = rng.gen_range(1..=3);
+    (0..n)
+        .map(|_| person_name(firsts, lasts, rng))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Finalizes the two relations into an `ErDataset`, syncing numeric/date
+/// ranges across both schemas from the combined data.
+fn finalize(
+    kind: DatasetKind,
+    mut a: Relation,
+    mut b: Relation,
+    matches: Vec<(usize, usize)>,
+    background: Vec<Vec<String>>,
+) -> SimulatedDataset {
+    let mm_a = a.min_max();
+    let mm_b = b.min_max();
+    let combined: Vec<(f64, f64)> = mm_a
+        .iter()
+        .zip(&mm_b)
+        .map(|(&(la, ha), &(lb, hb))| (la.min(lb), ha.max(hb)))
+        .collect();
+    a.schema_mut().set_ranges(&combined);
+    b.schema_mut().set_ranges(&combined);
+    let er = ErDataset::new(a, b, matches).expect("simulator produced a valid dataset");
+    SimulatedDataset {
+        kind,
+        er,
+        background,
+    }
+}
+
+// ------------------------------------------------------------------ DBLP-ACM
+
+fn gen_dblp_acm<R: Rng + ?Sized>(
+    size_a: usize,
+    size_b: usize,
+    n_matches: usize,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let (topics_a, topics_bg) = split_pool(w::RESEARCH_TOPICS);
+    let (firsts_a, firsts_bg) = split_pool(w::FIRST_NAMES);
+    let (lasts_a, lasts_bg) = split_pool(w::LAST_NAMES);
+
+    let schema = Schema::new(vec![
+        Column::text("title"),
+        Column::text("authors"),
+        Column::categorical("venue"),
+        Column::numeric("year", 10.0),
+    ]);
+    let mut a = Relation::new("DBLP", schema.clone());
+    let mut b = Relation::new("ACM", schema);
+
+    for _ in 0..size_a {
+        a.push(vec![
+            Value::Text(phrase(&topics_a, 4..=7, rng)),
+            Value::Text(author_list(&firsts_a, &lasts_a, rng)),
+            Value::Categorical(w::VENUES_ACTIVE.choose(rng).unwrap().to_string()),
+            Value::Numeric(rng.gen_range(1995..=2005) as f64),
+        ])
+        .expect("schema-valid row");
+    }
+
+    // Matched B copies: dirty versions of A entities (paper Fig. 1 style).
+    let mut matches = Vec::with_capacity(n_matches);
+    let a_idx = sample_indices(size_a, n_matches, rng);
+    for &i in &a_idx {
+        let src = a.entity(i).clone();
+        let title = src.value(0).as_str().unwrap();
+        let authors = src.value(1).as_str().unwrap();
+        let venue = src.value(2).as_str().unwrap();
+        let year = src.value(3).as_f64().unwrap();
+        let new_title = if rng.gen_bool(0.4) {
+            misspell(&title.to_lowercase(), rng)
+        } else {
+            title.to_lowercase()
+        };
+        let mut new_authors = reorder_tokens(authors, rng);
+        if rng.gen_bool(0.5) {
+            new_authors = abbreviate_tokens(&new_authors, 1, rng);
+        }
+        let long_venue = w::VENUE_LONG_FORMS
+            .iter()
+            .find(|(s, _)| *s == venue)
+            .map(|(_, l)| l.to_string())
+            .unwrap_or_else(|| venue.to_string());
+        let new_year = if rng.gen_bool(0.9) { year } else { year + 1.0 };
+        let j = b
+            .push(vec![
+                Value::Text(new_title),
+                Value::Text(new_authors),
+                Value::Categorical(long_venue),
+                Value::Numeric(new_year),
+            ])
+            .expect("schema-valid row");
+        matches.push((i, j));
+    }
+
+    // Non-matching B entities: fresh papers with long venue names. A
+    // quarter are *hard negatives* — different papers that share topic
+    // words and authors with some A entity (same research group publishing
+    // related papers), which is what makes real DBLP-ACM non-trivial.
+    let long_venues: Vec<&str> = w::VENUE_LONG_FORMS.iter().map(|(_, l)| *l).collect();
+    while b.len() < size_b {
+        let (title, authors) = if rng.gen_bool(0.25) && !a.is_empty() {
+            let src = a.entity(rng.gen_range(0..a.len())).clone();
+            let src_title = src.value(0).as_str().unwrap_or("");
+            // Keep about half of the source title's words, add fresh ones.
+            let mut words: Vec<&str> = src_title.split_whitespace().collect();
+            words.truncate((words.len() / 2).max(1));
+            let fresh = phrase(&topics_a, 2..=3, rng);
+            let title = format!("{} {}", words.join(" "), fresh).to_lowercase();
+            // Overlapping-but-not-identical author list: the group gains a
+            // co-author and the order shifts.
+            let authors = format!(
+                "{}, {}",
+                reorder_tokens(src.value(1).as_str().unwrap_or(""), rng),
+                person_name(&firsts_a, &lasts_a, rng)
+            );
+            (title, authors)
+        } else {
+            (
+                phrase(&topics_a, 4..=7, rng).to_lowercase(),
+                author_list(&firsts_a, &lasts_a, rng),
+            )
+        };
+        b.push(vec![
+            Value::Text(title),
+            Value::Text(authors),
+            Value::Categorical(long_venues.choose(rng).unwrap().to_string()),
+            Value::Numeric(rng.gen_range(1995..=2005) as f64),
+        ])
+        .expect("schema-valid row");
+    }
+
+    // Background corpora from the background halves of the pools.
+    let bg_titles: Vec<String> = (0..300.min(size_a * 2).max(60))
+        .map(|_| phrase(&topics_bg, 4..=7, rng))
+        .collect();
+    let bg_authors: Vec<String> = (0..300.min(size_a * 2).max(60))
+        .map(|_| author_list(&firsts_bg, &lasts_bg, rng))
+        .collect();
+
+    finalize(
+        DatasetKind::DblpAcm,
+        a,
+        b,
+        matches,
+        vec![bg_titles, bg_authors, vec![], vec![]],
+    )
+}
+
+// ----------------------------------------------------------------- Restaurant
+
+fn gen_restaurant<R: Rng + ?Sized>(
+    size_a: usize,
+    size_b: usize,
+    n_matches: usize,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let (adj_a, adj_bg) = split_pool(w::RESTAURANT_ADJ);
+    let (noun_a, noun_bg) = split_pool(w::RESTAURANT_NOUN);
+    let (street_a, street_bg) = split_pool(w::STREET_NAMES);
+
+    let schema = Schema::new(vec![
+        Column::text("name"),
+        Column::text("address"),
+        Column::categorical("city"),
+        Column::categorical("flavor"),
+    ]);
+    let mut a = Relation::new("RestaurantA", schema.clone());
+    let mut b = Relation::new("RestaurantB", schema);
+
+    let rest_name = |adj: &[&str], noun: &[&str], rng: &mut R| {
+        format!(
+            "{} {} {}",
+            adj.choose(rng).unwrap(),
+            noun.choose(rng).unwrap(),
+            w::RESTAURANT_SUFFIX.choose(rng).unwrap()
+        )
+    };
+    let address = |streets: &[&str], rng: &mut R| {
+        format!("{} {}", rng.gen_range(1..=9999), streets.choose(rng).unwrap())
+    };
+
+    for _ in 0..size_a {
+        a.push(vec![
+            Value::Text(rest_name(&adj_a, &noun_a, rng)),
+            Value::Text(address(&street_a, rng)),
+            Value::Categorical(w::CITIES.choose(rng).unwrap().to_string()),
+            Value::Categorical(w::FLAVORS.choose(rng).unwrap().to_string()),
+        ])
+        .expect("schema-valid row");
+    }
+
+    let mut matches = Vec::with_capacity(n_matches);
+    let a_idx = sample_indices(size_a, n_matches, rng);
+    for &i in &a_idx {
+        let src = a.entity(i).clone();
+        let name = src.value(0).as_str().unwrap();
+        let addr = src.value(1).as_str().unwrap();
+        // Always dirty the name (misspelling), sometimes also the case;
+        // real dedup benchmarks rarely contain verbatim duplicate rows.
+        let mut new_name = misspell(name, rng);
+        if rng.gen_bool(0.3) {
+            new_name = perturb_n(&new_name, &[Perturbation::CaseFold], 1, rng);
+        }
+        let new_addr = if rng.gen_bool(0.4) {
+            format!("{addr} near downtown")
+        } else {
+            addr.to_string()
+        };
+        let j = b
+            .push(vec![
+                Value::Text(new_name),
+                Value::Text(new_addr),
+                src.value(2).clone(),
+                src.value(3).clone(),
+            ])
+            .expect("schema-valid row");
+        matches.push((i, j));
+    }
+    // Hard negatives: franchises and namesakes — different restaurants
+    // sharing name words or street with an A entity.
+    while b.len() < size_b {
+        let (name, addr) = if rng.gen_bool(0.25) && !a.is_empty() {
+            let src = a.entity(rng.gen_range(0..a.len())).clone();
+            let src_name = src.value(0).as_str().unwrap_or("");
+            let first_word = src_name.split_whitespace().next().unwrap_or("old");
+            let name = format!(
+                "{} {} {}",
+                first_word,
+                noun_a.choose(rng).unwrap(),
+                w::RESTAURANT_SUFFIX.choose(rng).unwrap()
+            );
+            (name, address(&street_a, rng))
+        } else {
+            (rest_name(&adj_a, &noun_a, rng), address(&street_a, rng))
+        };
+        b.push(vec![
+            Value::Text(name),
+            Value::Text(addr),
+            Value::Categorical(w::CITIES.choose(rng).unwrap().to_string()),
+            Value::Categorical(w::FLAVORS.choose(rng).unwrap().to_string()),
+        ])
+        .expect("schema-valid row");
+    }
+
+    let bg_names: Vec<String> = (0..200).map(|_| rest_name(&adj_bg, &noun_bg, rng)).collect();
+    let bg_addrs: Vec<String> = (0..200).map(|_| address(&street_bg, rng)).collect();
+
+    finalize(
+        DatasetKind::Restaurant,
+        a,
+        b,
+        matches,
+        vec![bg_names, bg_addrs, vec![], vec![]],
+    )
+}
+
+// ------------------------------------------------------------ Walmart-Amazon
+
+fn gen_walmart_amazon<R: Rng + ?Sized>(
+    size_a: usize,
+    size_b: usize,
+    n_matches: usize,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let (specs_a, specs_bg) = split_pool(w::PRODUCT_SPECS);
+    let (nouns_a, nouns_bg) = split_pool(w::PRODUCT_NOUNS);
+
+    let schema = Schema::new(vec![
+        Column::text("modelno"),
+        Column::text("title"),
+        Column::text("descr"),
+        Column::categorical("brand"),
+        Column::numeric("price", 1.0),
+    ]);
+    let mut a = Relation::new("Walmart", schema.clone());
+    let mut b = Relation::new("Amazon", schema);
+
+    let modelno = |rng: &mut R| {
+        format!(
+            "{}{}-{}",
+            (b'A' + rng.gen_range(0..26)) as char,
+            (b'A' + rng.gen_range(0..26)) as char,
+            rng.gen_range(100..9999)
+        )
+    };
+    let title = |nouns: &[&str], specs: &[&str], rng: &mut R| {
+        let brand = w::PRODUCT_BRANDS.choose(rng).unwrap();
+        format!(
+            "{} {} {} {}",
+            brand,
+            specs.choose(rng).unwrap(),
+            nouns.choose(rng).unwrap(),
+            specs.choose(rng).unwrap()
+        )
+    };
+    let descr = |nouns: &[&str], specs: &[&str], rng: &mut R| {
+        format!(
+            "{} with {} and {}",
+            nouns.choose(rng).unwrap(),
+            specs.choose(rng).unwrap(),
+            specs.choose(rng).unwrap()
+        )
+    };
+
+    for _ in 0..size_a {
+        let brand = w::PRODUCT_BRANDS.choose(rng).unwrap();
+        a.push(vec![
+            Value::Text(modelno(rng)),
+            Value::Text(title(&nouns_a, &specs_a, rng)),
+            Value::Text(descr(&nouns_a, &specs_a, rng)),
+            Value::Categorical(brand.to_string()),
+            Value::Numeric((rng.gen_range(500..200000) as f64) / 100.0),
+        ])
+        .expect("schema-valid row");
+    }
+
+    let mut matches = Vec::with_capacity(n_matches);
+    let a_idx = sample_indices(size_a, n_matches, rng);
+    for &i in &a_idx {
+        let src = a.entity(i).clone();
+        let m = src.value(0).as_str().unwrap();
+        let t = src.value(1).as_str().unwrap();
+        let d = src.value(2).as_str().unwrap();
+        let price = src.value(4).as_f64().unwrap();
+        let new_m = if rng.gen_bool(0.2) { misspell(m, rng) } else { m.to_string() };
+        let new_t = perturb_n(
+            t,
+            &[Perturbation::DropToken, Perturbation::CaseFold, Perturbation::Misspell],
+            1,
+            rng,
+        );
+        let new_d = if rng.gen_bool(0.5) {
+            reorder_tokens(d, rng)
+        } else {
+            d.to_string()
+        };
+        let new_price = (price * rng.gen_range(0.95..1.05) * 100.0).round() / 100.0;
+        let j = b
+            .push(vec![
+                Value::Text(new_m),
+                Value::Text(new_t),
+                Value::Text(new_d),
+                src.value(3).clone(),
+                Value::Numeric(new_price),
+            ])
+            .expect("schema-valid row");
+        matches.push((i, j));
+    }
+    // Hard negatives: same-brand product-line variants (different model,
+    // overlapping title specs) — the classic Walmart-Amazon confusion.
+    while b.len() < size_b {
+        let (t, d, brand_v) = if rng.gen_bool(0.25) && !a.is_empty() {
+            let src = a.entity(rng.gen_range(0..a.len())).clone();
+            let src_title = src.value(1).as_str().unwrap_or("");
+            let mut words: Vec<&str> = src_title.split_whitespace().collect();
+            words.truncate(words.len().saturating_sub(1).max(1));
+            let t = format!("{} {}", words.join(" "), specs_a.choose(rng).unwrap());
+            (t, descr(&nouns_a, &specs_a, rng), src.value(3).clone())
+        } else {
+            let brand = w::PRODUCT_BRANDS.choose(rng).unwrap();
+            (
+                title(&nouns_a, &specs_a, rng),
+                descr(&nouns_a, &specs_a, rng),
+                Value::Categorical(brand.to_string()),
+            )
+        };
+        b.push(vec![
+            Value::Text(modelno(rng)),
+            Value::Text(t),
+            Value::Text(d),
+            brand_v,
+            Value::Numeric((rng.gen_range(500..200000) as f64) / 100.0),
+        ])
+        .expect("schema-valid row");
+    }
+
+    let bg_models: Vec<String> = (0..150).map(|_| modelno(rng)).collect();
+    let bg_titles: Vec<String> = (0..250).map(|_| title(&nouns_bg, &specs_bg, rng)).collect();
+    let bg_descr: Vec<String> = (0..250).map(|_| descr(&nouns_bg, &specs_bg, rng)).collect();
+
+    finalize(
+        DatasetKind::WalmartAmazon,
+        a,
+        b,
+        matches,
+        vec![bg_models, bg_titles, bg_descr, vec![], vec![]],
+    )
+}
+
+// ------------------------------------------------------------- iTunes-Amazon
+
+fn gen_itunes_amazon<R: Rng + ?Sized>(
+    size_a: usize,
+    size_b: usize,
+    n_matches: usize,
+    rng: &mut R,
+) -> SimulatedDataset {
+    let (songs_a, songs_bg) = split_pool(w::SONG_WORDS);
+    let (artists_a, artists_bg) = split_pool(w::ARTIST_WORDS);
+
+    let schema = Schema::new(vec![
+        Column::text("song_name"),
+        Column::text("artist_name"),
+        Column::text("album_name"),
+        Column::text("genre"),
+        Column::text("copyright"),
+        Column::numeric("price", 1.0),
+        Column::date("time", 1.0),
+        Column::date("released", 1.0),
+    ]);
+    let mut a = Relation::new("iTunes", schema.clone());
+    let mut b = Relation::new("Amazon", schema);
+
+    let song = |pool: &[&str], rng: &mut R| titlecase(&phrase(pool, 2..=5, rng));
+    let artist = |pool: &[&str], rng: &mut R| titlecase(&phrase(pool, 2..=3, rng));
+
+    for _ in 0..size_a {
+        a.push(vec![
+            Value::Text(song(&songs_a, rng)),
+            Value::Text(artist(&artists_a, rng)),
+            Value::Text(song(&songs_a, rng)),
+            Value::Text(w::GENRES.choose(rng).unwrap().to_string()),
+            Value::Text(w::COPYRIGHT_LABELS.choose(rng).unwrap().to_string()),
+            Value::Numeric((rng.gen_range(69..1299) as f64) / 100.0),
+            Value::Date(rng.gen_range(120..600)), // track length, seconds
+            Value::Date(rng.gen_range(10000..19000)), // days since epoch
+        ])
+        .expect("schema-valid row");
+    }
+
+    let mut matches = Vec::with_capacity(n_matches);
+    let a_idx = sample_indices(size_a, n_matches, rng);
+    for &i in &a_idx {
+        let src = a.entity(i).clone();
+        let mut values: Vec<Value> = src.values().to_vec();
+        // Song/album names get light dirt; artist may reorder.
+        if let Value::Text(s) = &values[0] {
+            if rng.gen_bool(0.5) {
+                values[0] = Value::Text(misspell(s, rng));
+            }
+        }
+        if let Value::Text(s) = &values[1] {
+            values[1] = Value::Text(reorder_tokens(s, rng));
+        }
+        if let Value::Numeric(p) = values[5] {
+            values[5] = Value::Numeric((p * rng.gen_range(0.9..1.1) * 100.0).round() / 100.0);
+        }
+        if let Value::Date(d) = values[7] {
+            values[7] = Value::Date(d + rng.gen_range(-30..=30));
+        }
+        let j = b.push(values).expect("schema-valid row");
+        matches.push((i, j));
+    }
+    // Hard negatives: other tracks by the same artist / same album — the
+    // same-artist-different-song trap real iTunes-Amazon is full of.
+    while b.len() < size_b {
+        let (song_name, artist_name, album) = if rng.gen_bool(0.25) && !a.is_empty() {
+            let src = a.entity(rng.gen_range(0..a.len())).clone();
+            (
+                song(&songs_a, rng),
+                src.value(1).as_str().unwrap_or("").to_string(),
+                src.value(2).as_str().unwrap_or("").to_string(),
+            )
+        } else {
+            (song(&songs_a, rng), artist(&artists_a, rng), song(&songs_a, rng))
+        };
+        b.push(vec![
+            Value::Text(song_name),
+            Value::Text(artist_name),
+            Value::Text(album),
+            Value::Text(w::GENRES.choose(rng).unwrap().to_string()),
+            Value::Text(w::COPYRIGHT_LABELS.choose(rng).unwrap().to_string()),
+            Value::Numeric((rng.gen_range(69..1299) as f64) / 100.0),
+            Value::Date(rng.gen_range(120..600)),
+            Value::Date(rng.gen_range(10000..19000)),
+        ])
+        .expect("schema-valid row");
+    }
+
+    let bg_songs: Vec<String> = (0..250).map(|_| song(&songs_bg, rng)).collect();
+    let bg_artists: Vec<String> = (0..200).map(|_| artist(&artists_bg, rng)).collect();
+    let bg_albums: Vec<String> = (0..250).map(|_| song(&songs_bg, rng)).collect();
+    let bg_genres: Vec<String> = w::GENRES.iter().map(|s| s.to_string()).collect();
+    let bg_labels: Vec<String> = w::COPYRIGHT_LABELS.iter().map(|s| s.to_string()).collect();
+
+    finalize(
+        DatasetKind::ItunesAmazon,
+        a,
+        b,
+        matches,
+        vec![
+            bg_songs, bg_artists, bg_albums, bg_genres, bg_labels,
+            vec![], vec![], vec![],
+        ],
+    )
+}
+
+/// `n` distinct indices from `0..len`.
+fn sample_indices<R: Rng + ?Sized>(len: usize, n: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..len).collect();
+    idx.shuffle(rng);
+    idx.truncate(n.min(len));
+    idx
+}
+
+impl SimulatedDataset {
+    /// Returns `(column index, background corpus)` for every text column.
+    pub fn text_columns(&self) -> Vec<(usize, &[String])> {
+        self.er
+            .a()
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ctype == ColumnType::Text)
+            .map(|(i, _)| (i, self.background[i].as_slice()))
+            .collect()
+    }
+
+    /// All active-domain strings of a column (both relations) — used by
+    /// privacy tests to verify background disjointness.
+    pub fn active_strings(&self, col: usize) -> Vec<&str> {
+        self.er
+            .a()
+            .entities()
+            .iter()
+            .chain(self.er.b().entities())
+            .filter_map(|e: &Entity| e.value(col).as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_match_scaled_paper_stats() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+        let stats = DatasetKind::DblpAcm.paper_stats();
+        assert_eq!(sim.er.a().len(), scaled(stats.size_a, 0.05));
+        assert_eq!(sim.er.b().len(), scaled(stats.size_b, 0.05));
+        assert_eq!(sim.er.num_matches(), scaled(stats.matches, 0.05));
+    }
+
+    #[test]
+    fn all_domains_generate_valid_datasets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in DatasetKind::all() {
+            let sim = generate(kind, 0.01, &mut rng);
+            assert!(sim.er.a().len() >= 4, "{kind:?}");
+            assert!(sim.er.num_matches() >= 2, "{kind:?}");
+            assert_eq!(
+                sim.background.len(),
+                sim.er.a().schema().len(),
+                "{kind:?} background arity"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_are_more_similar_than_nonmatches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in DatasetKind::all() {
+            let sim = generate(kind, 0.03, &mut rng);
+            let sv = sim.er.similarity_vectors(200, &mut rng);
+            let mean = |vs: &Vec<Vec<f64>>| {
+                vs.iter().map(|v| v.iter().sum::<f64>() / v.len() as f64).sum::<f64>()
+                    / vs.len().max(1) as f64
+            };
+            let pos = mean(&sv.pos);
+            let neg = mean(&sv.neg);
+            assert!(
+                pos > neg + 0.15,
+                "{kind:?}: pos {pos:.3} should clearly exceed neg {neg:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_is_disjoint_from_active_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+        for (col, corpus) in sim.text_columns() {
+            let active: std::collections::HashSet<&str> =
+                sim.active_strings(col).into_iter().collect();
+            let overlap = corpus.iter().filter(|s| active.contains(s.as_str())).count();
+            assert_eq!(overlap, 0, "column {col} shares {overlap} strings");
+        }
+    }
+
+    #[test]
+    fn venue_long_forms_used_for_matched_pairs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+        let &(i, j) = sim.er.matches().iter().next().unwrap();
+        let va = sim.er.a().entity(i).value(2).as_str().unwrap();
+        let vb = sim.er.b().entity(j).value(2).as_str().unwrap();
+        // The B-side venue is the long form, so the strings differ.
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn itunes_has_eight_columns_with_dates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sim = generate(DatasetKind::ItunesAmazon, 0.005, &mut rng);
+        assert_eq!(sim.er.a().schema().len(), 8);
+        let cols = sim.er.a().schema().columns();
+        assert_eq!(cols[6].ctype, ColumnType::Date);
+        assert_eq!(cols[7].ctype, ColumnType::Date);
+        // Date ranges were synced from the data.
+        assert!(cols[7].range > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s1 = generate(DatasetKind::Restaurant, 0.02, &mut StdRng::seed_from_u64(9));
+        let s2 = generate(DatasetKind::Restaurant, 0.02, &mut StdRng::seed_from_u64(9));
+        assert_eq!(s1.er.a().entity(0).values(), s2.er.a().entity(0).values());
+        assert_eq!(s1.er.num_matches(), s2.er.num_matches());
+    }
+}

@@ -1,0 +1,93 @@
+//! Dataset simulation substrate.
+//!
+//! The paper evaluates on four public ER benchmarks (Table II): DBLP-ACM,
+//! Restaurant, Walmart-Amazon, and iTunes-Amazon. Those downloads are not
+//! available here, so this crate *simulates* them (DESIGN.md §3.1): for each
+//! domain it generates two relations with the paper's schema, plants a
+//! controlled number of matching pairs whose B-side copies are realistically
+//! dirtied (token reordering, abbreviation, misspelling, venue renaming —
+//! the phenomena visible in the paper's Figure 1), and emits a disjoint
+//! *background corpus* per textual column for privacy-preserving transformer
+//! training (paper Section II-D).
+//!
+//! Entry point: [`generate`] with a [`DatasetKind`] and a scale factor.
+//!
+//! ```
+//! use datagen::{generate, DatasetKind};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+//! assert!(sim.er.num_matches() > 0);
+//! ```
+
+mod domains;
+mod perturb;
+mod wordlists;
+
+pub use domains::{generate, generate_with_min_matches, DatasetKind, SimulatedDataset};
+pub use perturb::{abbreviate_tokens, misspell, reorder_tokens, Perturbation};
+
+/// Paper Table II statistics for each dataset (at scale 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperStats {
+    /// |A_real|.
+    pub size_a: usize,
+    /// |B_real|.
+    pub size_b: usize,
+    /// Number of non-id columns.
+    pub columns: usize,
+    /// |M_real|.
+    pub matches: usize,
+}
+
+impl DatasetKind {
+    /// The paper's Table II row for this dataset.
+    pub fn paper_stats(&self) -> PaperStats {
+        match self {
+            DatasetKind::DblpAcm => PaperStats {
+                size_a: 2616,
+                size_b: 2294,
+                columns: 4,
+                matches: 2224,
+            },
+            DatasetKind::Restaurant => PaperStats {
+                size_a: 864,
+                size_b: 864,
+                columns: 4,
+                matches: 112,
+            },
+            DatasetKind::WalmartAmazon => PaperStats {
+                size_a: 2554,
+                size_b: 22074,
+                columns: 5,
+                matches: 1154,
+            },
+            DatasetKind::ItunesAmazon => PaperStats {
+                size_a: 6907,
+                size_b: 55922,
+                columns: 8,
+                matches: 132,
+            },
+        }
+    }
+
+    /// Human-readable dataset name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::DblpAcm => "DBLP-ACM",
+            DatasetKind::Restaurant => "Restaurant",
+            DatasetKind::WalmartAmazon => "Walmart-Amazon",
+            DatasetKind::ItunesAmazon => "iTunes-Amazon",
+        }
+    }
+
+    /// All four evaluation datasets, in the paper's table order.
+    pub fn all() -> [DatasetKind; 4] {
+        [
+            DatasetKind::DblpAcm,
+            DatasetKind::Restaurant,
+            DatasetKind::WalmartAmazon,
+            DatasetKind::ItunesAmazon,
+        ]
+    }
+}

@@ -1,0 +1,200 @@
+//! String dirtiness: the perturbations that make a matched B-side copy of an
+//! A-entity realistically different (and that power the EMBench baseline).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A single perturbation rule (EMBench-style, paper Section VII
+/// "Comparisons": abbreviation, misspelling, synonyms, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Shuffle token order ("Jensen, Snodgrass" -> "Snodgrass, Jensen").
+    ReorderTokens,
+    /// Abbreviate a token to its initial ("Richard" -> "R.").
+    Abbreviate,
+    /// Introduce a character-level typo (swap/drop/duplicate).
+    Misspell,
+    /// Drop a token entirely.
+    DropToken,
+    /// Change letter case of a token.
+    CaseFold,
+}
+
+impl Perturbation {
+    /// All rules.
+    pub fn all() -> [Perturbation; 5] {
+        [
+            Perturbation::ReorderTokens,
+            Perturbation::Abbreviate,
+            Perturbation::Misspell,
+            Perturbation::DropToken,
+            Perturbation::CaseFold,
+        ]
+    }
+
+    /// Applies this rule to `s`.
+    pub fn apply<R: Rng + ?Sized>(&self, s: &str, rng: &mut R) -> String {
+        match self {
+            Perturbation::ReorderTokens => reorder_tokens(s, rng),
+            Perturbation::Abbreviate => abbreviate_tokens(s, 1, rng),
+            Perturbation::Misspell => misspell(s, rng),
+            Perturbation::DropToken => drop_token(s, rng),
+            Perturbation::CaseFold => case_fold(s, rng),
+        }
+    }
+}
+
+/// Randomly reorders whitespace tokens.
+pub fn reorder_tokens<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    tokens.shuffle(rng);
+    tokens.join(" ")
+}
+
+/// Abbreviates up to `count` random tokens to their first letter + '.'.
+pub fn abbreviate_tokens<R: Rng + ?Sized>(s: &str, count: usize, rng: &mut R) -> String {
+    let mut tokens: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+    if tokens.is_empty() {
+        return s.to_string();
+    }
+    for _ in 0..count {
+        let i = rng.gen_range(0..tokens.len());
+        let t = &tokens[i];
+        if t.chars().count() > 2 {
+            let first = t.chars().next().unwrap();
+            tokens[i] = format!("{first}.");
+        }
+    }
+    tokens.join(" ")
+}
+
+/// Introduces one character-level typo: adjacent swap, deletion, or
+/// duplication at a random position.
+pub fn misspell<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+fn drop_token<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..tokens.len());
+    tokens.remove(i);
+    tokens.join(" ")
+}
+
+fn case_fold<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
+    if rng.gen_bool(0.5) {
+        s.to_lowercase()
+    } else {
+        // Title-case each token.
+        s.split_whitespace()
+            .map(|t| {
+                let mut c = t.chars();
+                match c.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Applies `n` random perturbations drawn from `rules`.
+pub fn perturb_n<R: Rng + ?Sized>(
+    s: &str,
+    rules: &[Perturbation],
+    n: usize,
+    rng: &mut R,
+) -> String {
+    let mut out = s.to_string();
+    for _ in 0..n {
+        if let Some(rule) = rules.choose(rng) {
+            out = rule.apply(&out, rng);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use similarity::qgram_jaccard;
+
+    #[test]
+    fn reorder_preserves_token_multiset() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = "alpha beta gamma delta";
+        let out = reorder_tokens(s, &mut rng);
+        let mut a: Vec<&str> = s.split_whitespace().collect();
+        let mut b: Vec<&str> = out.split_whitespace().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn abbreviate_produces_initial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = abbreviate_tokens("richard snodgrass", 2, &mut rng);
+        assert!(out.contains('.'), "{out}");
+    }
+
+    #[test]
+    fn misspell_changes_string_slightly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = "generalised hash teams";
+        let out = misspell(s, &mut rng);
+        assert_ne!(out, s);
+        assert!(qgram_jaccard(s, &out, 3) > 0.5);
+    }
+
+    #[test]
+    fn short_strings_pass_through() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(misspell("ab", &mut rng), "ab");
+        assert_eq!(reorder_tokens("one", &mut rng), "one");
+        assert_eq!(drop_token("one", &mut rng), "one");
+    }
+
+    #[test]
+    fn perturb_n_keeps_high_similarity_for_small_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = "adaptable query optimization and evaluation in temporal middleware";
+        let out = perturb_n(s, &Perturbation::all(), 2, &mut rng);
+        assert!(
+            qgram_jaccard(&s.to_lowercase(), &out.to_lowercase(), 3) > 0.3,
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn all_rules_apply_without_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for rule in Perturbation::all() {
+            for s in ["", "x", "two tokens", "a longer string with tokens"] {
+                let _ = rule.apply(s, &mut rng);
+            }
+        }
+    }
+}

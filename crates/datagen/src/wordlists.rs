@@ -1,0 +1,172 @@
+//! Domain vocabulary pools used by the simulators.
+//!
+//! Two disjoint halves per pool: the *active* half feeds the simulated real
+//! datasets, the *background* half feeds the transformer training corpora, so
+//! background data shares the domain but not the active domain (paper
+//! Section II-D). Splitting is by index parity, enforced in `domains.rs`.
+
+pub const RESEARCH_TOPICS: &[&str] = &[
+    "adaptive", "query", "optimization", "temporal", "middleware", "parallel", "join",
+    "hash", "teams", "stream", "processing", "frequent", "pattern", "mining", "index",
+    "structures", "transaction", "recovery", "distributed", "consensus", "replication",
+    "columnar", "storage", "vectorized", "execution", "cardinality", "estimation",
+    "sampling", "approximate", "aggregation", "graph", "traversal", "recursive",
+    "semantic", "integration", "schema", "matching", "entity", "resolution", "cleaning",
+    "provenance", "lineage", "versioning", "concurrency", "control", "locking",
+    "logging", "buffer", "management", "compression", "encoding", "partitioning",
+    "sharding", "elastic", "scaling", "workload", "prediction", "tuning", "learned",
+    "models", "benchmark", "evaluation", "spatial", "trajectory", "keyword", "search",
+    "ranking", "crowdsourcing", "privacy", "differential", "federated", "analytics",
+    "incremental", "view", "maintenance", "materialized", "caching", "skyline",
+    "probabilistic", "uncertain", "relational", "algebra",
+];
+
+pub const FIRST_NAMES: &[&str] = &[
+    "christian", "richard", "giedrius", "donald", "alfons", "martin", "elena", "wei",
+    "jian", "guoliang", "nan", "samuel", "laura", "michael", "anna", "peter", "divesh",
+    "rachel", "thomas", "xin", "yuki", "carlos", "maria", "ahmed", "fatima", "ivan",
+    "olga", "henrik", "astrid", "paolo", "giulia", "pierre", "claire", "sanjay",
+    "priya", "kenji", "mei", "lars", "ingrid", "diego", "lucia",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "jensen", "snodgrass", "slivinskas", "kossmann", "kemper", "wiesner", "grohe",
+    "stonebraker", "bernstein", "ullman", "widom", "garcia", "molina", "abadi",
+    "dewitt", "naughton", "franklin", "hellerstein", "chaudhuri", "srivastava",
+    "halevy", "doan", "suciu", "koch", "neumann", "leis", "boncz", "zukowski",
+    "ailamaki", "johnson", "ioannidis", "papadias", "tao", "xiao", "li", "wang",
+    "chen", "zhang", "kumar", "gupta",
+];
+
+pub const VENUES_ACTIVE: &[&str] = &[
+    "SIGMOD Conference", "VLDB", "ICDE", "ACM Trans. Database Syst.", "SIGMOD Record",
+];
+
+/// Long-form names the B-relation uses for the same venues (paper Fig. 1).
+pub const VENUE_LONG_FORMS: &[(&str, &str)] = &[
+    ("SIGMOD Conference", "International Conference on Management of Data"),
+    ("VLDB", "Very Large Data Bases"),
+    ("ICDE", "International Conference on Data Engineering"),
+    ("ACM Trans. Database Syst.", "ACM Transactions on Database Systems"),
+    ("SIGMOD Record", "ACM SIGMOD Record"),
+];
+
+pub const RESTAURANT_ADJ: &[&str] = &[
+    "forest", "golden", "silver", "blue", "grand", "royal", "little", "happy", "sunny",
+    "green", "red", "ancient", "modern", "cozy", "rustic", "urban", "coastal",
+    "mountain", "garden", "corner", "harbor", "village", "imperial", "jade", "lotus",
+    "olive", "maple", "cedar", "ivory", "amber",
+];
+
+pub const RESTAURANT_NOUN: &[&str] = &[
+    "family", "dragon", "palace", "kitchen", "table", "bistro", "grill", "house",
+    "garden", "terrace", "spoon", "fork", "plate", "oven", "hearth", "lantern",
+    "pearl", "crown", "anchor", "windmill", "orchard", "meadow", "fountain", "bridge",
+    "tavern", "cellar", "smokehouse", "noodle", "dumpling", "bakery",
+];
+
+pub const RESTAURANT_SUFFIX: &[&str] =
+    &["restaurant", "cafe", "diner", "eatery", "bar and grill", "brasserie"];
+
+pub const STREET_NAMES: &[&str] = &[
+    "broadway", "columbus avenue", "main street", "elm street", "oak avenue",
+    "市场 street", "mission street", "valencia street", "king road", "queen boulevard",
+    "river drive", "lake shore", "sunset boulevard", "hill road", "park avenue",
+    "church street", "station road", "garden lane", "harbor way", "mill road",
+];
+
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "san francisco", "chicago", "atlanta", "boston",
+    "seattle", "austin", "denver", "portland",
+];
+
+pub const FLAVORS: &[&str] = &[
+    "american", "italian", "chinese", "mexican", "french", "japanese", "indian",
+    "thai", "mediterranean", "bbq",
+];
+
+pub const PRODUCT_BRANDS: &[&str] = &[
+    "Asus", "Lenovo", "Dell", "HP", "Acer", "Samsung", "Sony", "Toshiba", "Apple",
+    "Canon", "Epson", "Logitech", "Netgear", "Seagate", "Kingston", "Corsair",
+];
+
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "laptop", "ultrabook", "notebook", "monitor", "printer", "router", "keyboard",
+    "mouse", "headset", "webcam", "tablet", "charger", "adapter", "drive", "memory",
+    "camera", "speaker", "dock", "hub", "case",
+];
+
+pub const PRODUCT_SPECS: &[&str] = &[
+    "15.6", "13.3", "14", "17.3", "intel atom", "intel core i5", "intel core i7",
+    "amd ryzen", "2gb memory", "4gb memory", "8gb memory", "16gb memory", "32gb flash",
+    "128gb ssd", "256gb ssd", "1tb hdd", "wireless", "bluetooth", "usb c", "hdmi",
+    "full hd", "4k uhd", "backlit", "ergonomic", "portable", "gaming",
+];
+
+pub const SONG_WORDS: &[&str] = &[
+    "home", "holiday", "rain", "love", "night", "summer", "winter", "heart", "dream",
+    "fire", "river", "moon", "star", "dance", "road", "light", "shadow", "echo",
+    "story", "morning", "midnight", "ocean", "mountain", "wind", "golden", "silver",
+    "forever", "yesterday", "tomorrow", "memory", "thunder", "whisper", "horizon",
+    "paradise", "freedom", "journey", "sunrise", "sunset", "embers", "wildflower",
+];
+
+pub const ARTIST_WORDS: &[&str] = &[
+    "the", "crimson", "velvet", "electric", "midnight", "riders", "foxes", "wolves",
+    "saints", "rebels", "echoes", "tides", "brothers", "sisters", "collective",
+    "orchestra", "quartet", "band", "project", "sound", "avenue", "district",
+    "northern", "southern", "lights", "union", "society", "club", "company",
+];
+
+pub const GENRES: &[&str] = &[
+    "Pop", "Rock", "Country", "Hip-Hop/Rap", "R&B/Soul", "Electronic", "Jazz",
+    "Classical", "Folk", "Latin",
+];
+
+pub const COPYRIGHT_LABELS: &[&str] = &[
+    "Universal Records", "Sony Music Entertainment", "Warner Music Group",
+    "Atlantic Recording", "Capitol Records", "Columbia Records", "Island Records",
+    "Interscope Records",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_reasonably_sized() {
+        for pool in [
+            RESEARCH_TOPICS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            RESTAURANT_ADJ,
+            RESTAURANT_NOUN,
+            STREET_NAMES,
+            PRODUCT_BRANDS,
+            PRODUCT_NOUNS,
+            PRODUCT_SPECS,
+            SONG_WORDS,
+            ARTIST_WORDS,
+        ] {
+            assert!(pool.len() >= 16, "pool too small: {}", pool.len());
+        }
+    }
+
+    #[test]
+    fn venue_long_forms_cover_active_venues() {
+        for v in VENUES_ACTIVE {
+            assert!(
+                VENUE_LONG_FORMS.iter().any(|(short, _)| short == v),
+                "no long form for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_topics() {
+        let mut seen = std::collections::HashSet::new();
+        for t in RESEARCH_TOPICS {
+            assert!(seen.insert(t), "duplicate topic {t}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the dataset simulators: every domain, at several
+//! scales, must produce datasets with the structural properties the SERD
+//! pipeline (and the paper's evaluation) relies on.
+
+use datagen::{generate, generate_with_min_matches, DatasetKind};
+use er_core::ColumnType;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn schemas_match_paper_column_counts() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for kind in DatasetKind::all() {
+        let sim = generate(kind, 0.01, &mut rng);
+        assert_eq!(
+            sim.er.a().schema().len(),
+            kind.paper_stats().columns,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn every_text_column_has_background_data() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for kind in DatasetKind::all() {
+        let sim = generate(kind, 0.01, &mut rng);
+        for (col, corpus) in sim.text_columns() {
+            assert!(
+                !corpus.is_empty(),
+                "{kind:?} text column {col} has no background corpus"
+            );
+        }
+    }
+}
+
+#[test]
+fn numeric_and_date_ranges_are_synced() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for kind in DatasetKind::all() {
+        let sim = generate(kind, 0.02, &mut rng);
+        for (i, col) in sim.er.a().schema().columns().iter().enumerate() {
+            if matches!(col.ctype, ColumnType::Numeric | ColumnType::Date) {
+                assert!(col.range > 0.0, "{kind:?} column {i} has zero range");
+                // Both schemas carry the same synced range.
+                assert_eq!(col.range, sim.er.b().schema().columns()[i].range);
+            }
+        }
+    }
+}
+
+#[test]
+fn min_matches_floor_is_respected() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // iTunes at 1% would have ~1 match without the floor.
+    let sim = generate_with_min_matches(DatasetKind::ItunesAmazon, 0.005, 25, &mut rng);
+    assert!(sim.er.num_matches() >= 25);
+    assert!(sim.er.num_matches() <= sim.er.a().len());
+}
+
+#[test]
+fn matched_pairs_differ_from_their_sources() {
+    // Dirtying must actually dirty: B-side copies differ from A-side
+    // originals in at least one column for most pairs.
+    let mut rng = StdRng::seed_from_u64(4);
+    for kind in DatasetKind::all() {
+        let sim = generate(kind, 0.02, &mut rng);
+        let mut identical = 0;
+        for &(i, j) in sim.er.matches() {
+            if sim.er.a().entity(i).values() == sim.er.b().entity(j).values() {
+                identical += 1;
+            }
+        }
+        let frac = identical as f64 / sim.er.num_matches().max(1) as f64;
+        assert!(frac < 0.5, "{kind:?}: {frac:.2} of matches are verbatim copies");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generation_never_panics_across_scales(
+        scale in 0.002f64..0.08,
+        seed in any::<u64>(),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = DatasetKind::all()[kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = generate(kind, scale, &mut rng);
+        prop_assert!(sim.er.a().len() >= 4);
+        prop_assert!(sim.er.b().len() >= 4);
+        prop_assert!(sim.er.num_matches() >= 2);
+        // Match indices are valid (ErDataset::new validated them).
+        for &(i, j) in sim.er.matches() {
+            prop_assert!(i < sim.er.a().len());
+            prop_assert!(j < sim.er.b().len());
+        }
+    }
+
+    #[test]
+    fn match_similarity_exceeds_nonmatch_on_every_seed(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = generate(DatasetKind::DblpAcm, 0.02, &mut rng);
+        let sv = sim.er.similarity_vectors(100, &mut rng);
+        let mean = |vs: &Vec<Vec<f64>>| {
+            vs.iter().map(|v| v.iter().sum::<f64>() / v.len() as f64).sum::<f64>()
+                / vs.len().max(1) as f64
+        };
+        prop_assert!(mean(&sv.pos) > mean(&sv.neg));
+    }
+}

@@ -1,0 +1,54 @@
+//! Differential-privacy substrate: mechanisms and the Rényi-DP accountant
+//! used to certify the DP-SGD training of the paper's transformer models
+//! (Algorithm 1; the paper reports (ε = 1, δ = 1e-5)-DP in Table III).
+//!
+//! # What lives here
+//!
+//! * [`GaussianMechanism`] / [`LaplaceMechanism`] — classic output
+//!   perturbation for scalar/vector queries with bounded sensitivity.
+//! * [`RdpAccountant`] — a moments/Rényi accountant for the *subsampled*
+//!   Gaussian mechanism (each DP-SGD step samples a minibatch with rate `q`,
+//!   clips per-example gradients to `V`, and adds `N(0, σ²V²)` noise). It
+//!   tracks RDP at a grid of orders and converts to `(ε, δ)`.
+//! * [`calibrate_sigma`] — binary-searches the noise multiplier needed to hit
+//!   a target `(ε, δ)` after `steps` iterations.
+//!
+//! The subsampled-Gaussian RDP bound follows Mironov's integer-order formula
+//! (the "moments accountant" of Abadi et al. evaluated exactly at integer
+//! orders): for sampling rate `q`, noise multiplier `σ`, integer order
+//! `α ≥ 2`,
+//!
+//! ```text
+//! RDP(α) = 1/(α-1) * log( Σ_{j=0..α} C(α,j) (1-q)^{α-j} q^j · exp(j(j-1)/(2σ²)) )
+//! ```
+//!
+//! which composes additively over steps.
+
+mod accountant;
+mod mechanism;
+
+pub use accountant::{calibrate_sigma, subsampled_gaussian_rdp, RdpAccountant};
+pub use mechanism::{clip_l2, GaussianMechanism, LaplaceMechanism};
+
+/// A privacy budget `(ε, δ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// The ε parameter (multiplicative bound).
+    pub epsilon: f64,
+    /// The δ parameter (additive slack).
+    pub delta: f64,
+}
+
+impl Budget {
+    /// The paper's evaluation budget: `(ε = 1, δ = 1e-5)` (Table III).
+    pub const PAPER: Budget = Budget {
+        epsilon: 1.0,
+        delta: 1e-5,
+    };
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(ε={}, δ={})", self.epsilon, self.delta)
+    }
+}

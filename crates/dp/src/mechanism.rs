@@ -1,0 +1,163 @@
+//! Output-perturbation mechanisms.
+
+use rand::Rng;
+
+/// The Gaussian mechanism: adds `N(0, (σ·Δ)²)` noise to each coordinate of a
+/// query with L2-sensitivity `Δ`.
+///
+/// With noise multiplier `σ`, a single release satisfies `(ε, δ)`-DP for any
+/// `δ ∈ (0,1)` with `ε = sqrt(2 ln(1.25/δ)) / σ` (classical analytic bound,
+/// valid for ε ≤ 1); use [`crate::RdpAccountant`] for compositions.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianMechanism {
+    /// Noise multiplier σ (noise stddev = σ · sensitivity).
+    pub sigma: f64,
+    /// L2 sensitivity Δ of the query.
+    pub sensitivity: f64,
+}
+
+impl GaussianMechanism {
+    /// Creates a mechanism with the given noise multiplier and sensitivity.
+    pub fn new(sigma: f64, sensitivity: f64) -> Self {
+        GaussianMechanism { sigma, sensitivity }
+    }
+
+    /// Standard deviation of the added noise.
+    pub fn noise_std(&self) -> f64 {
+        self.sigma * self.sensitivity
+    }
+
+    /// Adds noise to a scalar.
+    pub fn randomize_scalar<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + self.noise_std() * standard_normal(rng)
+    }
+
+    /// Adds i.i.d. noise to every coordinate in place.
+    pub fn randomize<R: Rng + ?Sized>(&self, values: &mut [f64], rng: &mut R) {
+        let std = self.noise_std();
+        for v in values {
+            *v += std * standard_normal(rng);
+        }
+    }
+
+    /// The classical `(ε, δ)` guarantee of a single release (requires the
+    /// resulting ε ≤ 1 for the bound to be tight; returns the formula value
+    /// regardless).
+    pub fn epsilon_for(&self, delta: f64) -> f64 {
+        (2.0 * (1.25 / delta).ln()).sqrt() / self.sigma
+    }
+}
+
+/// The Laplace mechanism: adds `Lap(Δ/ε)` noise for an L1-sensitivity-Δ
+/// query, giving pure `ε`-DP.
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    /// Privacy parameter ε.
+    pub epsilon: f64,
+    /// L1 sensitivity Δ.
+    pub sensitivity: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism with the given ε and sensitivity.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Self {
+        LaplaceMechanism { epsilon, sensitivity }
+    }
+
+    /// The scale `b = Δ/ε` of the Laplace noise.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Adds Laplace noise to a scalar.
+    pub fn randomize_scalar<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling: u ~ U(-1/2, 1/2), x = -b sign(u) ln(1-2|u|).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let noise = -self.scale() * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+        value + noise
+    }
+}
+
+/// Clips a vector to L2 norm at most `bound` in place, returning the original
+/// norm. This is DP-SGD's per-example gradient clipping
+/// (`g / max(1, ||g||₂ / V)` — Algorithm 1, line 8).
+pub fn clip_l2(v: &mut [f64], bound: f64) -> f64 {
+    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > bound && norm > 0.0 {
+        let s = bound / norm;
+        for x in v.iter_mut() {
+            *x *= s;
+        }
+    }
+    norm
+}
+
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_noise_std_matches() {
+        let mech = GaussianMechanism::new(2.0, 0.5);
+        assert_eq!(mech.noise_std(), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let v = mech.randomize_scalar(0.0, &mut rng);
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_epsilon_formula() {
+        let mech = GaussianMechanism::new(5.0, 1.0);
+        let eps = mech.epsilon_for(1e-5);
+        assert!((eps - (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplace_scale_and_unbiasedness() {
+        let mech = LaplaceMechanism::new(0.5, 1.0);
+        assert_eq!(mech.scale(), 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let mean: f64 =
+            (0..n).map(|_| mech.randomize_scalar(10.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn clip_l2_behaviour() {
+        let mut v = vec![3.0, 4.0];
+        let norm = clip_l2(&mut v, 1.0);
+        assert_eq!(norm, 5.0);
+        let new_norm = (v[0] * v[0] + v[1] * v[1]).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-12);
+        // No-op when already within bound.
+        let mut w = vec![0.3, 0.4];
+        clip_l2(&mut w, 1.0);
+        assert_eq!(w, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_l2_zero_vector() {
+        let mut v = vec![0.0, 0.0];
+        assert_eq!(clip_l2(&mut v, 1.0), 0.0);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the DP accountant and mechanisms.
+
+use dp::{calibrate_sigma, clip_l2, subsampled_gaussian_rdp, RdpAccountant};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rdp_nonnegative(q in 0.0f64..1.0, sigma in 0.3f64..10.0, alpha in 2u32..64) {
+        prop_assert!(subsampled_gaussian_rdp(q, sigma, alpha) >= 0.0);
+    }
+
+    #[test]
+    fn rdp_monotone_in_sampling_rate(
+        q1 in 0.001f64..0.5,
+        bump in 0.01f64..0.4,
+        sigma in 0.5f64..4.0,
+    ) {
+        let q2 = (q1 + bump).min(0.99);
+        let r1 = subsampled_gaussian_rdp(q1, sigma, 16);
+        let r2 = subsampled_gaussian_rdp(q2, sigma, 16);
+        prop_assert!(r1 <= r2 + 1e-12, "q {q1} -> {r1}, q {q2} -> {r2}");
+    }
+
+    #[test]
+    fn rdp_monotone_in_noise(
+        q in 0.001f64..0.5,
+        s1 in 0.5f64..4.0,
+        bump in 0.1f64..4.0,
+    ) {
+        let s2 = s1 + bump;
+        let r1 = subsampled_gaussian_rdp(q, s1, 16);
+        let r2 = subsampled_gaussian_rdp(q, s2, 16);
+        prop_assert!(r2 <= r1 + 1e-12);
+    }
+
+    #[test]
+    fn subsampling_never_hurts(q in 0.001f64..0.999, sigma in 0.5f64..4.0, alpha in 2u32..32) {
+        // Privacy amplification: subsampled RDP <= full-batch RDP.
+        let sub = subsampled_gaussian_rdp(q, sigma, alpha);
+        let full = subsampled_gaussian_rdp(1.0, sigma, alpha);
+        prop_assert!(sub <= full + 1e-9, "sub {sub} > full {full}");
+    }
+
+    #[test]
+    fn epsilon_monotone_in_steps(
+        q in 0.005f64..0.2,
+        sigma in 0.8f64..3.0,
+        n1 in 1usize..200,
+        extra in 1usize..200,
+    ) {
+        let mut acc = RdpAccountant::new();
+        acc.compose_steps(q, sigma, n1);
+        let e1 = acc.epsilon(1e-5);
+        acc.compose_steps(q, sigma, extra);
+        let e2 = acc.epsilon(1e-5);
+        prop_assert!(e2 >= e1 - 1e-12);
+        prop_assert!(e1 > 0.0 && e1.is_finite());
+    }
+
+    #[test]
+    fn epsilon_monotone_in_delta(q in 0.01f64..0.2, sigma in 0.8f64..3.0) {
+        let mut acc = RdpAccountant::new();
+        acc.compose_steps(q, sigma, 100);
+        // Smaller delta -> larger epsilon.
+        prop_assert!(acc.epsilon(1e-7) >= acc.epsilon(1e-5));
+        prop_assert!(acc.epsilon(1e-5) >= acc.epsilon(1e-3));
+    }
+
+    #[test]
+    fn calibration_meets_target(
+        eps in 0.5f64..4.0,
+        q in 0.005f64..0.1,
+        steps in 50usize..1000,
+    ) {
+        let sigma = calibrate_sigma(eps, 1e-5, q, steps);
+        let mut acc = RdpAccountant::new();
+        acc.compose_steps(q, sigma, steps);
+        prop_assert!(acc.epsilon(1e-5) <= eps * 1.001, "sigma {sigma} misses target");
+    }
+
+    #[test]
+    fn clip_l2_never_exceeds_bound(
+        v in prop::collection::vec(-100.0f64..100.0, 1..32),
+        bound in 0.1f64..10.0,
+    ) {
+        let mut w = v.clone();
+        let orig_norm = clip_l2(&mut w, bound);
+        let new_norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(new_norm <= bound + 1e-9);
+        // Direction preserved: w is a nonnegative scalar multiple of v.
+        if orig_norm > 0.0 {
+            let scale = new_norm / orig_norm;
+            for (a, b) in v.iter().zip(&w) {
+                prop_assert!((a * scale - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn clip_l2_noop_within_bound(
+        v in prop::collection::vec(-0.1f64..0.1, 1..16),
+    ) {
+        let mut w = v.clone();
+        clip_l2(&mut w, 100.0);
+        prop_assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,309 @@
+//! q-gram blocking: candidate pair generation without the full cross product.
+//!
+//! Walmart-Amazon-scale tables (2.5k x 22k) make exhaustive pair enumeration
+//! expensive. Blocking indexes entities by the q-grams of their first text
+//! column and only pairs entities that share at least one gram, capping the
+//! bucket fan-out so stop-gram buckets ("the", "and") don't explode.
+
+use crate::{ColumnType, Relation};
+use std::collections::HashMap;
+
+/// A blocking strategy: how candidate pairs are generated without the full
+/// cross product. All strategies are recall-oriented (they may emit false
+/// candidates, never *suppress* true matches beyond their documented
+/// heuristics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingStrategy {
+    /// Character q-gram blocking (the default used by the pipeline).
+    Qgram {
+        /// Gram length.
+        q: usize,
+        /// Cap on entities per gram bucket.
+        max_bucket: usize,
+    },
+    /// Whitespace-token blocking: share at least one lowercase token.
+    Token {
+        /// Cap on entities per token bucket.
+        max_bucket: usize,
+    },
+    /// Sorted-neighborhood: entities of both relations are sorted by the
+    /// blocking key and paired within a sliding window.
+    SortedNeighborhood {
+        /// Window size (each A entity pairs with the `window` nearest B
+        /// entities in sort order).
+        window: usize,
+    },
+}
+
+impl BlockingStrategy {
+    /// Generates candidate pairs under this strategy.
+    pub fn candidates(&self, a: &Relation, b: &Relation) -> Vec<(usize, usize)> {
+        match *self {
+            BlockingStrategy::Qgram { q, max_bucket } => candidate_pairs(a, b, q, max_bucket),
+            BlockingStrategy::Token { max_bucket } => token_candidates(a, b, max_bucket),
+            BlockingStrategy::SortedNeighborhood { window } => {
+                sorted_neighborhood(a, b, window)
+            }
+        }
+    }
+}
+
+/// Token blocking: pair entities sharing at least one lowercase token on the
+/// blocking column.
+pub fn token_candidates(a: &Relation, b: &Relation, max_bucket: usize) -> Vec<(usize, usize)> {
+    let col = blocking_column(a);
+    let index = |r: &Relation| {
+        let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
+        for (id, e) in r.iter() {
+            let Some(s) = e.value(col).as_str() else { continue };
+            let mut tokens: Vec<String> = s
+                .to_lowercase()
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect();
+            tokens.sort();
+            tokens.dedup();
+            for t in tokens {
+                let bucket = idx.entry(t).or_default();
+                if bucket.len() < max_bucket {
+                    bucket.push(id);
+                }
+            }
+        }
+        idx
+    };
+    let ia = index(a);
+    let ib = index(b);
+    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+    for (t, ids_a) in &ia {
+        if let Some(ids_b) = ib.get(t) {
+            for &i in ids_a {
+                for &j in ids_b {
+                    seen.entry((i, j)).or_insert(());
+                }
+            }
+        }
+    }
+    seen.into_keys().collect()
+}
+
+/// Sorted-neighborhood blocking: merge-sort both relations on the lowercase
+/// blocking value; each A entity is paired with the `window` B entities
+/// nearest to it in the merged order.
+pub fn sorted_neighborhood(a: &Relation, b: &Relation, window: usize) -> Vec<(usize, usize)> {
+    let col = blocking_column(a);
+    let keys = |r: &Relation| {
+        let mut ks: Vec<(String, usize)> = r
+            .iter()
+            .map(|(id, e)| (e.value(col).as_str().unwrap_or("").to_lowercase(), id))
+            .collect();
+        ks.sort();
+        ks
+    };
+    let ka = keys(a);
+    let kb = keys(b);
+    if kb.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // For each sorted A key, locate its insertion point in sorted B keys and
+    // take the window around it.
+    for (key, i) in &ka {
+        let pos = kb.partition_point(|(kb_key, _)| kb_key < key);
+        let lo = pos.saturating_sub(window / 2 + window % 2);
+        let hi = (lo + window).min(kb.len());
+        let lo = hi.saturating_sub(window);
+        for (_, j) in &kb[lo..hi] {
+            out.push((*i, *j));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Returns candidate `(i, j)` pairs of entities that share at least one
+/// character q-gram on the blocking column (the first `Text` column; falls
+/// back to the first column if no text column exists).
+///
+/// `max_bucket` caps the number of entities per gram bucket on each side;
+/// larger buckets are truncated (standard blocking practice — ubiquitous
+/// grams carry no signal).
+pub fn candidate_pairs(
+    a: &Relation,
+    b: &Relation,
+    q: usize,
+    max_bucket: usize,
+) -> Vec<(usize, usize)> {
+    let col = blocking_column(a);
+    let index_a = gram_index(a, col, q, max_bucket);
+    let index_b = gram_index(b, col, q, max_bucket);
+
+    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+    for (gram, ids_a) in &index_a {
+        if let Some(ids_b) = index_b.get(gram) {
+            for &i in ids_a {
+                for &j in ids_b {
+                    seen.entry((i, j)).or_insert(());
+                }
+            }
+        }
+    }
+    seen.into_keys().collect()
+}
+
+/// The index of the column used for blocking.
+pub fn blocking_column(r: &Relation) -> usize {
+    r.schema()
+        .columns()
+        .iter()
+        .position(|c| c.ctype == ColumnType::Text)
+        .unwrap_or(0)
+}
+
+fn gram_index(
+    r: &Relation,
+    col: usize,
+    q: usize,
+    max_bucket: usize,
+) -> HashMap<String, Vec<usize>> {
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (id, e) in r.iter() {
+        let Some(s) = e.value(col).as_str() else {
+            continue;
+        };
+        let lower = s.to_lowercase();
+        let chars: Vec<char> = lower.chars().collect();
+        if chars.len() < q {
+            let bucket = index.entry(lower).or_default();
+            if bucket.len() < max_bucket {
+                bucket.push(id);
+            }
+            continue;
+        }
+        let mut grams_here: Vec<String> = chars.windows(q).map(|w| w.iter().collect()).collect();
+        grams_here.sort();
+        grams_here.dedup();
+        for g in grams_here {
+            let bucket = index.entry(g).or_default();
+            if bucket.len() < max_bucket && bucket.last() != Some(&id) {
+                bucket.push(id);
+            }
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Schema, Value};
+
+    fn rel(names: &[&str]) -> Relation {
+        let schema = Schema::new(vec![Column::text("title")]);
+        let mut r = Relation::new("t", schema);
+        for n in names {
+            r.push(vec![Value::Text((*n).to_string())]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn similar_titles_are_candidates() {
+        let a = rel(&["adaptable query optimization", "zzzz completely unrelated"]);
+        let b = rel(&["adaptable query evaluation", "something else entirely"]);
+        let pairs = candidate_pairs(&a, &b, 3, 10);
+        assert!(pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn disjoint_strings_are_not_candidates() {
+        let a = rel(&["aaaaaa"]);
+        let b = rel(&["zzzzzz"]);
+        let pairs = candidate_pairs(&a, &b, 3, 10);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn bucket_cap_limits_fanout() {
+        // 30 identical entities on each side, bucket cap 5 -> at most 25 pairs.
+        let names: Vec<&str> = std::iter::repeat("same title here").take(30).collect();
+        let a = rel(&names);
+        let b = rel(&names);
+        let pairs = candidate_pairs(&a, &b, 3, 5);
+        assert!(pairs.len() <= 25);
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn blocking_column_prefers_text() {
+        let schema = Schema::new(vec![Column::numeric("year", 1.0), Column::text("title")]);
+        let r = Relation::new("t", schema);
+        assert_eq!(blocking_column(&r), 1);
+    }
+
+    #[test]
+    fn token_blocking_requires_shared_token() {
+        let a = rel(&["adaptive query processing", "unrelated thing"]);
+        let b = rel(&["query evaluation", "different words"]);
+        let pairs = token_candidates(&a, &b, 10);
+        assert!(pairs.contains(&(0, 0)));
+        assert!(!pairs.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_nearby_keys() {
+        let a = rel(&["alpha", "mike", "zulu"]);
+        let b = rel(&["alpine", "mild", "zero"]);
+        // Window 2 looks at both sides of the insertion point.
+        let pairs = sorted_neighborhood(&a, &b, 2);
+        assert!(pairs.contains(&(0, 0)), "{pairs:?}");
+        assert!(pairs.contains(&(1, 1)), "{pairs:?}");
+        assert!(pairs.contains(&(2, 2)), "{pairs:?}");
+        assert!(pairs.len() <= 6);
+    }
+
+    #[test]
+    fn sorted_neighborhood_window_bounds_output() {
+        let names: Vec<String> = (0..20).map(|i| format!("name{i:02}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let a = rel(&refs);
+        let b = rel(&refs);
+        let pairs = sorted_neighborhood(&a, &b, 3);
+        assert!(pairs.len() <= 20 * 3);
+        // The exact self-match is always inside the window.
+        for i in 0..20 {
+            assert!(pairs.contains(&(i, i)), "missing ({i},{i})");
+        }
+    }
+
+    #[test]
+    fn strategy_dispatch() {
+        let a = rel(&["adaptive query processing"]);
+        let b = rel(&["adaptive query evaluation"]);
+        for strat in [
+            BlockingStrategy::Qgram { q: 3, max_bucket: 10 },
+            BlockingStrategy::Token { max_bucket: 10 },
+            BlockingStrategy::SortedNeighborhood { window: 2 },
+        ] {
+            let pairs = strat.candidates(&a, &b);
+            assert!(pairs.contains(&(0, 0)), "{strat:?} missed the pair");
+        }
+    }
+
+    #[test]
+    fn sorted_neighborhood_empty_b() {
+        let a = rel(&["alpha"]);
+        let b = rel(&[]);
+        assert!(sorted_neighborhood(&a, &b, 3).is_empty());
+    }
+
+    #[test]
+    fn short_values_block_on_whole_string() {
+        let a = rel(&["ab"]);
+        let b = rel(&["ab", "cd"]);
+        let pairs = candidate_pairs(&a, &b, 3, 10);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal CSV reader/writer (RFC-4180 quoting) for relation import/export.
+//!
+//! Hand-rolled on purpose: the workspace's dependency policy keeps the tree
+//! small, and the pipeline only needs rectangular string records.
+
+use crate::{ColumnType, Entity, ErError, Relation, Result, Schema, Value};
+use std::fmt::Write as _;
+
+/// Parses CSV text into records. Handles quoted fields with embedded commas,
+/// doubled quotes, and `\n` / `\r\n` line endings.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(ErError::Csv(
+                            "quote inside unquoted field".to_string(),
+                        ));
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ErError::Csv("unterminated quoted field".to_string()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes records to CSV text.
+pub fn write(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let mut first = true;
+        for f in rec {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}", escape(f));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a relation (with a header row) to CSV.
+pub fn relation_to_csv(r: &Relation) -> String {
+    let mut records: Vec<Vec<String>> =
+        vec![r.schema().columns().iter().map(|c| c.name.clone()).collect()];
+    for e in r.entities() {
+        records.push(e.values().iter().map(Value::render).collect());
+    }
+    write(&records)
+}
+
+/// Parses CSV text (header row required) into a relation under `schema`.
+///
+/// Fields are coerced per column type; empty fields become [`Value::Null`].
+pub fn relation_from_csv(name: &str, schema: Schema, text: &str) -> Result<Relation> {
+    let records = parse(text)?;
+    let mut rel = Relation::new(name, schema);
+    let Some((header, rows)) = records.split_first() else {
+        return Ok(rel);
+    };
+    if header.len() != rel.schema().len() {
+        return Err(ErError::Csv(format!(
+            "header has {} fields, schema has {} columns",
+            header.len(),
+            rel.schema().len()
+        )));
+    }
+    for row in rows {
+        if row.len() != rel.schema().len() {
+            return Err(ErError::Csv(format!(
+                "row has {} fields, schema has {} columns",
+                row.len(),
+                rel.schema().len()
+            )));
+        }
+        let mut values = Vec::with_capacity(row.len());
+        for (field, col) in row.iter().zip(rel.schema().columns().to_vec()) {
+            values.push(coerce(field, col.ctype)?);
+        }
+        rel.push_entity(Entity::new(values))?;
+    }
+    Ok(rel)
+}
+
+fn coerce(field: &str, ctype: ColumnType) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ctype {
+        ColumnType::Numeric => Value::Numeric(field.trim().parse::<f64>().map_err(|e| {
+            ErError::Csv(format!("bad numeric field {field:?}: {e}"))
+        })?),
+        ColumnType::Date => Value::Date(field.trim().parse::<i64>().map_err(|e| {
+            ErError::Csv(format!("bad date field {field:?}: {e}"))
+        })?),
+        ColumnType::Categorical => Value::Categorical(field.to_string()),
+        ColumnType::Text => Value::Text(field.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+
+    #[test]
+    fn parse_simple() {
+        let recs = parse("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let recs = parse("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n").unwrap();
+        assert_eq!(recs[0][0], "a,b");
+        assert_eq!(recs[0][1], "say \"hi\"");
+        assert_eq!(recs[0][2], "multi\nline");
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let recs = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn parse_last_line_without_newline() {
+        let recs = parse("a,b\nc,d").unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_with_special_chars() {
+        let records = vec![
+            vec!["title".to_string(), "year".to_string()],
+            vec!["hash, teams \"fast\"".to_string(), "1999".to_string()],
+        ];
+        let text = write(&records);
+        assert_eq!(parse(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let schema = Schema::new(vec![
+            Column::text("title"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+        ]);
+        let mut r = Relation::new("papers", schema.clone());
+        r.push(vec![
+            Value::Text("a, \"quoted\" title".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(1999.0),
+        ])
+        .unwrap();
+        r.push(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        let text = relation_to_csv(&r);
+        let back = relation_from_csv("papers", schema, &text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.entity(0).value(0).as_str(), Some("a, \"quoted\" title"));
+        assert_eq!(back.entity(0).value(2), &Value::Numeric(1999.0));
+        assert!(back.entity(1).value(0).is_null());
+    }
+
+    #[test]
+    fn relation_from_csv_rejects_ragged_rows() {
+        let schema = Schema::new(vec![Column::text("t"), Column::numeric("y", 1.0)]);
+        assert!(relation_from_csv("x", schema, "t,y\nonly_one_field\n").is_err());
+    }
+
+    #[test]
+    fn coerce_bad_number_errors() {
+        let schema = Schema::new(vec![Column::numeric("y", 1.0)]);
+        assert!(relation_from_csv("x", schema, "y\nnot_a_number\n").is_err());
+    }
+}

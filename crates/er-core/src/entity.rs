@@ -1,0 +1,218 @@
+//! Entities and relations.
+
+use crate::{ColumnType, Result, Schema, Value};
+
+/// A single entity: one row of attribute values under a relation's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    values: Vec<Value>,
+}
+
+impl Entity {
+    /// Wraps a row of values. Use [`Relation::push`] for schema validation.
+    pub fn new(values: Vec<Value>) -> Self {
+        Entity { values }
+    }
+
+    /// The attribute values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value of the `i`-th attribute.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Mutable access to the `i`-th attribute (used by perturbation baselines).
+    pub fn value_mut(&mut self, i: usize) -> &mut Value {
+        &mut self.values[i]
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A relation: a schema plus a bag of entities.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    entities: Vec<Entity>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            entities: Vec::new(),
+        }
+    }
+
+    /// Relation name (e.g. `"DBLP"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable schema access (to set numeric ranges after load).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// The entities.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Entity at index `i`.
+    pub fn entity(&self, i: usize) -> &Entity {
+        &self.entities[i]
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Validates a row against the schema and appends it.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<usize> {
+        self.schema.validate(&values)?;
+        self.entities.push(Entity::new(values));
+        Ok(self.entities.len() - 1)
+    }
+
+    /// Appends a pre-built entity after validation.
+    pub fn push_entity(&mut self, e: Entity) -> Result<usize> {
+        self.schema.validate(e.values())?;
+        self.entities.push(e);
+        Ok(self.entities.len() - 1)
+    }
+
+    /// Iterates over `(index, entity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Entity)> {
+        self.entities.iter().enumerate()
+    }
+
+    /// Distinct values of a categorical column (used by the categorical
+    /// synthesis rule, paper Section IV-B1).
+    pub fn categorical_domain(&self, col: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        if self.schema.columns()[col].ctype != ColumnType::Categorical {
+            return out;
+        }
+        for e in &self.entities {
+            if let Some(s) = e.value(col).as_str() {
+                if !out.iter().any(|v| v == s) {
+                    out.push(s.to_owned());
+                }
+            }
+        }
+        out
+    }
+
+    /// `(min, max)` of each column's numeric interpretation; string columns
+    /// report `(0, 0)`.
+    pub fn min_max(&self) -> Vec<(f64, f64)> {
+        let l = self.schema.len();
+        let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); l];
+        for e in &self.entities {
+            for (i, v) in e.values().iter().enumerate() {
+                if let Some(x) = v.as_f64() {
+                    out[i].0 = out[i].0.min(x);
+                    out[i].1 = out[i].1.max(x);
+                }
+            }
+        }
+        out.iter()
+            .map(|&(lo, hi)| if lo.is_finite() { (lo, hi) } else { (0.0, 0.0) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Column;
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Column::text("title"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+        ]);
+        let mut r = Relation::new("test", schema);
+        r.push(vec![
+            Value::Text("paper one".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(1999.0),
+        ])
+        .unwrap();
+        r.push(vec![
+            Value::Text("paper two".into()),
+            Value::Categorical("SIGMOD".into()),
+            Value::Numeric(2003.0),
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut r = rel();
+        assert!(r.push(vec![Value::Null]).is_err());
+        assert_eq!(r.len(), 2);
+        let idx = r
+            .push(vec![
+                Value::Text("p3".into()),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(2001.0),
+            ])
+            .unwrap();
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn categorical_domain_dedupes() {
+        let mut r = rel();
+        r.push(vec![
+            Value::Text("p3".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(2001.0),
+        ])
+        .unwrap();
+        let dom = r.categorical_domain(1);
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&"VLDB".to_string()));
+        // Non-categorical column yields empty domain.
+        assert!(r.categorical_domain(0).is_empty());
+    }
+
+    #[test]
+    fn min_max_computes_numeric_bounds() {
+        let r = rel();
+        let mm = r.min_max();
+        assert_eq!(mm[2], (1999.0, 2003.0));
+        assert_eq!(mm[0], (0.0, 0.0));
+    }
+
+    #[test]
+    fn entity_mutation() {
+        let mut e = Entity::new(vec![Value::Numeric(1.0)]);
+        *e.value_mut(0) = Value::Numeric(2.0);
+        assert_eq!(e.value(0), &Value::Numeric(2.0));
+    }
+}

@@ -1,0 +1,80 @@
+//! ER data-model substrate: entities, relations, schemas, ER datasets, and
+//! similarity-vector computation.
+//!
+//! An ER dataset (paper Section II-A) is `E = (A, B, M, N)`: two relations
+//! plus the matching pair set `M`; `N` is every other pair of `A x B`. This
+//! crate provides:
+//!
+//! * typed attribute [`Value`]s and per-column [`ColumnType`]s / [`Schema`]s,
+//! * [`Relation`]s (bags of [`Entity`] rows sharing a schema),
+//! * [`ErDataset`] with labeled matching pairs and similarity-vector
+//!   computation (`X+` / `X-`, paper Section II-B),
+//! * candidate generation with q-gram [`blocking`] so that `X-` extraction on
+//!   Walmart-Amazon-scale tables does not enumerate the full cross product,
+//! * hand-rolled [`csv`] import/export (quotes, commas, newlines).
+
+pub mod blocking;
+pub mod csv;
+mod dataset;
+mod entity;
+pub mod profile;
+mod schema;
+mod value;
+
+pub use dataset::{pair_similarity, ErDataset, PairLabel, SimilarityVectors};
+pub use entity::{Entity, Relation};
+pub use schema::{Column, ColumnType, Schema};
+pub use value::Value;
+
+/// Errors surfaced by the data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// A row's arity does not match its schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value's type does not match its column's declared type.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Declared column type.
+        expected: ColumnType,
+    },
+    /// Schemas of the two relations of a dataset are not aligned.
+    SchemaMismatch,
+    /// A pair index is out of bounds for its relation.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Relation size.
+        len: usize,
+    },
+    /// CSV parse failure.
+    Csv(String),
+}
+
+impl std::fmt::Display for ErError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            ErError::TypeMismatch { column, expected } => {
+                write!(f, "value for column {column} is not of type {expected:?}")
+            }
+            ErError::SchemaMismatch => write!(f, "relation schemas are not aligned"),
+            ErError::IndexOutOfBounds { index, len } => {
+                write!(f, "entity index {index} out of bounds for relation of size {len}")
+            }
+            ErError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ErError>;

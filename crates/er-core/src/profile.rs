@@ -1,0 +1,188 @@
+//! Per-column data profiling: the summary statistics a practitioner checks
+//! before (and after) synthesis — and that `E_syn` should roughly preserve
+//! for the *indistinguishable entities* desideratum to be plausible.
+
+use crate::{ColumnType, Relation};
+use std::collections::HashSet;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ctype: ColumnType,
+    /// Number of non-null values.
+    pub non_null: usize,
+    /// Fraction of null values.
+    pub null_rate: f64,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Numeric mean (numeric/date columns; string lengths otherwise).
+    pub mean: f64,
+    /// Numeric min (as above).
+    pub min: f64,
+    /// Numeric max (as above).
+    pub max: f64,
+    /// Mean token count (string columns; 0 otherwise).
+    pub mean_tokens: f64,
+}
+
+/// Profiles every column of a relation.
+pub fn profile(relation: &Relation) -> Vec<ColumnProfile> {
+    let n = relation.len().max(1);
+    relation
+        .schema()
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, col)| {
+            let mut non_null = 0usize;
+            let mut distinct: HashSet<String> = HashSet::new();
+            let mut sum = 0.0f64;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut token_sum = 0.0f64;
+            for e in relation.entities() {
+                let v = e.value(i);
+                if v.is_null() {
+                    continue;
+                }
+                non_null += 1;
+                match v.as_f64() {
+                    Some(x) => {
+                        sum += x;
+                        min = min.min(x);
+                        max = max.max(x);
+                        distinct.insert(v.render());
+                    }
+                    None => {
+                        let s = v.as_str().unwrap_or("");
+                        let len = s.chars().count() as f64;
+                        sum += len;
+                        min = min.min(len);
+                        max = max.max(len);
+                        token_sum += s.split_whitespace().count() as f64;
+                        distinct.insert(s.to_string());
+                    }
+                }
+            }
+            let denom = non_null.max(1) as f64;
+            ColumnProfile {
+                name: col.name.clone(),
+                ctype: col.ctype,
+                non_null,
+                null_rate: (relation.len() - non_null) as f64 / n as f64,
+                distinct: distinct.len(),
+                mean: sum / denom,
+                min: if min.is_finite() { min } else { 0.0 },
+                max: if max.is_finite() { max } else { 0.0 },
+                mean_tokens: token_sum / denom,
+            }
+        })
+        .collect()
+}
+
+/// Renders profiles as an aligned text table (for CLI / reports).
+pub fn render_table(profiles: &[ColumnProfile]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<12} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10} {:>8}",
+        "column", "type", "nonnull", "null%", "distinct", "mean", "min", "max", "tokens"
+    );
+    for p in profiles {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<12} {:>8} {:>6.1}% {:>9} {:>10.2} {:>10.2} {:>10.2} {:>8.2}",
+            p.name,
+            format!("{:?}", p.ctype),
+            p.non_null,
+            100.0 * p.null_rate,
+            p.distinct,
+            p.mean,
+            p.min,
+            p.max,
+            p.mean_tokens,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Column, Schema, Value};
+
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![
+            Column::text("title"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+        ]);
+        let mut r = Relation::new("papers", schema);
+        r.push(vec![
+            Value::Text("adaptive query processing".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(1999.0),
+        ])
+        .unwrap();
+        r.push(vec![
+            Value::Text("temporal data".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(2001.0),
+        ])
+        .unwrap();
+        r.push(vec![Value::Null, Value::Categorical("SIGMOD".into()), Value::Null])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let p = &profile(&relation())[2];
+        assert_eq!(p.non_null, 2);
+        assert!((p.null_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.mean, 2000.0);
+        assert_eq!(p.min, 1999.0);
+        assert_eq!(p.max, 2001.0);
+        assert_eq!(p.distinct, 2);
+    }
+
+    #[test]
+    fn text_stats_use_lengths_and_tokens() {
+        let p = &profile(&relation())[0];
+        assert_eq!(p.non_null, 2);
+        // lengths 25 and 13 -> mean 19
+        assert_eq!(p.mean, 19.0);
+        assert_eq!(p.min, 13.0);
+        assert_eq!(p.max, 25.0);
+        // token counts 3 and 2 -> mean 2.5
+        assert!((p.mean_tokens - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_distinct_counts() {
+        let p = &profile(&relation())[1];
+        assert_eq!(p.distinct, 2);
+        assert_eq!(p.null_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_relation_profiles_cleanly() {
+        let schema = Schema::new(vec![Column::numeric("x", 1.0)]);
+        let r = Relation::new("empty", schema);
+        let p = profile(&r);
+        assert_eq!(p[0].non_null, 0);
+        assert_eq!(p[0].min, 0.0);
+        assert!(p[0].mean.is_finite());
+    }
+
+    #[test]
+    fn render_produces_one_line_per_column_plus_header() {
+        let text = render_table(&profile(&relation()));
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("title"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed attribute values.
+
+/// An attribute value of an entity.
+///
+/// The four variants mirror the paper's column taxonomy (Section IV-B1):
+/// numeric, categorical, date, and string/text. Dates are stored as days
+/// since the Unix epoch so date similarity can reuse the numeric min–max
+/// formula. `Null` represents a missing value (real ER datasets such as
+/// Walmart-Amazon have plenty).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A numeric value (`year`, `price`, ...).
+    Numeric(f64),
+    /// A categorical value drawn from a finite domain (`venue`, `brand`, ...).
+    Categorical(String),
+    /// Free text (`title`, `authors`, `description`, ...).
+    Text(String),
+    /// A date, as days since the Unix epoch.
+    Date(i64),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// The value as an `f64` if it is numeric-like (`Numeric` or `Date`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Numeric(v) => Some(v),
+            Value::Date(d) => Some(d as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is string-like
+    /// (`Categorical` or `Text`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Categorical(s) | Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Renders the value for CSV export / display.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Numeric(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            Value::Categorical(s) | Value::Text(s) => s.clone(),
+            Value::Date(d) => format!("{d}"),
+            Value::Null => String::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_variants() {
+        assert_eq!(Value::Numeric(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Date(10).as_f64(), Some(10.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn as_str_variants() {
+        assert_eq!(Value::Categorical("vldb".into()).as_str(), Some("vldb"));
+        assert_eq!(Value::Text("title".into()).as_str(), Some("title"));
+        assert_eq!(Value::Numeric(1.0).as_str(), None);
+    }
+
+    #[test]
+    fn render_integers_without_fraction() {
+        assert_eq!(Value::Numeric(1999.0).render(), "1999");
+        assert_eq!(Value::Numeric(19.99).render(), "19.99");
+        assert_eq!(Value::Null.render(), "");
+    }
+}

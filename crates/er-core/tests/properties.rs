@@ -1,0 +1,134 @@
+//! Property-based tests for the ER data model.
+
+use er_core::{csv, Column, ErDataset, Relation, Schema, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn field() -> impl Strategy<Value = String> {
+    // Includes CSV-hostile characters.
+    "[a-zA-Z0-9 ,\"\n']{0,24}"
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::text("title"),
+        Column::categorical("venue"),
+        Column::numeric("year", 10.0),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn csv_parse_write_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(field(), 3), 1..8)) {
+        let text = csv::write(&rows);
+        let parsed = csv::parse(&text).unwrap();
+        prop_assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn relation_csv_roundtrip(
+        titles in prop::collection::vec("[a-zA-Z0-9 ,\"\n']{1,24}", 1..8),
+        years in prop::collection::vec(1990.0f64..2020.0, 8),
+    ) {
+        let mut r = Relation::new("papers", schema());
+        for (i, t) in titles.iter().enumerate() {
+            r.push(vec![
+                Value::Text(t.clone()),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(years[i].round()),
+            ]).unwrap();
+        }
+        let text = csv::relation_to_csv(&r);
+        let back = csv::relation_from_csv("papers", schema(), &text).unwrap();
+        prop_assert_eq!(back.len(), r.len());
+        for (i, e) in back.iter() {
+            prop_assert_eq!(e.values(), r.entity(i).values());
+        }
+    }
+
+    #[test]
+    fn similarity_vectors_always_unit_bounded(
+        titles_a in prop::collection::vec("[a-z ]{1,20}", 2..6),
+        titles_b in prop::collection::vec("[a-z ]{1,20}", 2..6),
+        seed in any::<u64>(),
+    ) {
+        let mut a = Relation::new("A", schema());
+        let mut b = Relation::new("B", schema());
+        for t in &titles_a {
+            a.push(vec![
+                Value::Text(t.clone()),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(2000.0),
+            ]).unwrap();
+        }
+        for t in &titles_b {
+            b.push(vec![
+                Value::Text(t.clone()),
+                Value::Categorical("SIGMOD".into()),
+                Value::Numeric(2005.0),
+            ]).unwrap();
+        }
+        let er = ErDataset::new(a, b, vec![(0, 0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sv = er.similarity_vectors(20, &mut rng);
+        for v in sv.pos.iter().chain(&sv.neg) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn nonmatch_samples_never_contain_matches(
+        n_a in 3usize..8,
+        n_b in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut a = Relation::new("A", schema());
+        let mut b = Relation::new("B", schema());
+        for i in 0..n_a {
+            a.push(vec![
+                Value::Text(format!("paper number {i}")),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(2000.0 + i as f64),
+            ]).unwrap();
+        }
+        for j in 0..n_b {
+            b.push(vec![
+                Value::Text(format!("paper number {j}")),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(2000.0 + j as f64),
+            ]).unwrap();
+        }
+        let matches: Vec<(usize, usize)> = (0..n_a.min(n_b)).map(|i| (i, i)).collect();
+        let er = ErDataset::new(a, b, matches.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for pair in er.sample_nonmatch_pairs(30, &mut rng) {
+            prop_assert!(!matches.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn pair_similarity_symmetric_in_entities(
+        t1 in "[a-z ]{1,20}",
+        t2 in "[a-z ]{1,20}",
+        y1 in 1990.0f64..2020.0,
+        y2 in 1990.0f64..2020.0,
+    ) {
+        let s = schema();
+        let e1 = er_core::Entity::new(vec![
+            Value::Text(t1),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(y1),
+        ]);
+        let e2 = er_core::Entity::new(vec![
+            Value::Text(t2),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(y2),
+        ]);
+        let v12 = er_core::pair_similarity(&s, &e1, &e2);
+        let v21 = er_core::pair_similarity(&s, &e2, &e1);
+        prop_assert_eq!(v12, v21);
+    }
+}

@@ -1,0 +1,365 @@
+//! Exp-1's user study with a simulated crowd.
+//!
+//! The paper employs 288 Appen workers; we simulate annotators
+//! (DESIGN.md §3.2). Two question types:
+//!
+//! * **S1 — "is this entity real?"** Each worker scores the entity's text
+//!   plausibility under a character-trigram language model fitted to the
+//!   domain corpus, perturbs it with personal noise, and answers
+//!   `agree` / `neutral` / `disagree`. 5 workers, majority vote.
+//! * **S2 — "is this pair matching?"** Each worker perceives the pair's mean
+//!   attribute similarity with noise and thresholds it. 3 workers, majority
+//!   vote.
+
+use er_core::{Entity, ErDataset, Schema};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The three S1 answer options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Realness {
+    /// The entity looks real.
+    Agree,
+    /// Unsure.
+    Neutral,
+    /// The entity looks fake.
+    Disagree,
+}
+
+/// Aggregated S1 proportions (paper Figure 5(a)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct S1Result {
+    /// Fraction answered Agree.
+    pub agree: f64,
+    /// Fraction answered Neutral.
+    pub neutral: f64,
+    /// Fraction answered Disagree.
+    pub disagree: f64,
+}
+
+/// Aggregated S2 confusion proportions (paper Figure 5(b)): rows are the
+/// synthesized label, columns the crowd label.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct S2Result {
+    /// Synthesized-matching pairs labeled matching by the crowd.
+    pub match_as_match: f64,
+    /// Synthesized-matching pairs labeled non-matching.
+    pub match_as_nonmatch: f64,
+    /// Synthesized-non-matching pairs labeled matching.
+    pub nonmatch_as_match: f64,
+    /// Synthesized-non-matching pairs labeled non-matching.
+    pub nonmatch_as_nonmatch: f64,
+}
+
+/// A character-trigram language model for plausibility scoring.
+#[derive(Debug, Clone)]
+pub struct CharTrigramLm {
+    counts: HashMap<(char, char, char), usize>,
+    bigrams: HashMap<(char, char), usize>,
+    vocab: usize,
+}
+
+/// Digits are interchangeable to a human reader ("620 lake shore" is no less
+/// real than "4382 lake shore"), so the LM maps them all to `'0'`.
+fn normalize(s: &str) -> String {
+    s.to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_digit() { '0' } else { c })
+        .collect()
+}
+
+impl CharTrigramLm {
+    /// Fits trigram counts on a corpus.
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut counts = HashMap::new();
+        let mut bigrams = HashMap::new();
+        let mut chars_seen = std::collections::HashSet::new();
+        for s in corpus {
+            let cs: Vec<char> = format!("^{}$", normalize(s)).chars().collect();
+            for c in &cs {
+                chars_seen.insert(*c);
+            }
+            for w in cs.windows(3) {
+                *counts.entry((w[0], w[1], w[2])).or_insert(0) += 1;
+                *bigrams.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+        }
+        CharTrigramLm {
+            counts,
+            bigrams,
+            vocab: chars_seen.len().max(1),
+        }
+    }
+
+    /// Mean log-probability per character (add-one smoothed). Higher is more
+    /// plausible; empty strings score the floor.
+    pub fn score(&self, s: &str) -> f64 {
+        let cs: Vec<char> = format!("^{}$", normalize(s)).chars().collect();
+        if cs.len() < 3 {
+            return -10.0;
+        }
+        let mut total = 0.0;
+        let mut n = 0;
+        for w in cs.windows(3) {
+            let c3 = self.counts.get(&(w[0], w[1], w[2])).copied().unwrap_or(0);
+            let c2 = self.bigrams.get(&(w[0], w[1])).copied().unwrap_or(0);
+            total += ((c3 + 1) as f64 / (c2 + self.vocab) as f64).ln();
+            n += 1;
+        }
+        total / n as f64
+    }
+}
+
+/// The simulated crowd.
+pub struct Crowd {
+    lm: CharTrigramLm,
+    /// Plausibility score below which a clean-headed worker says Disagree.
+    lo: f64,
+    /// Plausibility score above which a clean-headed worker says Agree.
+    hi: f64,
+    /// Std-dev of per-worker perception noise.
+    pub noise: f64,
+}
+
+/// The string a worker "reads" for an entity: its string-like values joined.
+pub fn entity_text(schema: &Schema, e: &Entity) -> String {
+    schema
+        .columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, _)| e.value(i).as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl Crowd {
+    /// Calibrates a crowd on a reference dataset: the LM and thresholds come
+    /// from the reference entities' own concatenated text, so in-domain
+    /// entities overwhelmingly read as real.
+    pub fn calibrate_on(er: &ErDataset) -> Self {
+        Crowd::calibrate_domain(er, &[])
+    }
+
+    /// Calibrates a crowd on a dataset **plus** background corpora. A human
+    /// annotator's sense of "looks real" covers the whole domain, not just
+    /// the strings of one dataset — and SERD's synthesized text deliberately
+    /// draws from background vocabulary disjoint from the active domain, so
+    /// judging it requires domain-wide calibration.
+    pub fn calibrate_domain(er: &ErDataset, background: &[Vec<String>]) -> Self {
+        let schema = er.a().schema();
+        let mut corpus: Vec<String> = er
+            .a()
+            .entities()
+            .iter()
+            .chain(er.b().entities())
+            .map(|e| entity_text(schema, e))
+            .collect();
+        for col in background {
+            corpus.extend(col.iter().cloned());
+        }
+        Crowd::calibrate(corpus.iter().map(String::as_str))
+    }
+
+    /// Builds a crowd calibrated on the domain corpus. Thresholds are
+    /// Tukey-style outlier fences on the corpus' own plausibility scores:
+    /// a string reads as *real* unless it falls more than `1.5 × IQR` below
+    /// the lower quartile (Neutral) or more than `3 × IQR` below (Disagree).
+    /// This mirrors how a human flags text: anything within the domain's
+    /// normal variability passes; only clear outliers look fake.
+    pub fn calibrate<'a>(corpus: impl IntoIterator<Item = &'a str> + Clone) -> Self {
+        let lm = CharTrigramLm::fit(corpus.clone());
+        let mut scores: Vec<f64> = corpus.into_iter().map(|s| lm.score(s)).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| {
+            if scores.is_empty() {
+                -5.0
+            } else {
+                scores[((scores.len() - 1) as f64 * q) as usize]
+            }
+        };
+        let q1 = pick(0.25);
+        let q3 = pick(0.75);
+        let iqr = (q3 - q1).max(0.05);
+        Crowd {
+            lm,
+            lo: q1 - 3.0 * iqr,
+            hi: q1 - 1.5 * iqr,
+            noise: 0.15,
+        }
+    }
+
+    /// One worker's S1 answer for an entity (text columns concatenated).
+    pub fn judge_realness<R: Rng>(&self, schema: &Schema, e: &Entity, rng: &mut R) -> Realness {
+        let perceived = self.lm.score(&entity_text(schema, e)) + self.noise * standard_normal(rng);
+        if perceived >= self.hi {
+            Realness::Agree
+        } else if perceived >= self.lo {
+            Realness::Neutral
+        } else {
+            Realness::Disagree
+        }
+    }
+
+    /// One worker's S2 answer for a pair: perceived mean similarity with
+    /// noise, thresholded at 0.5.
+    pub fn judge_matching<R: Rng>(&self, er: &ErDataset, i: usize, j: usize, rng: &mut R) -> bool {
+        let v = er.similarity_vector(i, j);
+        let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        mean + 0.08 * standard_normal(rng) > 0.5
+    }
+
+    /// Runs user study S1: `workers` votes per entity, majority aggregated
+    /// (paper: 5 workers, majority voting).
+    pub fn user_study_s1<R: Rng>(
+        &self,
+        er: &ErDataset,
+        sample: usize,
+        workers: usize,
+        rng: &mut R,
+    ) -> S1Result {
+        let schema = er.a().schema();
+        let total_entities = er.a().len() + er.b().len();
+        let n = sample.min(total_entities).max(1);
+        let mut tally = (0usize, 0usize, 0usize);
+        for _ in 0..n {
+            let idx = rng.gen_range(0..total_entities);
+            let e = if idx < er.a().len() {
+                er.a().entity(idx)
+            } else {
+                er.b().entity(idx - er.a().len())
+            };
+            let mut votes = (0usize, 0usize, 0usize);
+            for _ in 0..workers.max(1) {
+                match self.judge_realness(schema, e, rng) {
+                    Realness::Agree => votes.0 += 1,
+                    Realness::Neutral => votes.1 += 1,
+                    Realness::Disagree => votes.2 += 1,
+                }
+            }
+            if votes.0 >= votes.1 && votes.0 >= votes.2 {
+                tally.0 += 1;
+            } else if votes.1 >= votes.2 {
+                tally.1 += 1;
+            } else {
+                tally.2 += 1;
+            }
+        }
+        S1Result {
+            agree: tally.0 as f64 / n as f64,
+            neutral: tally.1 as f64 / n as f64,
+            disagree: tally.2 as f64 / n as f64,
+        }
+    }
+
+    /// Runs user study S2: samples `n_match` matching and `n_nonmatch`
+    /// non-matching synthesized pairs, 3-worker majority each (paper setup).
+    pub fn user_study_s2<R: Rng>(
+        &self,
+        er: &ErDataset,
+        n_match: usize,
+        n_nonmatch: usize,
+        workers: usize,
+        rng: &mut R,
+    ) -> S2Result {
+        let matches: Vec<(usize, usize)> = er.matches().iter().copied().collect();
+        let mut result = S2Result::default();
+        if matches.is_empty() {
+            return result;
+        }
+        let majority = |er: &ErDataset, i, j, rng: &mut R| {
+            let yes = (0..workers.max(1))
+                .filter(|_| self.judge_matching(er, i, j, rng))
+                .count();
+            2 * yes > workers
+        };
+        let nm = n_match.max(1);
+        let mut as_match = 0;
+        for _ in 0..nm {
+            let &(i, j) = &matches[rng.gen_range(0..matches.len())];
+            if majority(er, i, j, rng) {
+                as_match += 1;
+            }
+        }
+        result.match_as_match = as_match as f64 / nm as f64;
+        result.match_as_nonmatch = 1.0 - result.match_as_match;
+
+        let negs = er.sample_nonmatch_pairs(n_nonmatch.max(1), rng);
+        let mut neg_as_match = 0;
+        for &(i, j) in &negs {
+            if majority(er, i, j, rng) {
+                neg_as_match += 1;
+            }
+        }
+        result.nonmatch_as_match = neg_as_match as f64 / negs.len().max(1) as f64;
+        result.nonmatch_as_nonmatch = 1.0 - result.nonmatch_as_match;
+        result
+    }
+}
+
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate, DatasetKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trigram_lm_prefers_in_domain_strings() {
+        let corpus = [
+            "golden dragon palace restaurant",
+            "silver lotus kitchen",
+            "blue harbor bistro",
+            "happy garden cafe",
+        ];
+        let lm = CharTrigramLm::fit(corpus);
+        let plausible = lm.score("golden lotus cafe");
+        let garbage = lm.score("xq zzvk wjq");
+        assert!(plausible > garbage, "{plausible} vs {garbage}");
+    }
+
+    #[test]
+    fn s1_on_real_entities_is_mostly_agree() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sim = generate(DatasetKind::Restaurant, 0.1, &mut rng);
+        let crowd = Crowd::calibrate_on(&sim.er);
+        let s1 = crowd.user_study_s1(&sim.er, 200, 5, &mut rng);
+        assert!(s1.agree > 0.6, "agree {}", s1.agree);
+        let total = s1.agree + s1.neutral + s1.disagree;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s2_separates_match_and_nonmatch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sim = generate(DatasetKind::DblpAcm, 0.05, &mut rng);
+        let corpus: Vec<&str> = sim.active_strings(0);
+        let crowd = Crowd::calibrate(corpus.iter().copied());
+        let s2 = crowd.user_study_s2(&sim.er, 100, 100, 3, &mut rng);
+        assert!(
+            s2.match_as_match > 0.8,
+            "match recognized {}",
+            s2.match_as_match
+        );
+        assert!(
+            s2.nonmatch_as_nonmatch > 0.8,
+            "nonmatch recognized {}",
+            s2.nonmatch_as_nonmatch
+        );
+    }
+
+    #[test]
+    fn empty_match_set_handled() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let er = er_core::ErDataset::new(sim.er.a().clone(), sim.er.b().clone(), vec![]).unwrap();
+        let crowd = Crowd::calibrate(["abc"].into_iter());
+        let s2 = crowd.user_study_s2(&er, 10, 10, 3, &mut rng);
+        assert_eq!(s2.match_as_match, 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness: everything Section VII of the paper measures.
+//!
+//! * [`metrics`] — precision / recall / F1 and confusion counts.
+//! * [`experiment`] — Exp-2 ("model evaluation": train matchers on real vs
+//!   synthesized data, test on the same real test set) and Exp-3 ("data
+//!   evaluation": one matcher tested on `T_real` vs `T_syn`).
+//! * [`privacy`] — Exp-4's Hitting Rate and Distance-to-Closest-Record.
+//! * [`crowd`] — Exp-1's user study, with a simulated crowd standing in for
+//!   the paper's Appen workers (DESIGN.md §3.2): majority voting over noisy
+//!   annotators whose answers are driven by pair similarity (S2) and by a
+//!   character-trigram plausibility model (S1).
+
+pub mod crowd;
+pub mod experiment;
+pub mod metrics;
+pub mod privacy;

@@ -1,0 +1,238 @@
+//! Precision / recall / F1 (paper Exp-2 "Metrics").
+
+/// Confusion counts for binary match prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Actually matching, predicted matching.
+    pub tp: usize,
+    /// Actually non-matching, predicted matching.
+    pub fp: usize,
+    /// Actually non-matching, predicted non-matching.
+    pub tn: usize,
+    /// Actually matching, predicted non-matching.
+    pub fn_: usize,
+}
+
+/// Precision, recall, and F1 of a prediction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// `TP / (TP + FP)`.
+    pub precision: f64,
+    /// `TP / (TP + FN)`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Tallies confusion counts from aligned prediction/label slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn confusion(predictions: &[bool], labels: &[bool]) -> Confusion {
+    assert_eq!(predictions.len(), labels.len(), "aligned slices required");
+    let mut c = Confusion::default();
+    for (&p, &y) in predictions.iter().zip(labels) {
+        match (y, p) {
+            (true, true) => c.tp += 1,
+            (false, true) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (true, false) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+impl Confusion {
+    /// Derives precision/recall/F1 (zero when undefined).
+    pub fn metrics(&self) -> Metrics {
+        let precision = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+impl Metrics {
+    /// Component-wise absolute difference (the quantity the paper reports:
+    /// "F1 differences within 6%").
+    pub fn abs_diff(&self, other: &Metrics) -> Metrics {
+        Metrics {
+            precision: (self.precision - other.precision).abs(),
+            recall: (self.recall - other.recall).abs(),
+            f1: (self.f1 - other.f1).abs(),
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F1={:.3}",
+            self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// Area under the ROC curve for scored predictions, computed by the
+/// rank-sum (Mann–Whitney U) formulation with midrank tie handling.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "aligned slices required");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score; assign midranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Precision/recall pairs at every distinct score threshold, sorted by
+/// descending threshold — the data behind a PR curve.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, Metrics)> {
+    assert_eq!(scores.len(), labels.len());
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    thresholds
+        .into_iter()
+        .map(|t| {
+            let preds: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
+            (t, confusion(&preds, labels).metrics())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let c = confusion(&[true, false, true], &[true, false, true]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn known_counts() {
+        // 2 TP, 1 FP, 1 FN, 1 TN.
+        let pred = [true, true, true, false, false];
+        let actual = [true, true, false, true, false];
+        let c = confusion(&pred, &actual);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        let m = c.metrics();
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = confusion(&[false, false], &[false, false]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        let inverted = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &inverted), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied: midranks make AUC exactly 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // One inversion among 2x2: AUC = 3/4.
+        let scores = [0.9, 0.3, 0.5, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let scores = [0.9, 0.7, 0.5, 0.3];
+        let labels = [true, false, true, false];
+        let curve = pr_curve(&scores, &labels);
+        assert_eq!(curve.len(), 4);
+        // Recall is non-decreasing as the threshold drops.
+        for w in curve.windows(2) {
+            assert!(w[1].1.recall >= w[0].1.recall);
+        }
+        // The loosest threshold captures all positives.
+        assert_eq!(curve.last().unwrap().1.recall, 1.0);
+    }
+
+    #[test]
+    fn abs_diff() {
+        let a = Metrics { precision: 0.9, recall: 0.8, f1: 0.85 };
+        let b = Metrics { precision: 0.85, recall: 0.9, f1: 0.87 };
+        let d = a.abs_diff(&b);
+        assert!((d.precision - 0.05).abs() < 1e-12);
+        assert!((d.recall - 0.1).abs() < 1e-12);
+        assert!((d.f1 - 0.02).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Exp-4 privacy metrics: Hitting Rate and Distance-to-Closest-Record.
+
+use er_core::{ColumnType, Entity, ErDataset, Relation};
+
+/// Whether two entities are *similar* in the paper's Exp-4 sense: all
+/// categorical values equal, and every numeric/date/text similarity above
+/// `threshold` (paper sets 0.9).
+pub fn entities_similar(
+    schema: &er_core::Schema,
+    a: &Entity,
+    b: &Entity,
+    threshold: f64,
+) -> bool {
+    schema.columns().iter().enumerate().all(|(i, col)| {
+        let sim = col.similarity(a.value(i), b.value(i));
+        match col.ctype {
+            ColumnType::Categorical => sim >= 1.0,
+            _ => sim > threshold,
+        }
+    })
+}
+
+/// Mean per-column similarity of two entities (used by DCR: distance is one
+/// minus this).
+pub fn entity_similarity(schema: &er_core::Schema, a: &Entity, b: &Entity) -> f64 {
+    let l = schema.len().max(1);
+    schema
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, col)| col.similarity(a.value(i), b.value(i)))
+        .sum::<f64>()
+        / l as f64
+}
+
+fn iter_rel(r: &Relation) -> impl Iterator<Item = (&er_core::Schema, &Entity)> {
+    let schema = r.schema();
+    r.entities().iter().map(move |e| (schema, e))
+}
+
+fn all_entities(er: &ErDataset) -> impl Iterator<Item = (&er_core::Schema, &Entity)> {
+    iter_rel(er.a()).chain(iter_rel(er.b()))
+}
+
+/// **Hitting Rate** (paper Exp-4): for each synthesized entity, the
+/// proportion of real entities *similar* to it; averaged over all
+/// synthesized entities. Returned as a percentage (the paper's Table III
+/// unit).
+pub fn hitting_rate(real: &ErDataset, synthesized: &ErDataset, threshold: f64) -> f64 {
+    let real_entities: Vec<(&er_core::Schema, &Entity)> = all_entities(real).collect();
+    if real_entities.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n_syn = 0usize;
+    for (schema, syn) in all_entities(synthesized) {
+        let hits = real_entities
+            .iter()
+            .filter(|(_, r)| entities_similar(schema, syn, r, threshold))
+            .count();
+        total += hits as f64 / real_entities.len() as f64;
+        n_syn += 1;
+    }
+    if n_syn == 0 {
+        0.0
+    } else {
+        100.0 * total / n_syn as f64
+    }
+}
+
+/// **Distance to the Closest Record** (paper Exp-4): for each real entity,
+/// `1 - max_syn similarity(real, syn)`; averaged over all real entities.
+/// Higher means better privacy.
+pub fn dcr(real: &ErDataset, synthesized: &ErDataset) -> f64 {
+    let syn_entities: Vec<(&er_core::Schema, &Entity)> = all_entities(synthesized).collect();
+    if syn_entities.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (schema, r) in all_entities(real) {
+        let closest = syn_entities
+            .iter()
+            .map(|(_, s)| entity_similarity(schema, r, s))
+            .fold(0.0f64, f64::max);
+        total += 1.0 - closest;
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Column, Schema, Value};
+
+    fn dataset(names: &[(&str, &str, f64)]) -> ErDataset {
+        let schema = Schema::new(vec![
+            Column::text("name"),
+            Column::categorical("city"),
+            Column::numeric("year", 10.0),
+        ]);
+        let mut a = Relation::new("A", schema.clone());
+        let mut b = Relation::new("B", schema);
+        for (n, c, y) in names {
+            a.push(vec![
+                Value::Text((*n).to_string()),
+                Value::Categorical((*c).to_string()),
+                Value::Numeric(*y),
+            ])
+            .unwrap();
+            b.push(vec![
+                Value::Text((*n).to_string()),
+                Value::Categorical((*c).to_string()),
+                Value::Numeric(*y),
+            ])
+            .unwrap();
+        }
+        ErDataset::new(a, b, vec![(0, 0)]).unwrap()
+    }
+
+    #[test]
+    fn identical_datasets_have_full_hit_and_zero_dcr() {
+        let d = dataset(&[("golden dragon palace", "ny", 2000.0)]);
+        assert!(hitting_rate(&d, &d, 0.9) > 49.0); // each syn hits 1 of 2 real
+        assert!(dcr(&d, &d) < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_datasets_have_zero_hits_high_dcr() {
+        let real = dataset(&[("golden dragon palace", "ny", 2000.0)]);
+        let syn = dataset(&[("completely unrelated eatery", "sf", 1995.0)]);
+        assert_eq!(hitting_rate(&real, &syn, 0.9), 0.0);
+        assert!(dcr(&real, &syn) > 0.3);
+    }
+
+    #[test]
+    fn categorical_mismatch_blocks_similarity() {
+        let schema = Schema::new(vec![Column::text("name"), Column::categorical("city")]);
+        let a = Entity::new(vec![
+            Value::Text("golden dragon".into()),
+            Value::Categorical("ny".into()),
+        ]);
+        let b = Entity::new(vec![
+            Value::Text("golden dragon".into()),
+            Value::Categorical("sf".into()),
+        ]);
+        assert!(!entities_similar(&schema, &a, &b, 0.9));
+        let c = Entity::new(vec![
+            Value::Text("golden dragon".into()),
+            Value::Categorical("ny".into()),
+        ]);
+        assert!(entities_similar(&schema, &a, &c, 0.9));
+    }
+
+    #[test]
+    fn dcr_monotone_in_closeness() {
+        let real = dataset(&[("golden dragon palace restaurant", "ny", 2000.0)]);
+        let close = dataset(&[("golden dragon palace diner", "ny", 2001.0)]);
+        let far = dataset(&[("xqz vvv", "sf", 1990.0)]);
+        assert!(dcr(&real, &close) < dcr(&real, &far));
+    }
+}

@@ -1,0 +1,340 @@
+//! Fixed-width numeric encodings of entities.
+
+use er_core::{ColumnType, Entity, Relation, Value};
+use similarity::tokenize;
+
+/// Number of hashed character-trigram buckets in a text-column encoding.
+const TEXT_HASH_BUCKETS: usize = 8;
+/// Extra scalar text features: normalized length, normalized token count.
+const TEXT_EXTRA: usize = 2;
+/// Cap on one-hot width for a categorical column.
+const MAX_CATEGORIES: usize = 32;
+
+/// How one column is encoded.
+#[derive(Debug, Clone)]
+pub enum ColumnEncoding {
+    /// Min–max scaled scalar: `(v - min) / (max - min)`.
+    Numeric {
+        /// Column minimum.
+        min: f64,
+        /// Column maximum.
+        max: f64,
+        /// Whether the column is a `Date` (decoded back to `Value::Date`).
+        date: bool,
+    },
+    /// One-hot over the (capped) categorical domain.
+    Categorical {
+        /// Domain values, in encoding order.
+        domain: Vec<String>,
+    },
+    /// Shallow text features: normalized length, token count, and hashed
+    /// trigram histogram.
+    Text {
+        /// 95th-percentile-ish length used for normalization.
+        norm_len: f64,
+    },
+}
+
+impl ColumnEncoding {
+    /// Width of this column's encoding.
+    pub fn width(&self) -> usize {
+        match self {
+            ColumnEncoding::Numeric { .. } => 1,
+            ColumnEncoding::Categorical { domain } => domain.len().max(1),
+            ColumnEncoding::Text { .. } => TEXT_HASH_BUCKETS + TEXT_EXTRA,
+        }
+    }
+}
+
+/// Encodes entities of one schema into fixed-width `f32` vectors in `[0,1]`.
+#[derive(Debug, Clone)]
+pub struct EntityEncoder {
+    columns: Vec<ColumnEncoding>,
+}
+
+impl EntityEncoder {
+    /// Fits an encoder to a relation: numeric ranges, categorical domains,
+    /// and text length scales are read from the data.
+    pub fn fit(relation: &Relation) -> Self {
+        let min_max = relation.min_max();
+        let columns = relation
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match col.ctype {
+                ColumnType::Numeric | ColumnType::Date => ColumnEncoding::Numeric {
+                    min: min_max[i].0,
+                    max: min_max[i].1,
+                    date: col.ctype == ColumnType::Date,
+                },
+                ColumnType::Categorical => {
+                    let mut domain = relation.categorical_domain(i);
+                    domain.truncate(MAX_CATEGORIES);
+                    ColumnEncoding::Categorical { domain }
+                }
+                ColumnType::Text => {
+                    let max_len = relation
+                        .entities()
+                        .iter()
+                        .filter_map(|e| e.value(i).as_str())
+                        .map(str::len)
+                        .max()
+                        .unwrap_or(32);
+                    ColumnEncoding::Text {
+                        norm_len: max_len.max(1) as f64,
+                    }
+                }
+            })
+            .collect();
+        EntityEncoder { columns }
+    }
+
+    /// Per-column encodings.
+    pub fn columns(&self) -> &[ColumnEncoding] {
+        &self.columns
+    }
+
+    /// Total encoding width.
+    pub fn width(&self) -> usize {
+        self.columns.iter().map(ColumnEncoding::width).sum()
+    }
+
+    /// Encodes one entity.
+    pub fn encode(&self, e: &Entity) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.width());
+        for (i, enc) in self.columns.iter().enumerate() {
+            match enc {
+                ColumnEncoding::Numeric { min, max, .. } => {
+                    let v = e.value(i).as_f64().unwrap_or(*min);
+                    let range = (max - min).max(1e-12);
+                    out.push((((v - min) / range).clamp(0.0, 1.0)) as f32);
+                }
+                ColumnEncoding::Categorical { domain } => {
+                    let s = e.value(i).as_str().unwrap_or("");
+                    for d in domain {
+                        out.push(if d == s { 1.0 } else { 0.0 });
+                    }
+                    if domain.is_empty() {
+                        out.push(0.0);
+                    }
+                }
+                ColumnEncoding::Text { norm_len } => {
+                    let s = e.value(i).as_str().unwrap_or("");
+                    out.extend(text_features(s, *norm_len));
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between the *text feature block* of an
+    /// encoding and a candidate string (for nearest-neighbor decoding).
+    pub fn text_block_distance(&self, encoding: &[f32], col: usize, candidate: &str) -> f32 {
+        let (start, enc) = self.block(col);
+        let ColumnEncoding::Text { norm_len } = enc else {
+            return f32::INFINITY;
+        };
+        let feats = text_features(candidate, *norm_len);
+        encoding[start..start + feats.len()]
+            .iter()
+            .zip(&feats)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// `(offset, encoding)` of column `col` within the flat vector.
+    pub fn block(&self, col: usize) -> (usize, &ColumnEncoding) {
+        let mut off = 0;
+        for (i, enc) in self.columns.iter().enumerate() {
+            if i == col {
+                return (off, enc);
+            }
+            off += enc.width();
+        }
+        panic!("column {col} out of range");
+    }
+
+    /// Decodes the numeric/categorical blocks of an encoding into values;
+    /// text columns are decoded by snapping to the nearest `corpus` string.
+    ///
+    /// `corpora[col]` supplies candidate strings for text column `col`
+    /// (background data — never the real active domain).
+    pub fn decode(&self, encoding: &[f32], corpora: &[Vec<String>]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.columns.len());
+        let mut off = 0;
+        for (i, enc) in self.columns.iter().enumerate() {
+            match enc {
+                ColumnEncoding::Numeric { min, max, date } => {
+                    let v = encoding[off] as f64 * (max - min) + min;
+                    out.push(if *date {
+                        Value::Date(v.round() as i64)
+                    } else {
+                        Value::Numeric(v)
+                    });
+                    off += 1;
+                }
+                ColumnEncoding::Categorical { domain } => {
+                    let w = enc.width();
+                    let best = encoding[off..off + w]
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(j, _)| j)
+                        .unwrap_or(0);
+                    out.push(match domain.get(best) {
+                        Some(s) => Value::Categorical(s.clone()),
+                        None => Value::Null,
+                    });
+                    off += w;
+                }
+                ColumnEncoding::Text { .. } => {
+                    let w = enc.width();
+                    let candidates = corpora.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                    let best = candidates
+                        .iter()
+                        .min_by(|a, b| {
+                            let da = self.text_block_distance(encoding, i, a);
+                            let db = self.text_block_distance(encoding, i, b);
+                            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .cloned();
+                    out.push(match best {
+                        Some(s) => Value::Text(s),
+                        None => Value::Text(String::new()),
+                    });
+                    off += w;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Text feature block: normalized length, normalized token count, hashed
+/// character-trigram histogram (L1-normalized).
+fn text_features(s: &str, norm_len: f64) -> Vec<f32> {
+    let mut out = Vec::with_capacity(TEXT_HASH_BUCKETS + TEXT_EXTRA);
+    out.push(((s.chars().count() as f64 / norm_len).min(1.0)) as f32);
+    out.push(((tokenize(s).len() as f64 / 16.0).min(1.0)) as f32);
+    let mut hist = [0f32; TEXT_HASH_BUCKETS];
+    let chars: Vec<char> = s.to_lowercase().chars().collect();
+    let mut total = 0f32;
+    for w in chars.windows(3) {
+        let mut h: u64 = 1469598103934665603;
+        for &c in w {
+            h ^= c as u64;
+            h = h.wrapping_mul(1099511628211);
+        }
+        hist[(h % TEXT_HASH_BUCKETS as u64) as usize] += 1.0;
+        total += 1.0;
+    }
+    if total > 0.0 {
+        for v in &mut hist {
+            *v /= total;
+        }
+    }
+    out.extend_from_slice(&hist);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::{Column, Schema};
+
+    fn relation() -> Relation {
+        let schema = Schema::new(vec![
+            Column::text("title"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+        ]);
+        let mut r = Relation::new("papers", schema);
+        for (t, v, y) in [
+            ("adaptive query processing", "VLDB", 1999.0),
+            ("temporal data management", "SIGMOD", 2001.0),
+            ("frequent pattern mining", "VLDB", 2003.0),
+        ] {
+            r.push(vec![
+                Value::Text(t.into()),
+                Value::Categorical(v.into()),
+                Value::Numeric(y),
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn width_accounts_for_all_columns() {
+        let enc = EntityEncoder::fit(&relation());
+        // text (10) + categorical one-hot (2) + numeric (1)
+        assert_eq!(enc.width(), 10 + 2 + 1);
+    }
+
+    #[test]
+    fn encoding_in_unit_range() {
+        let r = relation();
+        let enc = EntityEncoder::fit(&r);
+        for e in r.entities() {
+            let v = enc.encode(e);
+            assert_eq!(v.len(), enc.width());
+            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn numeric_scaling_endpoints() {
+        let r = relation();
+        let enc = EntityEncoder::fit(&r);
+        let v0 = enc.encode(r.entity(0)); // year 1999 (min)
+        let v2 = enc.encode(r.entity(2)); // year 2003 (max)
+        assert_eq!(v0[enc.width() - 1], 0.0);
+        assert_eq!(v2[enc.width() - 1], 1.0);
+    }
+
+    #[test]
+    fn categorical_one_hot() {
+        let r = relation();
+        let enc = EntityEncoder::fit(&r);
+        let v = enc.encode(r.entity(1)); // SIGMOD
+        let (off, e) = enc.block(1);
+        assert_eq!(e.width(), 2);
+        // Exactly one hot bit in the categorical block.
+        let ones = v[off..off + 2].iter().filter(|&&x| x == 1.0).count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn decode_roundtrip_categorical_and_numeric() {
+        let r = relation();
+        let enc = EntityEncoder::fit(&r);
+        let corpora = vec![
+            vec![
+                "adaptive query processing".to_string(),
+                "something else".to_string(),
+            ],
+            vec![],
+            vec![],
+        ];
+        let v = enc.encode(r.entity(0));
+        let back = enc.decode(&v, &corpora);
+        assert_eq!(back[1], Value::Categorical("VLDB".into()));
+        if let Value::Numeric(y) = back[2] {
+            assert!((y - 1999.0).abs() < 1e-6);
+        } else {
+            panic!("expected numeric year");
+        }
+        assert_eq!(back[0], Value::Text("adaptive query processing".into()));
+    }
+
+    #[test]
+    fn text_nearest_neighbor_prefers_similar_string() {
+        let r = relation();
+        let enc = EntityEncoder::fit(&r);
+        let v = enc.encode(r.entity(0)); // "adaptive query processing"
+        let near = enc.text_block_distance(&v, 0, "adaptive query processing");
+        let far = enc.text_block_distance(&v, 0, "zzz");
+        assert!(near < far);
+    }
+}

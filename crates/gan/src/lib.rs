@@ -1,0 +1,24 @@
+//! Tabular GAN substrate (paper Sections IV-B2 and V).
+//!
+//! SERD uses a GAN in two places:
+//!
+//! 1. **Cold start**: synthesize the first fake entity that bootstraps the
+//!    S2 synthesis loop (instead of preparing one manually).
+//! 2. **Entity rejection, Case 1**: the discriminator `D` scores every
+//!    synthesized entity; entities with `D(e') < β` are rejected as looking
+//!    unreal.
+//!
+//! The paper trains a Daisy-style tabular GAN. Here, entities are first
+//! mapped to fixed-width numeric encodings by [`EntityEncoder`]
+//! (min–max-scaled numerics, one-hot categoricals, shallow text features),
+//! then a generator MLP maps noise to encodings and a discriminator MLP
+//! scores them — the standard adversarial BCE game. Generated encodings are
+//! decoded back into entities by inverting the numeric scaling, arg-maxing
+//! the one-hots, and nearest-neighbor snapping text features to a background
+//! corpus string (DESIGN.md §3.3).
+
+mod encoder;
+mod tabular;
+
+pub use encoder::{ColumnEncoding, EntityEncoder};
+pub use tabular::{DpGanConfig, TabularGan, TabularGanConfig};

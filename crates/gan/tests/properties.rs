@@ -1,0 +1,124 @@
+//! Property-based tests for the entity encoder invariants the GAN relies on.
+
+use er_core::{Column, Entity, Relation, Schema, Value};
+use gan::EntityEncoder;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::text("title"),
+        Column::categorical("venue"),
+        Column::numeric("year", 10.0),
+        Column::date("released", 100.0),
+    ])
+}
+
+fn relation(titles: &[String], years: &[f64]) -> Relation {
+    let mut r = Relation::new("t", schema());
+    for (i, t) in titles.iter().enumerate() {
+        r.push(vec![
+            Value::Text(t.clone()),
+            Value::Categorical(if i % 2 == 0 { "VLDB" } else { "SIGMOD" }.into()),
+            Value::Numeric(years[i % years.len()].round()),
+            Value::Date(100 + i as i64 * 10),
+        ])
+        .unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encodings_are_unit_bounded_and_fixed_width(
+        titles in prop::collection::vec("[a-z ]{1,24}", 2..8),
+        years in prop::collection::vec(1990.0f64..2020.0, 1..4),
+    ) {
+        let r = relation(&titles, &years);
+        let enc = EntityEncoder::fit(&r);
+        let w = enc.width();
+        for e in r.entities() {
+            let v = enc.encode(e);
+            prop_assert_eq!(v.len(), w);
+            prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn decode_respects_types(
+        titles in prop::collection::vec("[a-z ]{1,24}", 2..8),
+        years in prop::collection::vec(1990.0f64..2020.0, 1..4),
+        probe in prop::collection::vec(0.0f32..1.0, 64),
+    ) {
+        let r = relation(&titles, &years);
+        let enc = EntityEncoder::fit(&r);
+        let mut encoding = probe;
+        encoding.truncate(enc.width());
+        while encoding.len() < enc.width() {
+            encoding.push(0.5);
+        }
+        let corpora = vec![titles.clone(), vec![], vec![], vec![]];
+        let values = enc.decode(&encoding, &corpora);
+        prop_assert_eq!(values.len(), 4);
+        prop_assert!(matches!(values[0], Value::Text(_)));
+        prop_assert!(matches!(values[1], Value::Categorical(_) | Value::Null));
+        prop_assert!(matches!(values[2], Value::Numeric(_)));
+        prop_assert!(matches!(values[3], Value::Date(_)));
+        // Text decodes to a corpus member.
+        if let Value::Text(t) = &values[0] {
+            prop_assert!(titles.contains(t));
+        }
+    }
+
+    #[test]
+    fn self_distance_is_minimal(
+        titles in prop::collection::vec("[a-z ]{4,24}", 3..8),
+    ) {
+        let years = vec![2000.0];
+        let r = relation(&titles, &years);
+        let enc = EntityEncoder::fit(&r);
+        let e = r.entity(0);
+        let v = enc.encode(e);
+        let own = e.value(0).as_str().unwrap();
+        let d_self = enc.text_block_distance(&v, 0, own);
+        for t in &titles {
+            let d = enc.text_block_distance(&v, 0, t);
+            prop_assert!(d_self <= d + 1e-6, "own {d_self} vs {t:?} {d}");
+        }
+    }
+
+    #[test]
+    fn identical_entities_encode_identically(
+        title in "[a-z ]{1,24}",
+        year in 1990.0f64..2020.0,
+    ) {
+        let titles = vec![title.clone(), title];
+        let years = vec![year.round()];
+        let mut r = Relation::new("t", schema());
+        for t in &titles {
+            r.push(vec![
+                Value::Text(t.clone()),
+                Value::Categorical("VLDB".into()),
+                Value::Numeric(years[0]),
+                Value::Date(100),
+            ]).unwrap();
+        }
+        let enc = EntityEncoder::fit(&r);
+        prop_assert_eq!(
+            enc.encode(r.entity(0)),
+            enc.encode(r.entity(1))
+        );
+    }
+
+    #[test]
+    fn null_values_encode_without_panic(seed in any::<u64>()) {
+        let _ = seed;
+        let r = relation(&["some title".into()], &[2000.0]);
+        let enc = EntityEncoder::fit(&r);
+        let e = Entity::new(vec![Value::Null, Value::Null, Value::Null, Value::Null]);
+        let v = enc.encode(&e);
+        prop_assert_eq!(v.len(), enc.width());
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

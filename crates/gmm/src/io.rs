@@ -1,0 +1,204 @@
+//! Plain-text persistence for fitted mixtures.
+//!
+//! The paper's pipeline splits into an *offline* phase (hours: train models,
+//! learn distributions) and an *online* phase (minutes: synthesize). This
+//! module lets the offline artifacts — the learned `O`-distribution — be
+//! saved and shipped without any dependency on a serialization crate. The
+//! format is a line-oriented text format with full `f64` precision (hex
+//! bits), versioned for forward compatibility.
+//!
+//! Note the privacy angle: an `OMixture` file contains only distribution
+//! parameters, which is exactly the artifact the paper argues is safe to
+//! share (Section II-D).
+
+use crate::em::SuffStats;
+use crate::{Gaussian, Gmm, GmmError, OMixture, Result};
+use linalg::Matrix;
+use std::fmt::Write as _;
+
+const MAGIC: &str = "serd-gmm-v1";
+
+/// Serializes a mixture to the text format.
+pub fn gmm_to_string(gmm: &Gmm) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "components {}", gmm.num_components());
+    let _ = writeln!(out, "dim {}", gmm.dim());
+    let _ = writeln!(out, "reg_covar {}", f64_to_hex(gmm.reg_covar()));
+    let _ = writeln!(out, "n {}", f64_to_hex(gmm.stats().n));
+    for k in 0..gmm.num_components() {
+        let _ = writeln!(out, "weight {}", f64_to_hex(gmm.weights()[k]));
+        let comp = &gmm.components()[k];
+        let _ = writeln!(out, "mean {}", vec_to_hex(comp.mean()));
+        let _ = writeln!(out, "cov {}", vec_to_hex(comp.cov().as_slice()));
+        let _ = writeln!(out, "gamma {}", f64_to_hex(gmm.stats().gamma[k]));
+        let _ = writeln!(out, "sum_x {}", vec_to_hex(&gmm.stats().sum_x[k]));
+        let _ = writeln!(out, "sum_xx {}", vec_to_hex(gmm.stats().sum_xx[k].as_slice()));
+    }
+    out
+}
+
+/// Parses a mixture from the text format.
+pub fn gmm_from_str(text: &str) -> Result<Gmm> {
+    let mut lines = text.lines();
+    expect(&mut lines, MAGIC)?;
+    let g: usize = parse_kv(lines.next(), "components")?;
+    let d: usize = parse_kv(lines.next(), "dim")?;
+    let reg_covar = hex_to_f64(&parse_kv::<String>(lines.next(), "reg_covar")?)?;
+    let n = hex_to_f64(&parse_kv::<String>(lines.next(), "n")?)?;
+
+    let mut weights = Vec::with_capacity(g);
+    let mut components = Vec::with_capacity(g);
+    let mut stats = SuffStats::zeros(g, d);
+    stats.n = n;
+    for k in 0..g {
+        weights.push(hex_to_f64(&parse_kv::<String>(lines.next(), "weight")?)?);
+        let mean = hex_to_vec(&parse_kv::<String>(lines.next(), "mean")?, d)?;
+        let cov_data = hex_to_vec(&parse_kv::<String>(lines.next(), "cov")?, d * d)?;
+        let cov = Matrix::from_vec(d, d, cov_data);
+        components.push(Gaussian::new(mean, cov)?);
+        stats.gamma[k] = hex_to_f64(&parse_kv::<String>(lines.next(), "gamma")?)?;
+        stats.sum_x[k] = hex_to_vec(&parse_kv::<String>(lines.next(), "sum_x")?, d)?;
+        let sxx = hex_to_vec(&parse_kv::<String>(lines.next(), "sum_xx")?, d * d)?;
+        stats.sum_xx[k] = Matrix::from_vec(d, d, sxx);
+    }
+    Gmm::from_parts(weights, components, stats, reg_covar)
+}
+
+/// Serializes an `O`-distribution (π + both mixtures).
+pub fn omixture_to_string(o: &OMixture) -> String {
+    format!(
+        "serd-omixture-v1\npi {}\n--m--\n{}--n--\n{}",
+        f64_to_hex(o.pi()),
+        gmm_to_string(o.m()),
+        gmm_to_string(o.n())
+    )
+}
+
+/// Parses an `O`-distribution.
+pub fn omixture_from_str(text: &str) -> Result<OMixture> {
+    let mut parts = text.splitn(2, "--m--\n");
+    let header = parts.next().unwrap_or("");
+    let rest = parts
+        .next()
+        .ok_or_else(|| GmmError::Parse("missing --m-- section".into()))?;
+    let mut header_lines = header.lines();
+    expect(&mut header_lines, "serd-omixture-v1")?;
+    let pi = hex_to_f64(&parse_kv::<String>(header_lines.next(), "pi")?)?;
+    let mut mn = rest.splitn(2, "--n--\n");
+    let m_text = mn
+        .next()
+        .ok_or_else(|| GmmError::Parse("missing M mixture".into()))?;
+    let n_text = mn
+        .next()
+        .ok_or_else(|| GmmError::Parse("missing --n-- section".into()))?;
+    OMixture::new(pi, gmm_from_str(m_text)?, gmm_from_str(n_text)?)
+}
+
+fn expect<'a>(lines: &mut impl Iterator<Item = &'a str>, magic: &str) -> Result<()> {
+    match lines.next() {
+        Some(l) if l.trim() == magic => Ok(()),
+        other => Err(GmmError::Parse(format!(
+            "expected header {magic:?}, found {other:?}"
+        ))),
+    }
+}
+
+fn parse_kv<T: std::str::FromStr>(line: Option<&str>, key: &str) -> Result<T> {
+    let line = line.ok_or_else(|| GmmError::Parse(format!("missing line for {key}")))?;
+    let rest = line
+        .strip_prefix(key)
+        .ok_or_else(|| GmmError::Parse(format!("expected key {key:?} in {line:?}")))?
+        .trim();
+    rest.parse()
+        .map_err(|_| GmmError::Parse(format!("bad value for {key}: {rest:?}")))
+}
+
+fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn hex_to_f64(s: &str) -> Result<f64> {
+    u64::from_str_radix(s.trim(), 16)
+        .map(f64::from_bits)
+        .map_err(|_| GmmError::Parse(format!("bad f64 hex {s:?}")))
+}
+
+fn vec_to_hex(v: &[f64]) -> String {
+    v.iter().map(|&x| f64_to_hex(x)).collect::<Vec<_>>().join(" ")
+}
+
+fn hex_to_vec(s: &str, expected: usize) -> Result<Vec<f64>> {
+    let out: Result<Vec<f64>> = s.split_whitespace().map(hex_to_f64).collect();
+    let out = out?;
+    if out.len() != expected {
+        return Err(GmmError::Parse(format!(
+            "expected {expected} values, found {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GmmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted(seed: u64) -> Gmm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g1 = Gaussian::isotropic(vec![0.2, 0.1], 0.01).unwrap();
+        let g2 = Gaussian::isotropic(vec![0.8, 0.9], 0.01).unwrap();
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|i| if i % 2 == 0 { g1.sample(&mut rng) } else { g2.sample(&mut rng) })
+            .collect();
+        Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn gmm_roundtrip_bitexact() {
+        let gmm = fitted(1);
+        let text = gmm_to_string(&gmm);
+        let back = gmm_from_str(&text).unwrap();
+        assert_eq!(back.num_components(), 2);
+        assert_eq!(back.weights(), gmm.weights());
+        for x in [[0.5, 0.5], [0.1, 0.2], [0.95, 0.85]] {
+            assert_eq!(back.log_pdf(&x), gmm.log_pdf(&x));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_incremental_updates() {
+        let gmm = fitted(2);
+        let text = gmm_to_string(&gmm);
+        let mut a = gmm_from_str(&text).unwrap();
+        let mut b = gmm_from_str(&text).unwrap();
+        let delta = vec![vec![0.5, 0.5]; 10];
+        a.update_incremental(&delta).unwrap();
+        b.update_incremental(&delta).unwrap();
+        assert_eq!(a.log_pdf(&[0.5, 0.5]), b.log_pdf(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn omixture_roundtrip() {
+        let o = OMixture::new(0.21, fitted(3), fitted(4)).unwrap();
+        let text = omixture_to_string(&o);
+        let back = omixture_from_str(&text).unwrap();
+        assert_eq!(back.pi(), 0.21);
+        for x in [[0.3, 0.3], [0.8, 0.8]] {
+            assert_eq!(back.posterior_match(&x), o.posterior_match(&x));
+        }
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(gmm_from_str("not a gmm").is_err());
+        assert!(omixture_from_str("serd-omixture-v1\npi zz\n").is_err());
+        let gmm = fitted(5);
+        let mut text = gmm_to_string(&gmm);
+        text.truncate(text.len() / 2);
+        assert!(gmm_from_str(&text).is_err());
+    }
+}

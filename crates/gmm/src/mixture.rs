@@ -1,0 +1,234 @@
+//! The `O`-distribution: `p(x) = π p_m(x) + (1-π) p_n(x)`, with posterior
+//! labeling and Monte-Carlo Jensen–Shannon divergence.
+
+use crate::{Gmm, GmmConfig, GmmError, Result};
+use rand::Rng;
+
+/// The overall mixture of the matching (`M`-) and non-matching (`N`-)
+/// distributions (paper Section II-B).
+#[derive(Debug, Clone)]
+pub struct OMixture {
+    pi: f64,
+    m: Gmm,
+    n: Gmm,
+}
+
+impl OMixture {
+    /// Assembles an `O`-distribution from the two fitted mixtures and the
+    /// matching prior `π`.
+    pub fn new(pi: f64, m: Gmm, n: Gmm) -> Result<Self> {
+        if m.dim() != n.dim() {
+            return Err(GmmError::DimensionMismatch {
+                expected: m.dim(),
+                got: n.dim(),
+            });
+        }
+        Ok(OMixture {
+            pi: pi.clamp(0.0, 1.0),
+            m,
+            n,
+        })
+    }
+
+    /// Learns an `O`-distribution from labeled similarity vectors (paper step
+    /// S1): fits the M-distribution on `pos`, the N-distribution on `neg`
+    /// (AIC-selected component counts), and sets `π = |pos| / (|pos|+|neg|)`.
+    pub fn learn<R: Rng + ?Sized>(
+        pos: &[Vec<f64>],
+        neg: &[Vec<f64>],
+        config: &GmmConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let (m, _) = Gmm::fit_auto(pos, config, rng)?;
+        let (n, _) = Gmm::fit_auto(neg, config, rng)?;
+        let pi = pos.len() as f64 / (pos.len() + neg.len()).max(1) as f64;
+        OMixture::new(pi, m, n)
+    }
+
+    /// The matching prior `π`.
+    pub fn pi(&self) -> f64 {
+        self.pi
+    }
+
+    /// The M-distribution.
+    pub fn m(&self) -> &Gmm {
+        &self.m
+    }
+
+    /// The N-distribution.
+    pub fn n(&self) -> &Gmm {
+        &self.n
+    }
+
+    /// Mutable access to the M-distribution (incremental updates).
+    pub fn m_mut(&mut self) -> &mut Gmm {
+        &mut self.m
+    }
+
+    /// Mutable access to the N-distribution (incremental updates).
+    pub fn n_mut(&mut self) -> &mut Gmm {
+        &mut self.n
+    }
+
+    /// Sets the matching prior.
+    pub fn set_pi(&mut self, pi: f64) {
+        self.pi = pi.clamp(0.0, 1.0);
+    }
+
+    /// Dimensionality of the similarity vectors.
+    pub fn dim(&self) -> usize {
+        self.m.dim()
+    }
+
+    /// Density of the overall mixture `p(x) = π p_m(x) + (1-π) p_n(x)`.
+    pub fn pdf(&self, x: &[f64]) -> f64 {
+        self.pi * self.m.pdf(x) + (1.0 - self.pi) * self.n.pdf(x)
+    }
+
+    /// Log-density of the overall mixture.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let a = self.pi.max(1e-300).ln() + self.m.log_pdf(x);
+        let b = (1.0 - self.pi).max(1e-300).ln() + self.n.log_pdf(x);
+        crate::log_sum_exp(&[a, b])
+    }
+
+    /// Posterior probability that `x` is a matching pair (paper Section IV-C):
+    /// `P_m(x) = π p_m(x) / (π p_m(x) + (1-π) p_n(x))`.
+    pub fn posterior_match(&self, x: &[f64]) -> f64 {
+        let lm = self.pi.max(1e-300).ln() + self.m.log_pdf(x);
+        let ln = (1.0 - self.pi).max(1e-300).ln() + self.n.log_pdf(x);
+        let norm = crate::log_sum_exp(&[lm, ln]);
+        (lm - norm).exp()
+    }
+
+    /// Labels `x` as matching iff `P_m(x) >= P_n(x)` (paper Eq. 7 rule).
+    pub fn is_match(&self, x: &[f64]) -> bool {
+        self.posterior_match(x) >= 0.5
+    }
+
+    /// Samples a similarity vector from the O-distribution (paper step S2-2):
+    /// from the M-distribution with probability `π`, else from the
+    /// N-distribution. Returns the vector (clamped to `[0,1]^l`) and whether
+    /// it came from the M-distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (Vec<f64>, bool) {
+        if rng.gen::<f64>() < self.pi {
+            (self.m.sample_clamped(rng), true)
+        } else {
+            (self.n.sample_clamped(rng), false)
+        }
+    }
+
+    /// Monte-Carlo estimate of the Jensen–Shannon divergence between two
+    /// `O`-distributions (paper Eq. 3):
+    ///
+    /// `JSD(p||q) = 0.5 KL(p||m) + 0.5 KL(q||m)` with `m = (p+q)/2`,
+    /// estimated by sampling `n` points from each side. The result is in
+    /// `[0, ln 2]`, and estimates are non-negative up to Monte-Carlo noise
+    /// (clamped at 0).
+    pub fn jsd<R: Rng + ?Sized>(&self, other: &OMixture, n: usize, rng: &mut R) -> f64 {
+        let n = n.max(1);
+        let mut kl_p = 0.0;
+        for _ in 0..n {
+            let (x, _) = self.sample(rng);
+            let lp = self.log_pdf(&x);
+            let lq = other.log_pdf(&x);
+            let lm = crate::log_sum_exp(&[lp, lq]) - std::f64::consts::LN_2;
+            kl_p += lp - lm;
+        }
+        let mut kl_q = 0.0;
+        for _ in 0..n {
+            let (x, _) = other.sample(rng);
+            let lq = other.log_pdf(&x);
+            let lp = self.log_pdf(&x);
+            let lm = crate::log_sum_exp(&[lp, lq]) - std::f64::consts::LN_2;
+            kl_q += lq - lm;
+        }
+        (0.5 * (kl_p + kl_q) / n as f64).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A paper-like O-distribution: matches near 1, non-matches near 0.
+    fn o_like(rng: &mut StdRng, shift: f64) -> OMixture {
+        let gm = Gaussian::isotropic(vec![0.85 + shift, 0.8 + shift], 0.003).unwrap();
+        let gn = Gaussian::isotropic(vec![0.1, 0.15], 0.003).unwrap();
+        let pos: Vec<Vec<f64>> = (0..200).map(|_| gm.sample(rng)).collect();
+        let neg: Vec<Vec<f64>> = (0..600).map(|_| gn.sample(rng)).collect();
+        OMixture::learn(&pos, &neg, &GmmConfig::default(), rng).unwrap()
+    }
+
+    #[test]
+    fn learn_sets_pi_from_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = o_like(&mut rng, 0.0);
+        assert!((o.pi() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_separates_regimes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = o_like(&mut rng, 0.0);
+        assert!(o.posterior_match(&[0.9, 0.85]) > 0.95);
+        assert!(o.posterior_match(&[0.05, 0.1]) < 0.05);
+        assert!(o.is_match(&[0.9, 0.85]));
+        assert!(!o.is_match(&[0.05, 0.1]));
+    }
+
+    #[test]
+    fn posterior_in_unit_interval_everywhere() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = o_like(&mut rng, 0.0);
+        for x in [[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [0.3, 0.9]] {
+            let p = o.posterior_match(&x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn sample_respects_pi() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let o = o_like(&mut rng, 0.0);
+        let n = 5000;
+        let matches = (0..n).filter(|_| o.sample(&mut rng).1).count();
+        let frac = matches as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn jsd_self_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let o = o_like(&mut rng, 0.0);
+        let d = o.jsd(&o, 500, &mut rng);
+        assert!(d < 0.01, "self-JSD {d}");
+    }
+
+    #[test]
+    fn jsd_grows_with_shift() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let o1 = o_like(&mut rng, 0.0);
+        let near = o_like(&mut rng, 0.01);
+        let far = o_like(&mut rng, -0.4);
+        let d_near = o1.jsd(&near, 800, &mut rng);
+        let d_far = o1.jsd(&far, 800, &mut rng);
+        assert!(d_near < d_far, "near {d_near} far {d_far}");
+        assert!(d_far <= std::f64::consts::LN_2 + 0.05);
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g2 = Gaussian::isotropic(vec![0.5, 0.5], 0.01).unwrap();
+        let g3 = Gaussian::isotropic(vec![0.5, 0.5, 0.5], 0.01).unwrap();
+        let d2: Vec<Vec<f64>> = (0..50).map(|_| g2.sample(&mut rng)).collect();
+        let d3: Vec<Vec<f64>> = (0..50).map(|_| g3.sample(&mut rng)).collect();
+        let m = Gmm::fit(&d2, 1, &GmmConfig::default(), &mut rng).unwrap();
+        let n = Gmm::fit(&d3, 1, &GmmConfig::default(), &mut rng).unwrap();
+        assert!(OMixture::new(0.5, m, n).is_err());
+    }
+}

@@ -1,0 +1,537 @@
+//! The Gaussian mixture model: EM fitting (Eq. 4–6), AIC model selection,
+//! sampling, and incremental updates (Eq. 8–9).
+
+use crate::em::SuffStats;
+use crate::gaussian::Gaussian;
+use crate::{log_sum_exp, GmmError, Result};
+use rand::Rng;
+
+/// Hyperparameters for GMM fitting.
+#[derive(Debug, Clone)]
+pub struct GmmConfig {
+    /// Maximum number of components tried by [`Gmm::fit_auto`] (AIC picks the
+    /// best `g` in `1..=max_components`).
+    pub max_components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub tol: f64,
+    /// Diagonal regularization added to every covariance estimate.
+    pub reg_covar: f64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            max_components: 4,
+            max_iters: 200,
+            tol: 1e-6,
+            reg_covar: 1e-6,
+        }
+    }
+}
+
+/// A fitted Gaussian mixture with retained EM sufficient statistics so it can
+/// be updated incrementally (paper Eq. 8–9).
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    weights: Vec<f64>,
+    components: Vec<Gaussian>,
+    stats: SuffStats,
+    reg_covar: f64,
+}
+
+impl Gmm {
+    /// Fits a `g`-component mixture to `data` by EM (paper Eq. 4–6).
+    ///
+    /// Initialization: means are seeded by a k-means++-style farthest-point
+    /// heuristic on a random draw, covariances start isotropic at the data
+    /// variance. Components that collapse (no responsibility mass) are
+    /// re-seeded at the point with the lowest likelihood.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &[Vec<f64>],
+        g: usize,
+        config: &GmmConfig,
+        rng: &mut R,
+    ) -> Result<Gmm> {
+        let d = validate(data)?;
+        let g = g.max(1);
+        if data.len() < g {
+            return Err(GmmError::TooFewPoints {
+                points: data.len(),
+                components: g,
+            });
+        }
+
+        let var = data_variance(data, d).max(1e-6);
+        let mut components = init_components(data, g, var, rng)?;
+        let mut weights = vec![1.0 / g as f64; g];
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut stats = SuffStats::zeros(g, d);
+        for _ in 0..config.max_iters {
+            // E-step: responsibilities + log-likelihood, folded into stats.
+            stats = SuffStats::zeros(g, d);
+            let mut ll = 0.0;
+            let mut worst: (f64, usize) = (f64::INFINITY, 0);
+            for (idx, x) in data.iter().enumerate() {
+                let logs: Vec<f64> = components
+                    .iter()
+                    .zip(&weights)
+                    .map(|(c, &w)| w.max(1e-300).ln() + c.log_pdf(x))
+                    .collect();
+                let norm = log_sum_exp(&logs);
+                ll += norm;
+                if norm < worst.0 {
+                    worst = (norm, idx);
+                }
+                let resp: Vec<f64> = logs.iter().map(|&l| (l - norm).exp()).collect();
+                stats.add_point(x, &resp);
+            }
+            ll /= data.len() as f64;
+
+            // M-step from the sufficient statistics (Eq. 6).
+            for k in 0..g {
+                match stats.component_params(k, config.reg_covar) {
+                    Some((w, mean, cov)) => {
+                        weights[k] = w;
+                        components[k] = Gaussian::new(mean, cov)?;
+                    }
+                    None => {
+                        // Collapsed component: re-seed at the worst-fit point.
+                        weights[k] = 1.0 / data.len() as f64;
+                        components[k] =
+                            Gaussian::isotropic(data[worst.1].clone(), var)?;
+                    }
+                }
+            }
+            normalize(&mut weights);
+
+            if (ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Ok(Gmm {
+            weights,
+            components,
+            stats,
+            reg_covar: config.reg_covar,
+        })
+    }
+
+    /// Fits mixtures with `g = 1..=config.max_components` and returns the one
+    /// minimizing AIC (paper Section IV-A). Also returns the chosen `g`.
+    pub fn fit_auto<R: Rng + ?Sized>(
+        data: &[Vec<f64>],
+        config: &GmmConfig,
+        rng: &mut R,
+    ) -> Result<(Gmm, usize)> {
+        let mut best: Option<(f64, Gmm, usize)> = None;
+        for g in 1..=config.max_components.max(1) {
+            if data.len() < g.max(2) {
+                break;
+            }
+            let Ok(model) = Gmm::fit(data, g, config, rng) else {
+                continue;
+            };
+            let aic = model.aic(data);
+            if best.as_ref().map_or(true, |(b, _, _)| aic < *b) {
+                best = Some((aic, model, g));
+            }
+        }
+        match best {
+            Some((_, m, g)) => Ok((m, g)),
+            None => {
+                // Fall back to a single component (possible when data is tiny).
+                let m = Gmm::fit(data, 1, config, rng)?;
+                Ok((m, 1))
+            }
+        }
+    }
+
+    /// Component weights `π_k`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The Gaussian components.
+    pub fn components(&self) -> &[Gaussian] {
+        &self.components
+    }
+
+    /// Number of components `g`.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Dimensionality of the modeled vectors.
+    pub fn dim(&self) -> usize {
+        self.components.first().map_or(0, Gaussian::dim)
+    }
+
+    /// The retained sufficient statistics.
+    pub fn stats(&self) -> &SuffStats {
+        &self.stats
+    }
+
+    /// The covariance regularization used at fit time.
+    pub fn reg_covar(&self) -> f64 {
+        self.reg_covar
+    }
+
+    /// Reassembles a mixture from persisted parts (see [`crate::io`]).
+    pub fn from_parts(
+        weights: Vec<f64>,
+        components: Vec<Gaussian>,
+        stats: SuffStats,
+        reg_covar: f64,
+    ) -> Result<Gmm> {
+        if weights.len() != components.len() || stats.components() != components.len() {
+            return Err(GmmError::DimensionMismatch {
+                expected: components.len(),
+                got: weights.len().min(stats.components()),
+            });
+        }
+        let d = components.first().map_or(0, Gaussian::dim);
+        for c in &components {
+            if c.dim() != d {
+                return Err(GmmError::DimensionMismatch {
+                    expected: d,
+                    got: c.dim(),
+                });
+            }
+        }
+        Ok(Gmm {
+            weights,
+            components,
+            stats,
+            reg_covar,
+        })
+    }
+
+    /// Log-density `log p(x)` under the mixture.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .zip(&self.weights)
+            .map(|(c, &w)| w.max(1e-300).ln() + c.log_pdf(x))
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Density `p(x)`.
+    pub fn pdf(&self, x: &[f64]) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Per-component responsibilities `γ_k(x)` (paper Eq. 5 / Eq. 8).
+    pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .zip(&self.weights)
+            .map(|(c, &w)| w.max(1e-300).ln() + c.log_pdf(x))
+            .collect();
+        let norm = log_sum_exp(&logs);
+        logs.iter().map(|&l| (l - norm).exp()).collect()
+    }
+
+    /// Total log-likelihood of a dataset (paper Eq. 4).
+    pub fn log_likelihood(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter().map(|x| self.log_pdf(x)).sum()
+    }
+
+    /// Number of free parameters: `g-1` weights + `g d` means + `g d(d+1)/2`
+    /// covariance entries.
+    pub fn num_params(&self) -> usize {
+        let g = self.num_components();
+        let d = self.dim();
+        (g - 1) + g * d + g * d * (d + 1) / 2
+    }
+
+    /// Akaike information criterion `2k - 2 log L` (lower is better).
+    pub fn aic(&self, data: &[Vec<f64>]) -> f64 {
+        2.0 * self.num_params() as f64 - 2.0 * self.log_likelihood(data)
+    }
+
+    /// Bayesian information criterion `k ln n - 2 log L`.
+    pub fn bic(&self, data: &[Vec<f64>]) -> f64 {
+        self.num_params() as f64 * (data.len().max(1) as f64).ln()
+            - 2.0 * self.log_likelihood(data)
+    }
+
+    /// Samples one vector from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut u: f64 = rng.gen();
+        for (k, &w) in self.weights.iter().enumerate() {
+            if u < w || k == self.weights.len() - 1 {
+                return self.components[k].sample(rng);
+            }
+            u -= w;
+        }
+        unreachable!("weights are normalized");
+    }
+
+    /// Samples one vector, clamped to the unit hypercube — similarity vectors
+    /// live in `[0, 1]^l`, but a fitted Gaussian has unbounded support.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.sample(rng)
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Incrementally folds `new_points` into the mixture (paper Eq. 8–9):
+    /// responsibilities of the new points are computed under the *current*
+    /// parameters (Eq. 8), merged into the retained sufficient statistics,
+    /// and the parameters re-derived (Eq. 9) — no pass over old points.
+    pub fn update_incremental(&mut self, new_points: &[Vec<f64>]) -> Result<()> {
+        if new_points.is_empty() {
+            return Ok(());
+        }
+        let d = self.dim();
+        for x in new_points {
+            if x.len() != d {
+                return Err(GmmError::DimensionMismatch {
+                    expected: d,
+                    got: x.len(),
+                });
+            }
+        }
+        let g = self.num_components();
+        let mut delta = SuffStats::zeros(g, d);
+        for x in new_points {
+            let resp = self.responsibilities(x); // Eq. 8
+            delta.add_point(x, &resp);
+        }
+        self.stats.merge(&delta); // Eq. 9 accumulation
+
+        for k in 0..g {
+            if let Some((w, mean, cov)) = self.stats.component_params(k, self.reg_covar) {
+                self.weights[k] = w;
+                self.components[k] = Gaussian::new(mean, cov)?;
+            }
+        }
+        normalize(&mut self.weights);
+        Ok(())
+    }
+}
+
+fn validate(data: &[Vec<f64>]) -> Result<usize> {
+    let Some(first) = data.first() else {
+        return Err(GmmError::EmptyData);
+    };
+    let d = first.len();
+    for x in data {
+        if x.len() != d {
+            return Err(GmmError::DimensionMismatch {
+                expected: d,
+                got: x.len(),
+            });
+        }
+    }
+    Ok(d)
+}
+
+fn data_variance(data: &[Vec<f64>], d: usize) -> f64 {
+    let n = data.len() as f64;
+    let mut mean = vec![0.0; d];
+    for x in data {
+        for (m, &v) in mean.iter_mut().zip(x) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = 0.0;
+    for x in data {
+        for (m, &v) in mean.iter().zip(x) {
+            var += (v - m) * (v - m);
+        }
+    }
+    var / (n * d as f64)
+}
+
+/// Farthest-point (k-means++-flavored) mean initialization.
+fn init_components<R: Rng + ?Sized>(
+    data: &[Vec<f64>],
+    g: usize,
+    var: f64,
+    rng: &mut R,
+) -> Result<Vec<Gaussian>> {
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(g);
+    means.push(data[rng.gen_range(0..data.len())].clone());
+    while means.len() < g {
+        let far = data
+            .iter()
+            .max_by(|a, b| {
+                let da = min_dist2(a, &means);
+                let db = min_dist2(b, &means);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("data nonempty");
+        if min_dist2(far, &means) == 0.0 {
+            // All remaining points coincide with chosen means; jitter.
+            let mut m = means[0].clone();
+            for v in &mut m {
+                *v += (rng.gen::<f64>() - 0.5) * var.sqrt();
+            }
+            means.push(m);
+        } else {
+            means.push(far.clone());
+        }
+    }
+    means
+        .into_iter()
+        .map(|m| Gaussian::isotropic(m, var))
+        .collect()
+}
+
+fn min_dist2(x: &[f64], means: &[Vec<f64>]) -> f64 {
+    means
+        .iter()
+        .map(|m| {
+            x.iter()
+                .zip(m)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn normalize(w: &mut [f64]) {
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        for v in w.iter_mut() {
+            *v /= s;
+        }
+    } else {
+        let u = 1.0 / w.len() as f64;
+        for v in w.iter_mut() {
+            *v = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_data(rng: &mut StdRng, n: usize) -> Vec<Vec<f64>> {
+        let g1 = Gaussian::isotropic(vec![0.1, 0.1], 0.002).unwrap();
+        let g2 = Gaussian::isotropic(vec![0.9, 0.9], 0.002).unwrap();
+        (0..n)
+            .map(|i| if i % 2 == 0 { g1.sample(rng) } else { g2.sample(rng) })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = two_cluster_data(&mut rng, 400);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let mut means: Vec<f64> = gmm.components().iter().map(|c| c.mean()[0]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.1).abs() < 0.05, "means {means:?}");
+        assert!((means[1] - 0.9).abs() < 0.05, "means {means:?}");
+        assert!((gmm.weights()[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn fit_auto_prefers_two_components() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = two_cluster_data(&mut rng, 400);
+        let (_, g) = Gmm::fit_auto(&data, &GmmConfig::default(), &mut rng).unwrap();
+        assert_eq!(g, 2);
+    }
+
+    #[test]
+    fn fit_auto_prefers_one_component_for_unimodal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g1 = Gaussian::isotropic(vec![0.5, 0.5], 0.01).unwrap();
+        let data: Vec<Vec<f64>> = (0..300).map(|_| g1.sample(&mut rng)).collect();
+        let (_, g) = Gmm::fit_auto(&data, &GmmConfig::default(), &mut rng).unwrap();
+        assert_eq!(g, 1);
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            Gmm::fit(&[], 1, &GmmConfig::default(), &mut rng).unwrap_err(),
+            GmmError::EmptyData
+        );
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = vec![vec![0.0, 0.0]];
+        assert!(matches!(
+            Gmm::fit(&data, 3, &GmmConfig::default(), &mut rng),
+            Err(GmmError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = two_cluster_data(&mut rng, 200);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let r = gmm.responsibilities(&[0.5, 0.5]);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_clamped_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = two_cluster_data(&mut rng, 100);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        for _ in 0..100 {
+            let s = gmm.sample_clamped(&mut rng);
+            assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_growing_refit_direction() {
+        // After folding in a batch of points near (0.9, 0.9), the density
+        // there must not decrease, and stats count must grow.
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = two_cluster_data(&mut rng, 200);
+        let mut gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let n_before = gmm.stats().n;
+        let before = gmm.log_pdf(&[0.9, 0.9]);
+        let new_points: Vec<Vec<f64>> = (0..100).map(|_| vec![0.9, 0.9]).collect();
+        gmm.update_incremental(&new_points).unwrap();
+        assert_eq!(gmm.stats().n, n_before + 100.0);
+        assert!(gmm.log_pdf(&[0.9, 0.9]) >= before - 1e-6);
+        let wsum: f64 = gmm.weights().iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_update_dimension_checked() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = two_cluster_data(&mut rng, 50);
+        let mut gmm = Gmm::fit(&data, 1, &GmmConfig::default(), &mut rng).unwrap();
+        assert!(gmm.update_incremental(&[vec![0.0; 5]]).is_err());
+        assert!(gmm.update_incremental(&[]).is_ok());
+    }
+
+    #[test]
+    fn aic_bic_finite() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = two_cluster_data(&mut rng, 100);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        assert!(gmm.aic(&data).is_finite());
+        assert!(gmm.bic(&data).is_finite());
+        assert!(gmm.bic(&data) >= gmm.aic(&data)); // ln(100) > 2
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the GMM crate's invariants.
+
+use gmm::{Gaussian, Gmm, GmmConfig, OMixture};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small 2-D dataset drawn around two configurable centers.
+fn two_blob_data() -> impl Strategy<Value = (Vec<Vec<f64>>, u64)> {
+    (
+        0.05f64..0.45,
+        0.55f64..0.95,
+        20usize..60,
+        any::<u64>(),
+    )
+        .prop_map(|(lo, hi, n_each, seed)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g1 = Gaussian::isotropic(vec![lo, lo], 0.003).unwrap();
+            let g2 = Gaussian::isotropic(vec![hi, hi], 0.003).unwrap();
+            let mut data = Vec::new();
+            for _ in 0..n_each {
+                data.push(g1.sample(&mut rng));
+                data.push(g2.sample(&mut rng));
+            }
+            (data, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn weights_sum_to_one((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let sum: f64 = gmm.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(gmm.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn responsibilities_are_distributions((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        for x in data.iter().take(10) {
+            let r = gmm.responsibilities(x);
+            prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            prop_assert!(r.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn log_pdf_finite_on_and_off_data((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        for x in [[0.0, 0.0], [1.0, 1.0], [0.5, 0.5], [-1.0, 2.0]] {
+            prop_assert!(gmm.log_pdf(&x).is_finite());
+        }
+    }
+
+    #[test]
+    fn incremental_update_preserves_invariants((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let delta: Vec<Vec<f64>> = data.iter().take(8).cloned().collect();
+        gmm.update_incremental(&delta).unwrap();
+        let sum: f64 = gmm.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(gmm.log_pdf(&[0.5, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn incremental_matches_merged_statistics((data, seed) in two_blob_data()) {
+        // Folding points via update_incremental must equal folding the same
+        // points into the sufficient statistics by hand (Eq. 9 identity).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        let delta: Vec<Vec<f64>> = data.iter().take(5).cloned().collect();
+
+        let mut via_update = gmm.clone();
+        via_update.update_incremental(&delta).unwrap();
+
+        let mut stats = gmm.stats().clone();
+        for x in &delta {
+            let resp = gmm.responsibilities(x);
+            stats.add_point(x, &resp);
+        }
+        for k in 0..2 {
+            prop_assert!((stats.gamma[k] - via_update.stats().gamma[k]).abs() < 1e-9);
+            if let (Some((w1, m1, _)), Some((w2, m2, _))) = (
+                stats.component_params(k, 1e-6),
+                via_update.stats().component_params(k, 1e-6),
+            ) {
+                prop_assert!((w1 - w2).abs() < 1e-9);
+                for (a, b) in m1.iter().zip(&m2) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_is_probability((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half = data.len() / 2;
+        let o = OMixture::learn(&data[..half], &data[half..], &GmmConfig::default(), &mut rng)
+            .unwrap();
+        for x in [[0.1, 0.1], [0.9, 0.9], [0.5, 0.5]] {
+            let p = o.posterior_match(&x);
+            prop_assert!((0.0..=1.0).contains(&p), "posterior {p}");
+        }
+    }
+
+    #[test]
+    fn jsd_nonnegative_and_bounded((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half = data.len() / 2;
+        let o1 = OMixture::learn(&data[..half], &data[half..], &GmmConfig::default(), &mut rng)
+            .unwrap();
+        let o2 = OMixture::learn(&data[half..], &data[..half], &GmmConfig::default(), &mut rng)
+            .unwrap();
+        let d = o1.jsd(&o2, 150, &mut rng);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::LN_2 + 0.1, "JSD {d}");
+    }
+
+    #[test]
+    fn samples_have_model_dimension((data, seed) in two_blob_data()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gmm = Gmm::fit(&data, 2, &GmmConfig::default(), &mut rng).unwrap();
+        for _ in 0..20 {
+            prop_assert_eq!(gmm.sample(&mut rng).len(), 2);
+            let c = gmm.sample_clamped(&mut rng);
+            prop_assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Dense linear-algebra substrate for the SERD reproduction.
+//!
+//! The multivariate Gaussian mixture models in the `gmm` crate need a small but
+//! reliable set of matrix operations: multiplication, Cholesky factorization,
+//! triangular solves, inverses, and log-determinants of symmetric positive
+//! definite (SPD) covariance matrices. Rather than pulling in a linear-algebra
+//! dependency, this crate implements exactly what the pipeline needs, with
+//! `f64` precision throughout (covariance computations are numerically touchy
+//! and the matrices involved are tiny — one row/column per ER attribute).
+//!
+//! The central type is [`Matrix`], a row-major dense matrix. SPD-specific
+//! operations live on [`Cholesky`].
+
+mod cholesky;
+mod matrix;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// The matrix is singular (or numerically so) and cannot be inverted.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,479 @@
+//! Row-major dense matrix with the operations the GMM pipeline needs.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Indexing is `(row, col)` via [`Matrix::get`]/[`Matrix::set`] or the `Index`
+/// operators. Shapes are validated at runtime; mismatches return
+/// [`LinalgError::DimensionMismatch`] rather than panicking so callers (the EM
+/// loop in particular) can surface degenerate covariance situations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &o) in dst.iter_mut().zip(orow) {
+                    *d += a * o;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sub",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&a| a * s).collect(),
+        }
+    }
+
+    /// Outer product `u * v^T` of two vectors.
+    pub fn outer(u: &[f64], v: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(u.len(), v.len());
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                m.set(i, j, ui * vj);
+            }
+        }
+        m
+    }
+
+    /// Adds `eps` to every diagonal entry in place (covariance regularization).
+    pub fn add_diag(&mut self, eps: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i);
+            self.set(i, i, v + eps);
+        }
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> f64 {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference against `other` (for tests).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the matrix is symmetric up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes the matrix in place: `A <- (A + A^T) / 2`.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let v = 0.5 * (self.get(r, c) + self.get(c, r));
+                self.set(r, c, v);
+                self.set(c, r, v);
+            }
+        }
+    }
+
+    /// Inverse via Gauss-Jordan elimination with partial pivoting.
+    ///
+    /// For SPD matrices prefer [`crate::Cholesky::inverse`], which is faster
+    /// and more stable; this general routine backs non-SPD use and tests.
+    pub fn inverse(&self) -> Result<Matrix> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = a.get(r, col).abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a.get(col, col);
+            for c in 0..n {
+                let v = a.get(col, c) / p;
+                a.set(col, c, v);
+                let v = inv.get(col, c) / p;
+                inv.set(col, c, v);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = a.get(r, c) - factor * a.get(col, c);
+                    a.set(r, c, v);
+                    let v = inv.get(r, c) - factor * inv.get(col, c);
+                    inv.set(r, c, v);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            let a = self.get(r1, c);
+            let b = self.get(r2, c);
+            self.set(r1, c, b);
+            self.set(r2, c, a);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn inverse_of_identity_like() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_singular_fails() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.inverse(), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn outer_product() {
+        let m = Matrix::outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 4.0, 3.0]);
+        assert!(!a.is_symmetric(1e-12));
+        a.symmetrize();
+        assert!(a.is_symmetric(1e-12));
+        assert_eq!(a.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 2.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn from_diag_and_add_diag() {
+        let mut d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        d.add_diag(0.5);
+        assert_eq!(d.get(0, 0), 1.5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random SPD matrix of dimension `n`, built as `B B^T + c I`.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f64..3.0, n * n).prop_map(move |v| {
+        let b = Matrix::from_vec(n, n, v);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diag(0.5);
+        a
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(4)) {
+        let c = Cholesky::new(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_is_solution(a in spd_matrix(4), b in vector(4)) {
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, yi) in b.iter().zip(&back) {
+            prop_assert!((bi - yi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mahalanobis_nonnegative(a in spd_matrix(3), d in vector(3)) {
+        let c = Cholesky::new(&a).unwrap();
+        prop_assert!(c.mahalanobis_sq(&d).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn log_det_positive_definite_finite(a in spd_matrix(5)) {
+        let c = Cholesky::new(&a).unwrap();
+        prop_assert!(c.log_det().is_finite());
+    }
+
+    #[test]
+    fn matmul_associative(
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+        y in prop::collection::vec(-2.0f64..2.0, 6),
+        z in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let a = Matrix::from_vec(2, 3, x);
+        let b = Matrix::from_vec(3, 2, y);
+        let c = Matrix::from_vec(2, 3, z);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_of_product(
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+        y in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let a = Matrix::from_vec(2, 3, x);
+        let b = Matrix::from_vec(3, 2, y);
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip(a in spd_matrix(3)) {
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-6);
+    }
+}

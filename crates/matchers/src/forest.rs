@@ -1,0 +1,148 @@
+//! Random forest: bootstrap-aggregated CART trees with feature subsampling.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random-forest hyperparameters (Magellan's default matcher family).
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree config.
+    pub tree: TreeConfig,
+    /// Features sampled per tree: `ceil(sqrt(d))` when `None`.
+    pub max_features: Option<usize>,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 20,
+            tree: TreeConfig::default(),
+            max_features: None,
+        }
+    }
+}
+
+/// A trained random forest.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` trees on bootstrap resamples with random feature
+    /// subsets, averaging their leaf probabilities at prediction time.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[bool],
+        cfg: &RandomForestConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest on no data");
+        let d = x[0].len();
+        let m = cfg
+            .max_features
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d);
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        for _ in 0..cfg.n_trees.max(1) {
+            // Bootstrap resample.
+            let bx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            let sample_x: Vec<Vec<f64>> = bx.iter().map(|&i| x[i].clone()).collect();
+            let sample_y: Vec<bool> = bx.iter().map(|&i| y[i]).collect();
+            // Random feature subset.
+            let mut features: Vec<usize> = (0..d).collect();
+            features.shuffle(rng);
+            features.truncate(m);
+            let tree_cfg = TreeConfig {
+                features: Some(features),
+                ..cfg.tree.clone()
+            };
+            trees.push(DecisionTree::fit(&sample_x, &sample_y, &tree_cfg));
+        }
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(x))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn band_data(rng: &mut StdRng, n: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive iff x0 + x1 > 1.0, with 4 noisy distractor features.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let v: Vec<f64> = (0..6).map(|_| rng.gen::<f64>()).collect();
+            y.push(v[0] + v[1] > 1.0);
+            x.push(v);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_and_generalizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (xt, yt) = band_data(&mut rng, 400);
+        let forest = RandomForest::fit(&xt, &yt, &RandomForestConfig::default(), &mut rng);
+        let (xv, yv) = band_data(&mut rng, 200);
+        let acc = xv
+            .iter()
+            .zip(&yv)
+            .filter(|(x, &y)| forest.predict(x) == y)
+            .count() as f64
+            / xv.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = band_data(&mut rng, 100);
+        let forest = RandomForest::fit(&x, &y, &RandomForestConfig::default(), &mut rng);
+        for v in &x {
+            let p = forest.predict_proba(v);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = band_data(&mut rng, 100);
+        let cfg = RandomForestConfig {
+            n_trees: 1,
+            max_features: Some(6),
+            ..Default::default()
+        };
+        let forest = RandomForest::fit(&x, &y, &cfg, &mut rng);
+        assert_eq!(forest.len(), 1);
+    }
+}

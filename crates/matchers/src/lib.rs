@@ -1,0 +1,210 @@
+//! ER matchers used to *evaluate* synthesized datasets (paper Exp-2/Exp-3).
+//!
+//! The paper trains two matcher families on real vs. synthesized data and
+//! compares their test performance:
+//!
+//! * **Magellan** (classical ML over similarity features): reproduced here by
+//!   [`DecisionTree`], [`RandomForest`] (Magellan's default), and
+//!   [`LogisticRegression`] — all from scratch.
+//! * **Deepmatcher** (deep learning): reproduced by [`NeuralMatcher`], an MLP
+//!   over per-attribute similarity features built on the `neural` substrate.
+//!
+//! All matchers consume a pair's *similarity vector* (one score per aligned
+//! attribute) and predict match / non-match. [`MatcherKind`] selects a family
+//! with paper-flavored defaults; [`TrainedMatcher`] is the type-erased result.
+
+mod forest;
+mod logistic;
+mod neural_matcher;
+mod svm;
+mod tree;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use logistic::LogisticRegression;
+pub use neural_matcher::{NeuralMatcher, NeuralMatcherConfig};
+pub use svm::{LinearSvm, SvmConfig};
+pub use tree::{DecisionTree, TreeConfig};
+
+use rand::Rng;
+
+/// A binary classifier over similarity vectors.
+pub trait Classifier {
+    /// Probability that `x` is a matching pair.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at threshold 0.5.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+}
+
+/// The two matcher families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatcherKind {
+    /// Classical ML (random forest), standing in for Magellan.
+    Magellan,
+    /// Neural matcher (MLP), standing in for Deepmatcher.
+    Deepmatcher,
+}
+
+/// A trained matcher of either family.
+pub enum TrainedMatcher {
+    /// Random forest.
+    Forest(RandomForest),
+    /// Neural MLP.
+    Neural(NeuralMatcher),
+}
+
+impl Classifier for TrainedMatcher {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        match self {
+            TrainedMatcher::Forest(f) => f.predict_proba(x),
+            TrainedMatcher::Neural(n) => n.predict_proba(x),
+        }
+    }
+}
+
+impl MatcherKind {
+    /// Trains this matcher family on `(features, labels)` with its defaults.
+    pub fn train<R: Rng + ?Sized>(
+        &self,
+        features: &[Vec<f64>],
+        labels: &[bool],
+        rng: &mut R,
+    ) -> TrainedMatcher {
+        match self {
+            MatcherKind::Magellan => TrainedMatcher::Forest(RandomForest::fit(
+                features,
+                labels,
+                &RandomForestConfig::default(),
+                rng,
+            )),
+            MatcherKind::Deepmatcher => TrainedMatcher::Neural(NeuralMatcher::fit(
+                features,
+                labels,
+                &NeuralMatcherConfig::default(),
+                rng,
+            )),
+        }
+    }
+
+    /// Display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatcherKind::Magellan => "Magellan",
+            MatcherKind::Deepmatcher => "Deepmatcher",
+        }
+    }
+}
+
+/// A labeled feature matrix: the training/test unit for matchers.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledVectors {
+    /// Similarity vectors.
+    pub x: Vec<Vec<f64>>,
+    /// Match labels.
+    pub y: Vec<bool>,
+}
+
+impl LabeledVectors {
+    /// Appends one example.
+    pub fn push(&mut self, x: Vec<f64>, y: bool) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of positive examples.
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&b| b).count()
+    }
+
+    /// Random split into `(train, test)` with the given test fraction,
+    /// stratified by label so both sides keep positives.
+    pub fn split<R: Rng + ?Sized>(&self, test_frac: f64, rng: &mut R) -> (Self, Self) {
+        use rand::seq::SliceRandom;
+        let mut pos: Vec<usize> = (0..self.len()).filter(|&i| self.y[i]).collect();
+        let mut neg: Vec<usize> = (0..self.len()).filter(|&i| !self.y[i]).collect();
+        pos.shuffle(rng);
+        neg.shuffle(rng);
+        let mut train = LabeledVectors::default();
+        let mut test = LabeledVectors::default();
+        for bucket in [pos, neg] {
+            let n_test = ((bucket.len() as f64) * test_frac).round() as usize;
+            for (k, &i) in bucket.iter().enumerate() {
+                let target = if k < n_test { &mut test } else { &mut train };
+                target.push(self.x[i].clone(), self.y[i]);
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Paper-shaped toy data: matches cluster near 1, non-matches near 0.
+    pub(crate) fn toy_data(rng: &mut StdRng, n_pos: usize, n_neg: usize) -> LabeledVectors {
+        let mut data = LabeledVectors::default();
+        for _ in 0..n_pos {
+            data.push(
+                vec![
+                    0.8 + rng.gen::<f64>() * 0.2,
+                    0.7 + rng.gen::<f64>() * 0.3,
+                    rng.gen::<f64>() * 0.5,
+                ],
+                true,
+            );
+        }
+        for _ in 0..n_neg {
+            data.push(
+                vec![
+                    rng.gen::<f64>() * 0.3,
+                    rng.gen::<f64>() * 0.3,
+                    rng.gen::<f64>() * 0.5,
+                ],
+                false,
+            );
+        }
+        data
+    }
+
+    #[test]
+    fn both_kinds_learn_separable_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = toy_data(&mut rng, 60, 180);
+        for kind in [MatcherKind::Magellan, MatcherKind::Deepmatcher] {
+            let m = kind.train(&data.x, &data.y, &mut rng);
+            let correct = data
+                .x
+                .iter()
+                .zip(&data.y)
+                .filter(|(x, &y)| m.predict(x) == y)
+                .count();
+            let acc = correct as f64 / data.len() as f64;
+            assert!(acc > 0.95, "{} accuracy {acc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn stratified_split_keeps_positives() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = toy_data(&mut rng, 20, 80);
+        let (train, test) = data.split(0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.positives(), 5);
+        assert_eq!(train.positives(), 15);
+    }
+}

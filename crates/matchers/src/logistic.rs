@@ -1,0 +1,109 @@
+//! Logistic regression by full-batch gradient descent with L2 regularization.
+
+use crate::Classifier;
+
+/// A trained logistic-regression matcher.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Fits by gradient descent.
+    ///
+    /// `epochs` full-batch steps with learning rate `lr` and L2 penalty
+    /// `lambda`. Features should be roughly unit-scaled (similarity vectors
+    /// are, by construction).
+    pub fn fit(x: &[Vec<f64>], y: &[bool], epochs: usize, lr: f64, lambda: f64) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0f64; d];
+            let mut gb = 0.0f64;
+            for (xi, &yi) in x.iter().zip(y) {
+                let z: f64 = xi.iter().zip(&w).map(|(&a, &wi)| a * wi).sum::<f64>() + b;
+                let p = sigmoid(z);
+                let err = p - f64::from(u8::from(yi));
+                for (g, &a) in gw.iter_mut().zip(xi) {
+                    *g += err * a;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * (g / n + lambda * *wi);
+            }
+            b -= lr * gb / n;
+        }
+        LogisticRegression { weights: w, bias: b }
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z: f64 = x
+            .iter()
+            .zip(&self.weights)
+            .map(|(&a, &w)| a * w)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_boundary() {
+        // Positive iff x0 > 0.5.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i > 50).collect();
+        let lr = LogisticRegression::fit(&x, &y, 2000, 0.5, 0.0);
+        assert!(lr.predict(&[0.9]));
+        assert!(!lr.predict(&[0.1]));
+        assert!(lr.weights()[0] > 0.0);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<bool> = (0..100).map(|i| i > 50).collect();
+        let free = LogisticRegression::fit(&x, &y, 2000, 0.5, 0.0);
+        let reg = LogisticRegression::fit(&x, &y, 2000, 0.5, 0.1);
+        assert!(reg.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn probabilities_bounded_and_monotone() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let y: Vec<bool> = (0..50).map(|i| i > 25).collect();
+        let lr = LogisticRegression::fit(&x, &y, 1000, 0.5, 0.0);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = lr.predict_proba(&[i as f64 / 10.0]);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

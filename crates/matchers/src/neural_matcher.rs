@@ -1,0 +1,212 @@
+//! The Deepmatcher-like neural matcher: an MLP over similarity features.
+
+use crate::Classifier;
+use neural::layers::{Mlp, Module};
+use neural::optim::Adam;
+use neural::{Tensor, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Neural-matcher hyperparameters.
+#[derive(Debug, Clone)]
+pub struct NeuralMatcherConfig {
+    /// Hidden layer widths (input/output added automatically).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Weight applied to positive examples in the loss — ER data is heavily
+    /// imbalanced (matches are rare), and Deepmatcher-style training
+    /// re-weights for it.
+    pub pos_weight: f32,
+}
+
+impl Default for NeuralMatcherConfig {
+    fn default() -> Self {
+        NeuralMatcherConfig {
+            hidden: vec![32, 16],
+            epochs: 60,
+            batch_size: 32,
+            lr: 5e-3,
+            pos_weight: 3.0,
+        }
+    }
+}
+
+/// A trained MLP matcher.
+pub struct NeuralMatcher {
+    mlp: Mlp,
+}
+
+impl NeuralMatcher {
+    /// Fits the MLP with Adam on weighted BCE.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[bool],
+        cfg: &NeuralMatcherConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit on no data");
+        assert_eq!(x.len(), y.len());
+        let d = x[0].len();
+        let mut widths = vec![d];
+        widths.extend_from_slice(&cfg.hidden);
+        widths.push(1);
+        let mlp = Mlp::new(&widths, rng);
+        let mut opt = Adam::new(mlp.parameters(), cfg.lr);
+
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let b = chunk.len();
+                let flat: Vec<f32> = chunk
+                    .iter()
+                    .flat_map(|&i| x[i].iter().map(|&v| v as f32))
+                    .collect();
+                let input = Var::constant(Tensor::from_vec(b, d, flat));
+                let targets =
+                    Tensor::from_vec(b, 1, chunk.iter().map(|&i| f32::from(y[i])).collect());
+                let logits = mlp.forward(&input);
+                // Weighted BCE: scale positive rows' contribution by
+                // replicating the loss with a weight mask.
+                let loss = weighted_bce(&logits, &targets, cfg.pos_weight);
+                loss.backward();
+                opt.step();
+            }
+        }
+        NeuralMatcher { mlp }
+    }
+}
+
+/// BCE-with-logits where positive targets weigh `pos_weight` times more:
+/// `mean( w ⊙ (softplus(z) − z·y) )` with `w = 1 + (pos_weight−1)·y` and the
+/// numerically stable `softplus(z) = max(z, 0) + ln(1 + exp(−|z|))`.
+fn weighted_bce(logits: &Var, targets: &Tensor, pos_weight: f32) -> Var {
+    let weights: Vec<f32> = targets
+        .as_slice()
+        .iter()
+        .map(|&t| if t > 0.5 { pos_weight } else { 1.0 })
+        .collect();
+    let w = Var::constant(Tensor::from_vec(targets.rows(), targets.cols(), weights));
+    let zy = logits.mul(&Var::constant(targets.clone()));
+    softplus(logits).sub(&zy).mul(&w).mean_all()
+}
+
+/// Numerically stable softplus built from autograd primitives:
+/// `softplus(z) = max(z, 0) + ln(1 + exp(−|z|))`.
+fn softplus(z: &Var) -> Var {
+    let neg_abs = z.relu().add(&z.scale(-1.0).relu()).scale(-1.0); // −|z|
+    let ones = Var::constant(Tensor::full(neg_abs.shape().0, neg_abs.shape().1, 1.0));
+    let log_term = neg_abs.exp().add(&ones).ln();
+    z.relu().add(&log_term)
+}
+
+impl Classifier for NeuralMatcher {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        let input = Var::constant(Tensor::from_vec(
+            1,
+            x.len(),
+            x.iter().map(|&v| v as f32).collect(),
+        ));
+        let p = self.mlp.forward(&input).sigmoid().value().get(0, 0);
+        p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_separable_similarity_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..80 {
+            x.push(vec![0.8 + rng.gen::<f64>() * 0.2, 0.7 + rng.gen::<f64>() * 0.3]);
+            y.push(true);
+        }
+        for _ in 0..240 {
+            x.push(vec![rng.gen::<f64>() * 0.3, rng.gen::<f64>() * 0.3]);
+            y.push(false);
+        }
+        let m = NeuralMatcher::fit(&x, &y, &NeuralMatcherConfig::default(), &mut rng);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn pos_weight_raises_recall_on_imbalanced_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 10 positives vs 290 negatives with overlap.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..10 {
+            x.push(vec![0.6 + rng.gen::<f64>() * 0.4]);
+            y.push(true);
+        }
+        for _ in 0..290 {
+            x.push(vec![rng.gen::<f64>() * 0.65]);
+            y.push(false);
+        }
+        let unweighted = NeuralMatcher::fit(
+            &x,
+            &y,
+            &NeuralMatcherConfig {
+                pos_weight: 1.0,
+                epochs: 40,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let weighted = NeuralMatcher::fit(
+            &x,
+            &y,
+            &NeuralMatcherConfig {
+                pos_weight: 8.0,
+                epochs: 40,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let recall = |m: &NeuralMatcher| {
+            x.iter()
+                .zip(&y)
+                .filter(|(_, &yi)| yi)
+                .filter(|(xi, _)| m.predict(xi))
+                .count()
+        };
+        assert!(recall(&weighted) >= recall(&unweighted));
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = vec![vec![0.1, 0.9], vec![0.5, 0.5]];
+        let y = vec![false, true];
+        let m = NeuralMatcher::fit(
+            &x,
+            &y,
+            &NeuralMatcherConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        for v in [[0.0, 0.0], [1.0, 1.0], [0.3, 0.8]] {
+            let p = m.predict_proba(&v);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests: every matcher family must behave like a probability
+//! classifier on arbitrary (bounded) similarity vectors.
+
+use matchers::{
+    Classifier, DecisionTree, LinearSvm, LogisticRegression, RandomForest,
+    RandomForestConfig, SvmConfig, TreeConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A labeled dataset where the label depends on the first feature.
+fn dataset(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v: Vec<f64> = (0..d).map(|_| rng.gen()).collect();
+        y.push(v[0] > 0.5);
+        x.push(v);
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tree_probability_bounds(seed in any::<u64>(), probe in prop::collection::vec(0.0f64..1.0, 3)) {
+        let (x, y) = dataset(60, 3, seed);
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let p = t.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(t.predict(&probe), p >= 0.5);
+    }
+
+    #[test]
+    fn forest_probability_bounds(seed in any::<u64>(), probe in prop::collection::vec(0.0f64..1.0, 3)) {
+        let (x, y) = dataset(60, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomForestConfig { n_trees: 5, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, &cfg, &mut rng);
+        let p = f.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn logistic_probability_bounds(seed in any::<u64>(), probe in prop::collection::vec(-5.0f64..5.0, 3)) {
+        let (x, y) = dataset(60, 3, seed);
+        let m = LogisticRegression::fit(&x, &y, 200, 0.5, 1e-3);
+        let p = m.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn svm_probability_bounds(seed in any::<u64>(), probe in prop::collection::vec(-5.0f64..5.0, 3)) {
+        let (x, y) = dataset(60, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = LinearSvm::fit(&x, &y, &SvmConfig { iterations: 2_000, ..Default::default() }, &mut rng);
+        let p = m.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert_eq!(m.predict(&probe), m.decision(&probe) >= 0.0);
+    }
+
+    #[test]
+    fn learners_beat_chance_on_linear_task(seed in any::<u64>()) {
+        let (x, y) = dataset(200, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let acc = |preds: Vec<bool>| {
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+        };
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        prop_assert!(acc(x.iter().map(|v| tree.predict(v)).collect()) > 0.8);
+        let lr = LogisticRegression::fit(&x, &y, 1000, 0.8, 0.0);
+        prop_assert!(acc(x.iter().map(|v| lr.predict(v)).collect()) > 0.8);
+        let svm = LinearSvm::fit(&x, &y, &SvmConfig::default(), &mut rng);
+        prop_assert!(acc(x.iter().map(|v| svm.predict(v)).collect()) > 0.8);
+    }
+}

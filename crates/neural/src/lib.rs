@@ -1,0 +1,33 @@
+//! Neural-network substrate: a small tensor type, reverse-mode autograd,
+//! layers, and (DP-)SGD/Adam optimizers.
+//!
+//! The paper trains character-level transformers (Section VI) and a tabular
+//! GAN (Sections IV-B2, V) — both need a differentiable compute substrate.
+//! This crate provides exactly that, from scratch:
+//!
+//! * [`Tensor`]: a 2-D row-major `f32` matrix with the usual kernels.
+//! * [`Var`]: a node in a dynamically built computation graph. Operations on
+//!   `Var`s record backward closures; [`Var::backward`] runs reverse-mode
+//!   differentiation over the topologically sorted graph.
+//! * [`layers`]: `Linear`, `Embedding`, `LayerNorm`, activations, dropout.
+//! * [`optim`]: `Sgd`, `Adam`, and [`optim::DpSgd`] — per-example gradient
+//!   clipping plus Gaussian noise, exactly Algorithm 1 of the paper (lines
+//!   6–10), with its privacy cost tracked by `dp::RdpAccountant`.
+//!
+//! Batching convention: the graph is built **per example** (sequences are
+//! `(seq_len, d_model)` matrices). DP-SGD needs per-example gradients anyway,
+//! so this keeps the implementation honest and simple; minibatches are loops.
+
+mod autograd;
+pub mod layers;
+pub mod optim;
+mod tensor;
+
+pub use autograd::Var;
+pub use tensor::Tensor;
+
+/// Kaiming/Xavier-style uniform initialization bound for a layer with the
+/// given fan-in and fan-out.
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}

@@ -1,0 +1,389 @@
+//! Optimizers: SGD, Adam, and the paper's DP-SGD (Algorithm 1).
+
+use crate::{Tensor, Var};
+use dp::RdpAccountant;
+use rand::Rng;
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over the given parameters.
+    pub fn new(params: Vec<Var>, lr: f32, momentum: f32) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Tensor::zeros(r, c)
+            })
+            .collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+
+    /// Applies one update from the parameters' accumulated gradients, then
+    /// zeroes the gradients.
+    pub fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(&mut self.velocity) {
+            let g = p.grad_value();
+            if self.momentum > 0.0 {
+                let mut nv = v.scale(self.momentum);
+                nv.add_scaled_assign(&g, 1.0);
+                *v = nv;
+                let lr = self.lr;
+                let vv = v.clone();
+                p.update_value(|t| t.add_scaled_assign(&vv, -lr));
+            } else {
+                p.update_value(|t| t.add_scaled_assign(&g, -self.lr));
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: i32,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard defaults (β1=0.9, β2=0.999).
+    pub fn new(params: Vec<Var>, lr: f32) -> Self {
+        let zeros = |ps: &[Var]| {
+            ps.iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    Tensor::zeros(r, c)
+                })
+                .collect::<Vec<_>>()
+        };
+        let m = zeros(&params);
+        let v = zeros(&params);
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m,
+            v,
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update from accumulated gradients, then zeroes them.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in self.params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad_value();
+            for ((mi, vi), &gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let lr = self.lr;
+            let (eps, _b) = (self.eps, 0);
+            let mm = m.clone();
+            let vv = v.clone();
+            p.update_value(|t| {
+                for ((ti, &mi), &vi) in t
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(mm.as_slice())
+                    .zip(vv.as_slice())
+                {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    *ti -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+}
+
+/// Per-example gradients of one example, flattened per parameter.
+pub type ExampleGrads = Vec<Tensor>;
+
+/// DP-SGD (paper Algorithm 1, lines 6–10): clip each example's *joint*
+/// gradient to L2 norm `clip`, sum, add `N(0, σ²·clip²)` noise, average by
+/// the minibatch size, and take a gradient step. Privacy cost is tracked by
+/// an [`RdpAccountant`] using the configured sampling rate.
+pub struct DpSgd {
+    params: Vec<Var>,
+    /// Learning rate `η`.
+    pub lr: f32,
+    /// Clipping bound `V`.
+    pub clip: f32,
+    /// Noise multiplier `σ`.
+    pub sigma: f32,
+    /// Minibatch sampling rate `q = J / |training data|`.
+    pub sampling_rate: f64,
+    accountant: RdpAccountant,
+}
+
+impl DpSgd {
+    /// Creates a DP-SGD optimizer.
+    pub fn new(params: Vec<Var>, lr: f32, clip: f32, sigma: f32, sampling_rate: f64) -> Self {
+        DpSgd {
+            params,
+            lr,
+            clip,
+            sigma,
+            sampling_rate,
+            accountant: RdpAccountant::new(),
+        }
+    }
+
+    /// The parameters this optimizer updates.
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// Reads the per-example gradient currently accumulated on the
+    /// parameters (call after a single example's backward), then zeroes it.
+    pub fn take_example_grads(&self) -> ExampleGrads {
+        self.params
+            .iter()
+            .map(|p| {
+                let g = p.grad_value();
+                p.zero_grad();
+                g
+            })
+            .collect()
+    }
+
+    /// Performs one DP-SGD step from a minibatch of per-example gradients.
+    ///
+    /// Each example's gradient is clipped *jointly across parameters* to L2
+    /// norm `clip` (Algorithm 1 line 8), the clipped gradients are summed,
+    /// spherical Gaussian noise `N(0, σ²V²)` is added (line 9), the sum is
+    /// divided by the minibatch size `J`, and parameters step with rate `η`
+    /// (line 10).
+    pub fn step<R: Rng + ?Sized>(&mut self, batch: &[ExampleGrads], rng: &mut R) {
+        if batch.is_empty() {
+            return;
+        }
+        let j = batch.len() as f32;
+        // Accumulate clipped sums.
+        let mut sums: Vec<Tensor> = self
+            .params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Tensor::zeros(r, c)
+            })
+            .collect();
+        for example in batch {
+            assert_eq!(example.len(), self.params.len(), "gradient arity mismatch");
+            // Joint L2 norm across all parameter tensors.
+            let norm: f32 = example
+                .iter()
+                .map(|g| g.as_slice().iter().map(|&v| v * v).sum::<f32>())
+                .sum::<f32>()
+                .sqrt();
+            let scale = if norm > self.clip && norm > 0.0 {
+                self.clip / norm
+            } else {
+                1.0
+            };
+            for (s, g) in sums.iter_mut().zip(example) {
+                s.add_scaled_assign(g, scale);
+            }
+        }
+        // Add noise and step.
+        let noise_std = self.sigma * self.clip;
+        for (p, s) in self.params.iter().zip(&mut sums) {
+            for v in s.as_mut_slice() {
+                *v += noise_std * standard_normal(rng);
+            }
+            let lr = self.lr;
+            let update = s.scale(1.0 / j);
+            p.update_value(|t| t.add_scaled_assign(&update, -lr));
+            p.zero_grad();
+        }
+        self.accountant
+            .compose_subsampled_gaussian(self.sampling_rate, self.sigma as f64);
+    }
+
+    /// The `(ε)` spent so far at the given `δ`.
+    pub fn epsilon(&self, delta: f64) -> f64 {
+        self.accountant.epsilon(delta)
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> usize {
+        self.accountant.steps()
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Module};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fit_line<F: FnMut(&Linear)>(mut stepper: F, rng: &mut StdRng) -> f32 {
+        // Fit y = 3x with one weight; return final weight.
+        let l = Linear::new(1, 1, rng);
+        for _ in 0..200 {
+            l.zero_grad();
+            let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+            let y = Tensor::from_vec(1, 1, vec![3.0]);
+            let loss = l.forward(&x).mse(&y);
+            loss.backward();
+            stepper(&l);
+        }
+        let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+        l.forward(&x).value().get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(1, 1, &mut rng);
+        let mut opt = Sgd::new(l.parameters(), 0.1, 0.0);
+        for _ in 0..200 {
+            let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+            let loss = l.forward(&x).mse(&Tensor::from_vec(1, 1, vec![3.0]));
+            loss.backward();
+            opt.step();
+        }
+        let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+        assert!((l.forward(&x).value().get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(1, 1, &mut rng);
+        let mut opt = Sgd::new(l.parameters(), 0.05, 0.9);
+        for _ in 0..300 {
+            let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+            let loss = l.forward(&x).mse(&Tensor::from_vec(1, 1, vec![3.0]));
+            loss.backward();
+            opt.step();
+        }
+        let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+        assert!((l.forward(&x).value().get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(1, 1, &mut rng);
+        let mut opt = Adam::new(l.parameters(), 0.05);
+        for _ in 0..500 {
+            let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+            let loss = l.forward(&x).mse(&Tensor::from_vec(1, 1, vec![3.0]));
+            loss.backward();
+            opt.step();
+        }
+        let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+        assert!((l.forward(&x).value().get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn dp_sgd_clips_and_tracks_privacy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Linear::new(2, 1, &mut rng);
+        let mut opt = DpSgd::new(l.parameters(), 0.1, 1.0, 1.0, 0.1);
+        // Build a batch of 4 per-example gradients, one with a huge norm.
+        let mut batch = Vec::new();
+        for i in 0..4 {
+            l.zero_grad();
+            let scale = if i == 0 { 100.0 } else { 1.0 };
+            let x = Var::constant(Tensor::from_vec(1, 2, vec![scale, scale]));
+            let loss = l.forward(&x).mse(&Tensor::from_vec(1, 1, vec![0.0]));
+            loss.backward();
+            batch.push(opt.take_example_grads());
+        }
+        // The huge-gradient example must have norm > clip before clipping.
+        let big_norm: f32 = batch[0]
+            .iter()
+            .map(|g| g.as_slice().iter().map(|&v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        assert!(big_norm > 1.0);
+        opt.step(&batch, &mut rng);
+        assert_eq!(opt.steps(), 1);
+        assert!(opt.epsilon(1e-5) > 0.0);
+        assert!(opt.epsilon(1e-5).is_finite());
+    }
+
+    #[test]
+    fn dp_sgd_with_zero_noise_behaves_like_clipped_sgd() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Linear::new(1, 1, &mut rng);
+        // sigma must be > 0 for the accountant; use tiny noise and small lr.
+        let mut opt = DpSgd::new(l.parameters(), 0.1, 10.0, 1e-4, 0.5);
+        for _ in 0..300 {
+            l.zero_grad();
+            let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+            let loss = l.forward(&x).mse(&Tensor::from_vec(1, 1, vec![3.0]));
+            loss.backward();
+            let g = opt.take_example_grads();
+            opt.step(&[g], &mut rng);
+        }
+        let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+        let out = l.forward(&x).value().get(0, 0);
+        assert!((out - 3.0).abs() < 0.05, "got {out}");
+    }
+
+    #[test]
+    fn dp_sgd_empty_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Linear::new(1, 1, &mut rng);
+        let before = l.w.value();
+        let mut opt = DpSgd::new(l.parameters(), 0.1, 1.0, 1.0, 0.1);
+        opt.step(&[], &mut rng);
+        assert_eq!(l.w.value(), before);
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn unused_helper_fit_line_exercised() {
+        // Keep the helper honest (and exercised) with plain manual SGD.
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = fit_line(
+            |l| {
+                for p in l.parameters() {
+                    let g = p.grad_value();
+                    p.update_value(|t| t.add_scaled_assign(&g, -0.1));
+                    p.zero_grad();
+                }
+            },
+            &mut rng,
+        );
+        assert!((w - 3.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests: end-to-end training behaviour of the neural substrate
+//! (loss descent, optimizer equivalences, DP-SGD privacy/noise trade-off).
+
+use neural::layers::{Linear, Mlp, Module};
+use neural::optim::{Adam, DpSgd, Sgd};
+use neural::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small binary classification problem: positive iff x0 + x1 > 1.
+fn make_data(rng: &mut StdRng, n: usize) -> (Vec<[f32; 2]>, Vec<f32>) {
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = [rng.gen::<f32>(), rng.gen::<f32>()];
+        ys.push(f32::from(u8::from(x[0] + x[1] > 1.0)));
+        xs.push(x);
+    }
+    (xs, ys)
+}
+
+fn batch_loss(mlp: &Mlp, xs: &[[f32; 2]], ys: &[f32]) -> Var {
+    let flat: Vec<f32> = xs.iter().flatten().copied().collect();
+    let input = Var::constant(Tensor::from_vec(xs.len(), 2, flat));
+    let targets = Tensor::from_vec(ys.len(), 1, ys.to_vec());
+    mlp.forward(&input).bce_with_logits(&targets)
+}
+
+fn accuracy(mlp: &Mlp, xs: &[[f32; 2]], ys: &[f32]) -> f64 {
+    let correct = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| {
+            let input = Var::constant(Tensor::from_vec(1, 2, x.to_vec()));
+            let p = mlp.forward(&input).sigmoid().value().get(0, 0);
+            (p > 0.5) == (y > 0.5)
+        })
+        .count();
+    correct as f64 / xs.len() as f64
+}
+
+#[test]
+fn adam_training_descends_and_generalizes() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let (xs, ys) = make_data(&mut rng, 300);
+    let mlp = Mlp::new(&[2, 12, 1], &mut rng);
+    let mut opt = Adam::new(mlp.parameters(), 5e-3);
+    let initial = batch_loss(&mlp, &xs, &ys).value().get(0, 0);
+    for _ in 0..400 {
+        batch_loss(&mlp, &xs, &ys).backward();
+        opt.step();
+    }
+    let final_loss = batch_loss(&mlp, &xs, &ys).value().get(0, 0);
+    assert!(final_loss < initial * 0.5, "loss {initial} -> {final_loss}");
+    let (test_x, test_y) = make_data(&mut rng, 200);
+    let acc = accuracy(&mlp, &test_x, &test_y);
+    assert!(acc > 0.9, "test accuracy {acc}");
+}
+
+#[test]
+fn sgd_and_adam_reach_similar_solutions() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (xs, ys) = make_data(&mut rng, 300);
+    let train = |use_adam: bool, rng: &mut StdRng| {
+        let mlp = Mlp::new(&[2, 12, 1], rng);
+        if use_adam {
+            let mut opt = Adam::new(mlp.parameters(), 5e-3);
+            for _ in 0..400 {
+                batch_loss(&mlp, &xs, &ys).backward();
+                opt.step();
+            }
+        } else {
+            let mut opt = Sgd::new(mlp.parameters(), 0.5, 0.9);
+            for _ in 0..400 {
+                batch_loss(&mlp, &xs, &ys).backward();
+                opt.step();
+            }
+        }
+        accuracy(&mlp, &xs, &ys)
+    };
+    let acc_adam = train(true, &mut rng);
+    let acc_sgd = train(false, &mut rng);
+    assert!(acc_adam > 0.9, "adam {acc_adam}");
+    assert!(acc_sgd > 0.9, "sgd {acc_sgd}");
+}
+
+#[test]
+fn dp_sgd_noise_trades_off_accuracy_but_still_learns() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (xs, ys) = make_data(&mut rng, 200);
+    let run = |sigma: f32, rng: &mut StdRng| -> (f64, f64) {
+        let mlp = Mlp::new(&[2, 8, 1], rng);
+        let mut opt = DpSgd::new(mlp.parameters(), 0.2, 1.0, sigma, 16.0 / 200.0);
+        for _ in 0..150 {
+            let mut batch = Vec::new();
+            for _ in 0..16 {
+                let i = rng.gen_range(0..xs.len());
+                batch_loss(&mlp, &xs[i..=i], &ys[i..=i]).backward();
+                batch.push(opt.take_example_grads());
+            }
+            opt.step(&batch, rng);
+        }
+        (accuracy(&mlp, &xs, &ys), opt.epsilon(1e-5))
+    };
+    let (acc_low_noise, eps_low_noise) = run(0.1, &mut rng);
+    let (_, eps_high_noise) = run(4.0, &mut rng);
+    // Modest noise still learns the task.
+    assert!(acc_low_noise > 0.75, "low-noise accuracy {acc_low_noise}");
+    // More noise => stronger privacy (smaller epsilon).
+    assert!(
+        eps_high_noise < eps_low_noise,
+        "eps {eps_high_noise} !< {eps_low_noise}"
+    );
+}
+
+#[test]
+fn parameter_count_matches_architecture() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mlp = Mlp::new(&[4, 16, 8, 1], &mut rng);
+    // (4*16 + 16) + (16*8 + 8) + (8*1 + 1)
+    assert_eq!(mlp.num_parameters(), 80 + 136 + 9);
+    let lin = Linear::new(10, 5, &mut rng);
+    assert_eq!(lin.num_parameters(), 55);
+}
+
+#[test]
+fn zero_grad_between_steps_prevents_accumulation() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let lin = Linear::new(1, 1, &mut rng);
+    let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
+    let t = Tensor::from_vec(1, 1, vec![0.0]);
+
+    lin.forward(&x).mse(&t).backward();
+    let g1 = lin.w.grad_value().get(0, 0);
+    lin.forward(&x).mse(&t).backward();
+    let g2 = lin.w.grad_value().get(0, 0);
+    assert!((g2 - 2.0 * g1).abs() < 1e-5, "grads accumulate without zero_grad");
+
+    lin.zero_grad();
+    lin.forward(&x).mse(&t).backward();
+    let g3 = lin.w.grad_value().get(0, 0);
+    assert!((g3 - g1).abs() < 1e-5);
+}

@@ -1,0 +1,141 @@
+//! The **SynER-Decision** problem (paper Section III, Theorem 1).
+//!
+//! The paper proves that deciding whether a `B_syn` record exists matching a
+//! given `M`-distribution *exactly* is NP-complete, by reduction from the
+//! central-string problem (edit distance exactly `k` to every input string).
+//! That hardness result is why SERD is a heuristic sampler rather than an
+//! exact solver.
+//!
+//! This module makes the result concrete and testable:
+//!
+//! * [`SynErDecision`] — a problem instance: the strings of `A_syn` and the
+//!   target distance `k` (the point-mass `M`-distribution of the proof).
+//! * [`SynErDecision::verify`] — the polynomial-time certificate check that
+//!   puts the problem in NP.
+//! * [`SynErDecision::solve_exhaustive`] — an exponential exact solver over
+//!   a bounded alphabet/length, usable for small instances (and for
+//!   exhibiting the exponential blow-up in a bench).
+
+use similarity::levenshtein;
+
+/// An instance of the SynER-Decision problem: does a string `s` exist with
+/// `lev(s, a_i) == k` for every `a_i` in `A_syn`?
+#[derive(Debug, Clone)]
+pub struct SynErDecision {
+    strings: Vec<String>,
+    k: usize,
+}
+
+impl SynErDecision {
+    /// Builds an instance.
+    pub fn new(strings: Vec<String>, k: usize) -> Self {
+        SynErDecision { strings, k }
+    }
+
+    /// The `A_syn` strings.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// The exact target distance `k` (the point-mass `M`-distribution).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Polynomial-time certificate verification (the "in NP" half of
+    /// Theorem 1): is `candidate` at edit distance exactly `k` from every
+    /// instance string?
+    pub fn verify(&self, candidate: &str) -> bool {
+        self.strings
+            .iter()
+            .all(|s| levenshtein(candidate, s) == self.k)
+    }
+
+    /// Exhaustive exact solver: enumerates all strings over `alphabet` up to
+    /// `max_len` characters and returns the first valid certificate.
+    ///
+    /// Exponential in `max_len` (that's the point); keep instances tiny.
+    pub fn solve_exhaustive(&self, alphabet: &[char], max_len: usize) -> Option<String> {
+        let mut current = vec![String::new()];
+        if self.verify("") {
+            return Some(String::new());
+        }
+        for _ in 0..max_len {
+            let mut next = Vec::with_capacity(current.len() * alphabet.len());
+            for prefix in &current {
+                for &c in alphabet {
+                    let mut cand = prefix.clone();
+                    cand.push(c);
+                    if self.verify(&cand) {
+                        return Some(cand);
+                    }
+                    next.push(cand);
+                }
+            }
+            current = next;
+        }
+        None
+    }
+
+    /// Search-space size the exhaustive solver faces: `Σ_{l<=max_len} |Σ|^l`.
+    pub fn search_space(alphabet_len: usize, max_len: usize) -> u128 {
+        let mut total: u128 = 0;
+        let mut layer: u128 = 1;
+        for _ in 0..=max_len {
+            total += layer;
+            layer = layer.saturating_mul(alphabet_len as u128);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_is_exact() {
+        let inst = SynErDecision::new(vec!["ab".into(), "ba".into()], 1);
+        // "aa": lev to "ab" = 1, to "ba" = 1.
+        assert!(inst.verify("aa"));
+        // "ab": lev to itself = 0 != 1.
+        assert!(!inst.verify("ab"));
+        // "cc": lev 2 to both.
+        assert!(!inst.verify("cc"));
+    }
+
+    #[test]
+    fn solver_finds_known_certificate() {
+        let inst = SynErDecision::new(vec!["ab".into(), "ba".into()], 1);
+        let sol = inst.solve_exhaustive(&['a', 'b'], 3).expect("solvable");
+        assert!(inst.verify(&sol));
+    }
+
+    #[test]
+    fn solver_reports_unsatisfiable_small_instances() {
+        // k = 0 demands a string equal to BOTH distinct strings: impossible.
+        let inst = SynErDecision::new(vec!["ab".into(), "ba".into()], 0);
+        assert!(inst.solve_exhaustive(&['a', 'b'], 4).is_none());
+    }
+
+    #[test]
+    fn k_zero_single_string_is_the_string() {
+        let inst = SynErDecision::new(vec!["aba".into()], 0);
+        assert_eq!(inst.solve_exhaustive(&['a', 'b'], 3).as_deref(), Some("aba"));
+    }
+
+    #[test]
+    fn three_string_instance() {
+        let inst = SynErDecision::new(vec!["aa".into(), "ab".into(), "bb".into()], 1);
+        if let Some(sol) = inst.solve_exhaustive(&['a', 'b'], 3) {
+            assert!(inst.verify(&sol));
+        }
+    }
+
+    #[test]
+    fn search_space_is_exponential() {
+        // |Σ|=4: lengths 0..=8 give (4^9 - 1) / 3 = 87381 candidates.
+        assert_eq!(SynErDecision::search_space(4, 8), 87_381);
+        assert!(SynErDecision::search_space(26, 12) > 10u128.pow(16));
+    }
+}

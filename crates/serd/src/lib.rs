@@ -1,0 +1,92 @@
+//! **SERD** — Synthesize ER Datasets (the paper's core contribution).
+//!
+//! Given a real ER dataset `E_real = (A, B, M, N)` and background corpora for
+//! its textual columns, SERD produces a fully synthetic `E_syn` whose pair
+//! similarity distribution matches `E_real`'s, so that matchers trained on
+//! `E_syn` behave like matchers trained on `E_real` — without exposing any
+//! real entity (paper Sections III–VI).
+//!
+//! Pipeline (Figure 3):
+//!
+//! * **S1** ([`SerdSynthesizer::fit`]): compute `X+`/`X-` similarity vectors,
+//!   fit the M- and N-distributions as AIC-selected multivariate GMMs, and
+//!   train the per-column bucketed DP transformers plus the tabular GAN on
+//!   background data.
+//! * **S2** ([`SerdSynthesizer::synthesize`]): iteratively sample a
+//!   synthesized entity `e` and a similarity vector `x ~ O_real`, synthesize
+//!   `e'` column-by-column so `sim(e, e') = x`, and subject `e'` to **entity
+//!   rejection** — the GAN discriminator test (`D(e') ≥ β`) and the
+//!   distribution test (`JSD(O'_syn, O_real) ≤ α · JSD(O_syn, O_real)`,
+//!   Eq. 10, maintained incrementally via the GMM sufficient-statistics
+//!   update).
+//! * **S3**: label every remaining pair by GMM posterior (`P_m(x) ≥ P_n(x)`),
+//!   using q-gram blocking instead of the full cross product.
+//!
+//! The `SERD-` ablation (rejection off) and the EMBench-style perturbation
+//! baseline (paper Section VII "Comparisons") live in [`baselines`].
+//!
+//! ```no_run
+//! use serd::{SerdConfig, SerdSynthesizer};
+//! use rand::SeedableRng;
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! # let sim = datagen::generate(datagen::DatasetKind::Restaurant, 0.02, &mut rng);
+//! let synthesizer = SerdSynthesizer::fit(
+//!     &sim.er,
+//!     &sim.background,
+//!     SerdConfig::fast(),
+//!     &mut rng,
+//! ).unwrap();
+//! let out = synthesizer.synthesize(&mut rng).unwrap();
+//! println!("synthesized {} x {} entities, {} matches",
+//!          out.er.a().len(), out.er.b().len(), out.er.num_matches());
+//! ```
+
+mod algorithm;
+pub mod baselines;
+mod config;
+pub mod decision;
+mod rejection;
+mod synthesis;
+
+pub use algorithm::{SerdSynthesizer, SynthesisStats, SynthesizedEr};
+pub use config::SerdConfig;
+pub use rejection::OSynState;
+pub use synthesis::{ColumnSynthesizer, Side};
+
+/// Errors from the SERD pipeline.
+#[derive(Debug)]
+pub enum SerdError {
+    /// The real dataset has no matching pairs to learn from.
+    NoMatches,
+    /// Distribution learning failed (e.g. all similarity vectors identical).
+    Gmm(gmm::GmmError),
+    /// The data model rejected a synthesized row (internal invariant).
+    Er(er_core::ErError),
+}
+
+impl std::fmt::Display for SerdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerdError::NoMatches => write!(f, "real dataset has no matching pairs"),
+            SerdError::Gmm(e) => write!(f, "distribution learning failed: {e}"),
+            SerdError::Er(e) => write!(f, "data model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerdError {}
+
+impl From<gmm::GmmError> for SerdError {
+    fn from(e: gmm::GmmError) -> Self {
+        SerdError::Gmm(e)
+    }
+}
+
+impl From<er_core::ErError> for SerdError {
+    fn from(e: er_core::ErError) -> Self {
+        SerdError::Er(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, SerdError>;

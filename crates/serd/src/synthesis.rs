@@ -1,0 +1,385 @@
+//! Column-wise entity synthesis (paper Section IV-B1): given an existing
+//! entity `e` and a sampled similarity vector `x`, produce `e'` such that
+//! `f_i(e[C_i], e'[C_i]) = x[i]` for every column.
+
+use er_core::{ColumnType, Entity, Schema, Value};
+use rand::Rng;
+use similarity::numeric_inverse;
+use std::collections::HashMap;
+use transformer::BucketedSynthesizer;
+
+/// Which relation a synthesized entity is destined for. Categorical value
+/// domains are kept per side: in real ER data the two tables often use
+/// different surface forms (paper Fig. 1: "VLDB" vs "Very Large Data
+/// Bases"), and pooling them would distort the cross-pair similarity
+/// distribution of `E_syn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The A relation.
+    A,
+    /// The B relation.
+    B,
+}
+
+/// Synthesizes attribute values per column type.
+///
+/// * **Numeric/Date**: invert the min–max similarity analytically and pick
+///   one of the two candidates (paper's `2008 ± (1-0.8)·10` example).
+/// * **Categorical**: scan the column's (real) value domain for the value
+///   whose similarity to `e[C_i]` is closest to `x[i]`.
+/// * **Text**: the per-column bucketed DP transformer.
+pub struct ColumnSynthesizer {
+    schema: Schema,
+    /// Per-side value domains of categorical columns.
+    domains_a: HashMap<usize, Vec<String>>,
+    domains_b: HashMap<usize, Vec<String>>,
+    /// Bucketed transformers for text columns.
+    text_models: HashMap<usize, BucketedSynthesizer>,
+    /// `(min, max)` observed per numeric/date column (values are clamped so
+    /// synthesized entities stay in-domain).
+    bounds: Vec<(f64, f64)>,
+    /// Whether each numeric column held only integral values.
+    integral: Vec<bool>,
+}
+
+impl ColumnSynthesizer {
+    /// Assembles a synthesizer from the fitted pieces. `domains_a` /
+    /// `domains_b` are the categorical value domains observed in the real
+    /// A / B relations.
+    pub fn new(
+        schema: Schema,
+        domains_a: HashMap<usize, Vec<String>>,
+        domains_b: HashMap<usize, Vec<String>>,
+        text_models: HashMap<usize, BucketedSynthesizer>,
+        bounds: Vec<(f64, f64)>,
+        integral: Vec<bool>,
+    ) -> Self {
+        ColumnSynthesizer {
+            schema,
+            domains_a,
+            domains_b,
+            text_models,
+            bounds,
+            integral,
+        }
+    }
+
+    /// The schema this synthesizer produces entities for.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The bucketed text model of a column, if any.
+    pub fn text_model(&self, col: usize) -> Option<&BucketedSynthesizer> {
+        self.text_models.get(&col)
+    }
+
+    /// Synthesizes `e'` from `e` and the sampled similarity vector `x`
+    /// (paper step S2-3). `side` is the relation `e'` will be added to;
+    /// categorical values are drawn from that side's real domain.
+    pub fn synthesize_entity<R: Rng + ?Sized>(
+        &self,
+        e: &Entity,
+        x: &[f64],
+        side: Side,
+        rng: &mut R,
+    ) -> Entity {
+        debug_assert_eq!(x.len(), self.schema.len());
+        let values = self
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                let target = x[i].clamp(0.0, 1.0);
+                match col.ctype {
+                    ColumnType::Numeric => {
+                        self.synth_numeric(i, e.value(i), target, col.range, rng)
+                    }
+                    ColumnType::Date => self.synth_date(i, e.value(i), target, col.range, rng),
+                    ColumnType::Categorical => {
+                        self.synth_categorical(i, e.value(i), target, col, side)
+                    }
+                    ColumnType::Text => self.synth_text(i, e.value(i), target, rng),
+                }
+            })
+            .collect();
+        Entity::new(values)
+    }
+
+    fn synth_numeric<R: Rng + ?Sized>(
+        &self,
+        col: usize,
+        v: &Value,
+        target: f64,
+        range: f64,
+        rng: &mut R,
+    ) -> Value {
+        let Some(base) = v.as_f64() else {
+            // Missing source value: draw uniformly from the column bounds.
+            let (lo, hi) = self.bounds[col];
+            return Value::Numeric(self.round_if_integral(col, rng.gen_range(lo..=hi.max(lo))));
+        };
+        let (lo_cand, hi_cand) = numeric_inverse(base, target, range);
+        let (lo, hi) = self.bounds[col];
+        // Prefer the in-bounds candidate; sample when both qualify.
+        let candidates = [lo_cand, hi_cand];
+        let in_bounds: Vec<f64> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| c >= lo && c <= hi)
+            .collect();
+        let chosen = match in_bounds.len() {
+            2 => in_bounds[rng.gen_range(0..2)],
+            1 => in_bounds[0],
+            _ => candidates[rng.gen_range(0..2)].clamp(lo, hi),
+        };
+        Value::Numeric(self.round_if_integral(col, chosen))
+    }
+
+    fn synth_date<R: Rng + ?Sized>(
+        &self,
+        col: usize,
+        v: &Value,
+        target: f64,
+        range: f64,
+        rng: &mut R,
+    ) -> Value {
+        let base = match v.as_f64() {
+            Some(b) => b,
+            None => {
+                let (lo, hi) = self.bounds[col];
+                return Value::Date(rng.gen_range(lo as i64..=(hi as i64).max(lo as i64)));
+            }
+        };
+        let (lo_cand, hi_cand) = numeric_inverse(base, target, range);
+        let chosen = if rng.gen_bool(0.5) { lo_cand } else { hi_cand };
+        let (lo, hi) = self.bounds[col];
+        Value::Date(chosen.clamp(lo, hi).round() as i64)
+    }
+
+    fn synth_categorical(
+        &self,
+        col: usize,
+        v: &Value,
+        target: f64,
+        column: &er_core::Column,
+        side: Side,
+    ) -> Value {
+        let domains = match side {
+            Side::A => &self.domains_a,
+            Side::B => &self.domains_b,
+        };
+        let domain = match domains.get(&col) {
+            Some(d) if !d.is_empty() => d,
+            _ => return v.clone(),
+        };
+        let base = Value::Categorical(v.as_str().unwrap_or("").to_string());
+        let best = domain
+            .iter()
+            .min_by(|a, b| {
+                let da = (column.similarity(&base, &Value::Categorical((*a).clone())) - target)
+                    .abs();
+                let db = (column.similarity(&base, &Value::Categorical((*b).clone())) - target)
+                    .abs();
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .cloned()
+            .unwrap_or_default();
+        Value::Categorical(best)
+    }
+
+    fn synth_text<R: Rng + ?Sized>(
+        &self,
+        col: usize,
+        v: &Value,
+        target: f64,
+        rng: &mut R,
+    ) -> Value {
+        let base = v.as_str().unwrap_or("");
+        match self.text_models.get(&col) {
+            Some(model) => Value::Text(model.synthesize(base, target, rng)),
+            None => Value::Text(base.to_string()),
+        }
+    }
+
+    fn round_if_integral(&self, col: usize, v: f64) -> f64 {
+        if self.integral.get(col).copied().unwrap_or(false) {
+            v.round()
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use similarity::qgram_jaccard;
+    use transformer::{BucketedSynthesizer, BucketedSynthesizerConfig};
+
+    fn synthesizer(with_text_model: bool) -> ColumnSynthesizer {
+        let schema = Schema::new(vec![
+            Column::text("title"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+            Column::date("released", 100.0),
+        ]);
+        let mut domains = HashMap::new();
+        domains.insert(
+            1,
+            vec![
+                "SIGMOD Conference".to_string(),
+                "International Conference on Management of Data".to_string(),
+                "VLDB".to_string(),
+            ],
+        );
+        let mut text_models = HashMap::new();
+        if with_text_model {
+            let mut rng = StdRng::seed_from_u64(0);
+            let corpus: Vec<String> = [
+                "adaptive query processing",
+                "temporal data management",
+                "frequent pattern mining",
+                "stream processing systems",
+                "parallel join algorithms",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            text_models.insert(
+                0,
+                BucketedSynthesizer::train(&corpus, BucketedSynthesizerConfig::test_tiny(), &mut rng),
+            );
+        }
+        let mut domains_b = HashMap::new();
+        domains_b.insert(
+            1,
+            vec![
+                "International Conference on Management of Data".to_string(),
+                "Very Large Data Bases".to_string(),
+            ],
+        );
+        ColumnSynthesizer::new(
+            schema,
+            domains,
+            domains_b,
+            text_models,
+            vec![(0.0, 0.0), (0.0, 0.0), (1995.0, 2005.0), (0.0, 1000.0)],
+            vec![false, false, true, false],
+        )
+    }
+
+    fn entity() -> Entity {
+        Entity::new(vec![
+            Value::Text("adaptive query processing in temporal systems".into()),
+            Value::Categorical("SIGMOD Conference".into()),
+            Value::Numeric(2000.0),
+            Value::Date(500),
+        ])
+    }
+
+    #[test]
+    fn numeric_hits_target_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = synthesizer(false);
+        let e = entity();
+        let out = s.synthesize_entity(&e, &[1.0, 1.0, 0.8, 1.0], Side::A, &mut rng);
+        let y = out.value(2).as_f64().unwrap();
+        // 2000 ± 2, in bounds, integral.
+        assert!(y == 1998.0 || y == 2002.0, "year {y}");
+    }
+
+    #[test]
+    fn numeric_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = synthesizer(false);
+        let e = Entity::new(vec![
+            Value::Text("t".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Numeric(2005.0), // at the max bound
+            Value::Date(0),
+        ]);
+        // target 0.5 -> candidates 2000 or 2010; 2010 out of bounds.
+        let out = s.synthesize_entity(&e, &[1.0, 1.0, 0.5, 1.0], Side::A, &mut rng);
+        assert_eq!(out.value(2).as_f64().unwrap(), 2000.0);
+    }
+
+    #[test]
+    fn date_synthesis_rounds_and_clamps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = synthesizer(false);
+        let e = entity();
+        let out = s.synthesize_entity(&e, &[1.0, 1.0, 1.0, 0.9], Side::A, &mut rng);
+        let d = match out.value(3) {
+            Value::Date(d) => *d,
+            other => panic!("expected date, got {other:?}"),
+        };
+        assert!(d == 490 || d == 510, "date {d}");
+    }
+
+    #[test]
+    fn categorical_picks_exact_match_for_sim_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = synthesizer(false);
+        let e = entity();
+        let out = s.synthesize_entity(&e, &[1.0, 1.0, 1.0, 1.0], Side::A, &mut rng);
+        assert_eq!(out.value(1).as_str(), Some("SIGMOD Conference"));
+    }
+
+    #[test]
+    fn categorical_picks_closest_for_low_sim() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = synthesizer(false);
+        let e = entity();
+        let out = s.synthesize_entity(&e, &[1.0, 0.0, 1.0, 1.0], Side::A, &mut rng);
+        // VLDB shares no 3-grams with "SIGMOD Conference" -> sim 0 exactly.
+        assert_eq!(out.value(1).as_str(), Some("VLDB"));
+    }
+
+    #[test]
+    fn text_without_model_copies_source() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = synthesizer(false);
+        let e = entity();
+        let out = s.synthesize_entity(&e, &[0.4, 1.0, 1.0, 1.0], Side::A, &mut rng);
+        assert_eq!(out.value(0).as_str(), e.value(0).as_str());
+    }
+
+    #[test]
+    fn text_with_model_approaches_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = synthesizer(true);
+        let e = entity();
+        for target in [0.15, 0.8] {
+            let out = s.synthesize_entity(&e, &[target, 1.0, 1.0, 1.0], Side::A, &mut rng);
+            let achieved = qgram_jaccard(
+                e.value(0).as_str().unwrap(),
+                out.value(0).as_str().unwrap(),
+                3,
+            );
+            assert!(
+                (achieved - target).abs() < 0.3,
+                "target {target} achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_numeric_source_draws_from_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = synthesizer(false);
+        let e = Entity::new(vec![
+            Value::Text("t".into()),
+            Value::Categorical("VLDB".into()),
+            Value::Null,
+            Value::Date(10),
+        ]);
+        let out = s.synthesize_entity(&e, &[1.0, 1.0, 0.7, 1.0], Side::A, &mut rng);
+        let y = out.value(2).as_f64().unwrap();
+        assert!((1995.0..=2005.0).contains(&y));
+    }
+}

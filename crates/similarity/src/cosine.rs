@@ -1,0 +1,156 @@
+//! TF and TF-IDF cosine similarity over token vectors — the long-text
+//! measure Magellan-style feature generators use for description columns.
+
+use crate::tokenize;
+use std::collections::HashMap;
+
+/// Cosine similarity of the term-frequency vectors of two strings.
+///
+/// ```
+/// use similarity::cosine_tf;
+/// assert_eq!(cosine_tf("big data systems", "big data systems"), 1.0);
+/// assert_eq!(cosine_tf("alpha beta", "gamma delta"), 0.0);
+/// ```
+pub fn cosine_tf(a: &str, b: &str) -> f64 {
+    let ta = term_frequencies(a);
+    let tb = term_frequencies(b);
+    cosine_of(&ta, &tb)
+}
+
+fn term_frequencies(s: &str) -> HashMap<String, f64> {
+    let mut tf = HashMap::new();
+    for t in tokenize(s) {
+        *tf.entry(t).or_insert(0.0) += 1.0;
+    }
+    tf
+}
+
+fn cosine_of(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let dot: f64 = a
+        .iter()
+        .filter_map(|(t, &wa)| b.get(t).map(|&wb| wa * wb))
+        .sum();
+    let na: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// A corpus-fitted TF-IDF weighting for cosine similarity. Tokens absent
+/// from the corpus receive the maximum IDF (they are maximally surprising).
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: HashMap<String, f64>,
+    max_idf: f64,
+}
+
+impl TfIdf {
+    /// Fits document frequencies over a corpus of documents.
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0usize;
+        for doc in corpus {
+            n_docs += 1;
+            let mut seen = std::collections::HashSet::new();
+            for t in tokenize(doc) {
+                if seen.insert(t.clone()) {
+                    *df.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        let n = n_docs.max(1) as f64;
+        let idf: HashMap<String, f64> = df
+            .into_iter()
+            .map(|(t, d)| (t, (n / (1.0 + d as f64)).ln().max(0.0) + 1.0))
+            .collect();
+        let max_idf = idf.values().cloned().fold(1.0, f64::max);
+        TfIdf { idf, max_idf }
+    }
+
+    /// IDF weight of a token.
+    pub fn idf(&self, token: &str) -> f64 {
+        self.idf.get(token).copied().unwrap_or(self.max_idf)
+    }
+
+    /// TF-IDF-weighted cosine similarity of two strings.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let weight = |s: &str| {
+            let mut w = term_frequencies(s);
+            for (t, v) in w.iter_mut() {
+                *v *= self.idf(t);
+            }
+            w
+        };
+        cosine_of(&weight(a), &weight(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_cosine_token_order_invariant() {
+        assert_eq!(
+            cosine_tf("join parallel algorithms", "algorithms parallel join"),
+            1.0
+        );
+    }
+
+    #[test]
+    fn tf_cosine_partial_overlap() {
+        let s = cosine_tf("a b", "b c");
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tf_cosine_empty_cases() {
+        assert_eq!(cosine_tf("", ""), 1.0);
+        assert_eq!(cosine_tf("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        let model = TfIdf::fit([
+            "the quick fox",
+            "the lazy dog",
+            "the hungry wolf",
+            "the sleepy cat",
+        ]);
+        assert!(model.idf("the") < model.idf("wolf"));
+        // Unknown tokens get the max IDF.
+        assert!(model.idf("zebra") >= model.idf("wolf"));
+    }
+
+    #[test]
+    fn tfidf_cosine_discounts_stopword_overlap() {
+        let model = TfIdf::fit([
+            "the laptop with the charger",
+            "the monitor with the stand",
+            "the keyboard with the cable",
+            "the mouse with the pad",
+        ]);
+        // A shared *rare* token ("gaming", unseen -> max IDF) pulls two
+        // strings together more than a shared stop word ("the") does.
+        let shared_rare = model.cosine("gaming laptop", "gaming monitor");
+        let shared_common = model.cosine("the laptop", "the monitor");
+        assert!(
+            shared_rare > shared_common,
+            "rare {shared_rare} vs common {shared_common}"
+        );
+    }
+
+    #[test]
+    fn tfidf_bounds() {
+        let model = TfIdf::fit(["alpha beta", "gamma delta"]);
+        for (a, b) in [("alpha", "alpha"), ("alpha", "gamma"), ("", "alpha")] {
+            let s = model.cosine(a, b);
+            assert!((0.0..=1.0).contains(&s), "{a:?} {b:?} -> {s}");
+        }
+    }
+}

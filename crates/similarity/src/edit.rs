@@ -1,0 +1,87 @@
+//! Levenshtein distance and the derived normalized edit similarity.
+
+/// Levenshtein (edit) distance between two strings, over Unicode scalar
+/// values. Classic two-row dynamic program: `O(|a| * |b|)` time, `O(|b|)`
+/// space.
+///
+/// ```
+/// use similarity::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized edit similarity: `1 - lev(a, b) / max(|a|, |b|)`.
+///
+/// Two empty strings have similarity 1.0.
+///
+/// ```
+/// use similarity::edit_similarity;
+/// assert_eq!(edit_similarity("abc", "abc"), 1.0);
+/// assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+/// ```
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(levenshtein("saturday", "sunday"), levenshtein("sunday", "saturday"));
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("paper", "piper", "pipes");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let s = edit_similarity("database systems", "databse systms");
+        assert!(s > 0.5 && s < 1.0);
+        assert_eq!(edit_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Jaro and Jaro–Winkler similarities — classic record-linkage measures for
+//! short strings (names), used by Magellan-style feature generators.
+
+/// Jaro similarity of two strings over Unicode scalar values.
+///
+/// `(m/|a| + m/|b| + (m - t)/m) / 3` where `m` is the number of matching
+/// characters (equal and within the match window) and `t` the number of
+/// transpositions halved.
+///
+/// ```
+/// use similarity::jaro;
+/// assert_eq!(jaro("martha", "martha"), 1.0);
+/// assert!(jaro("martha", "marhta") > 0.94);
+/// assert_eq!(jaro("abc", ""), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut matches_b_idx: Vec<usize> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push(ca);
+                matches_b_idx.push(j);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters of b in order of their b-index.
+    let mut order = matches_b_idx.clone();
+    order.sort_unstable();
+    let b_in_order: Vec<char> = order.iter().map(|&j| b[j]).collect();
+    let t = matches_a
+        .iter()
+        .zip(&b_in_order)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to 4
+/// characters, with scaling factor `p = 0.1`.
+///
+/// ```
+/// use similarity::{jaro, jaro_winkler};
+/// assert!(jaro_winkler("martha", "marhta") >= jaro("martha", "marhta"));
+/// assert_eq!(jaro_winkler("same", "same"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_values() {
+        // Standard textbook examples.
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert!((jaro("dixon", "dicksonx") - 0.7667).abs() < 1e-3);
+        assert!((jaro_winkler("dixon", "dicksonx") - 0.8133).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bounds_and_identity() {
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn winkler_dominates_jaro() {
+        for (a, b) in [("prefix", "prefix match"), ("jones", "johnson"), ("abcd", "abdc")] {
+            assert!(jaro_winkler(a, b) >= jaro(a, b) - 1e-12);
+            assert!(jaro_winkler(a, b) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(jaro("crate", "trace"), jaro("trace", "crate"));
+        assert_eq!(jaro_winkler("crate", "trace"), jaro_winkler("trace", "crate"));
+    }
+}

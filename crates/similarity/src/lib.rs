@@ -1,0 +1,138 @@
+//! Similarity-function substrate for the SERD reproduction.
+//!
+//! Entity-resolution pipelines reduce entity pairs to *similarity vectors*: one
+//! similarity score per aligned attribute (paper Section II-B). This crate
+//! implements the similarity functions the paper uses in its experiments
+//! (Section VII, "Settings"):
+//!
+//! * **3-gram Jaccard** for categorical and textual columns ([`qgram_jaccard`]);
+//! * **min–max normalized numeric similarity** `1 - |c1 - c2| / (max - min)`
+//!   for numeric and date columns ([`numeric_similarity`]);
+//!
+//! plus a wider family used by the matchers, the EMBench baseline, and tests:
+//! Levenshtein distance and the normalized edit similarity, token-level
+//! Jaccard, overlap and Dice coefficients, and Monge–Elkan-style hybrid token
+//! similarity.
+//!
+//! All string functions operate on Unicode scalar values (`char`), not bytes,
+//! so multi-byte characters count as single symbols.
+
+mod cosine;
+mod edit;
+mod jaro;
+mod qgram;
+mod token;
+
+pub use cosine::{cosine_tf, TfIdf};
+pub use edit::{edit_similarity, levenshtein};
+pub use jaro::{jaro, jaro_winkler};
+pub use qgram::{qgram_dice, qgram_jaccard, qgram_overlap, qgram_profile, QgramProfile};
+pub use token::{monge_elkan, token_dice, token_jaccard, tokenize};
+
+/// The similarity-function family a column is configured with.
+///
+/// Each variant is a pure function of two attribute values onto `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityKind {
+    /// q-gram Jaccard over characters (paper default: q = 3).
+    QgramJaccard {
+        /// The gram length `q`.
+        q: usize,
+    },
+    /// Whitespace-token Jaccard.
+    TokenJaccard,
+    /// Normalized edit similarity `1 - lev(a, b) / max(|a|, |b|)`.
+    EditSimilarity,
+    /// Jaro–Winkler similarity (name-style short strings).
+    JaroWinkler,
+    /// Term-frequency cosine similarity (long descriptions).
+    CosineTf,
+    /// `1 - |a - b| / range`, clamped to `[0, 1]` (numeric & date columns).
+    NumericMinMax,
+}
+
+impl SimilarityKind {
+    /// The paper's default for categorical/textual columns: 3-gram Jaccard.
+    pub const PAPER_TEXT: SimilarityKind = SimilarityKind::QgramJaccard { q: 3 };
+
+    /// Evaluates this similarity kind on two *string* values.
+    ///
+    /// [`SimilarityKind::NumericMinMax`] cannot be computed from strings and
+    /// returns `None`; numeric columns are dispatched through
+    /// [`numeric_similarity`] with the column range instead.
+    pub fn eval_str(&self, a: &str, b: &str) -> Option<f64> {
+        match *self {
+            SimilarityKind::QgramJaccard { q } => Some(qgram_jaccard(a, b, q)),
+            SimilarityKind::TokenJaccard => Some(token_jaccard(a, b)),
+            SimilarityKind::EditSimilarity => Some(edit_similarity(a, b)),
+            SimilarityKind::JaroWinkler => Some(jaro_winkler(a, b)),
+            SimilarityKind::CosineTf => Some(cosine_tf(a, b)),
+            SimilarityKind::NumericMinMax => None,
+        }
+    }
+}
+
+/// Min–max normalized numeric similarity used by the paper for numeric and
+/// date columns: `1 - |a - b| / range`, clamped to `[0, 1]`.
+///
+/// `range` is `max(C) - min(C)` over the column. A non-positive `range`
+/// degenerates to exact-match similarity (1.0 iff `a == b`).
+///
+/// ```
+/// use similarity::numeric_similarity;
+/// assert_eq!(numeric_similarity(2001.0, 2001.0, 10.0), 1.0);
+/// assert!((numeric_similarity(2008.0, 2006.0, 10.0) - 0.8).abs() < 1e-12);
+/// ```
+pub fn numeric_similarity(a: f64, b: f64, range: f64) -> f64 {
+    if range <= 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    (1.0 - (a - b).abs() / range).clamp(0.0, 1.0)
+}
+
+/// Inverts [`numeric_similarity`]: given `a`, a target similarity `sim`, and
+/// the column `range`, returns the two candidate values `b` with
+/// `numeric_similarity(a, b, range) == sim` (paper Section IV-B1, Numeric).
+pub fn numeric_inverse(a: f64, sim: f64, range: f64) -> (f64, f64) {
+    let delta = (1.0 - sim.clamp(0.0, 1.0)) * range.max(0.0);
+    (a - delta, a + delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_similarity_paper_example() {
+        // Paper Example 2: year similarity of (2001, 2001) with range 10.
+        assert_eq!(numeric_similarity(2001.0, 2001.0, 10.0), 1.0);
+        // Paper Section IV-B1: e[C]=2008, sim=0.8, range=10 -> 2006 or 2010.
+        let (lo, hi) = numeric_inverse(2008.0, 0.8, 10.0);
+        assert_eq!((lo, hi), (2006.0, 2010.0));
+        assert!((numeric_similarity(2008.0, lo, 10.0) - 0.8).abs() < 1e-12);
+        assert!((numeric_similarity(2008.0, hi, 10.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_similarity_clamps() {
+        assert_eq!(numeric_similarity(0.0, 100.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn numeric_similarity_zero_range() {
+        assert_eq!(numeric_similarity(5.0, 5.0, 0.0), 1.0);
+        assert_eq!(numeric_similarity(5.0, 6.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn kind_eval_dispatch() {
+        let k = SimilarityKind::PAPER_TEXT;
+        assert_eq!(k.eval_str("abc", "abc"), Some(1.0));
+        assert_eq!(SimilarityKind::NumericMinMax.eval_str("1", "2"), None);
+        assert_eq!(SimilarityKind::EditSimilarity.eval_str("ab", "ab"), Some(1.0));
+        assert_eq!(SimilarityKind::TokenJaccard.eval_str("a b", "a b"), Some(1.0));
+        assert_eq!(SimilarityKind::JaroWinkler.eval_str("ab", "ab"), Some(1.0));
+        let cos = SimilarityKind::CosineTf.eval_str("a b", "b a").unwrap();
+        assert!((cos - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Token-level similarities (whitespace tokenization).
+
+use crate::edit_similarity;
+use std::collections::HashSet;
+
+/// Lower-cases and splits on non-alphanumeric characters, dropping empties.
+///
+/// ```
+/// use similarity::tokenize;
+/// assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+/// ```
+pub fn tokenize(s: &str) -> Vec<String> {
+    s.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Set-based token Jaccard similarity.
+///
+/// ```
+/// use similarity::token_jaccard;
+/// assert_eq!(token_jaccard("very large data bases", "very large data bases"), 1.0);
+/// assert_eq!(token_jaccard("alpha beta", "gamma delta"), 0.0);
+/// ```
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokenize(a).into_iter().collect();
+    let sb: HashSet<String> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = (sa.len() + sb.len()) as f64 - inter;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Set-based token Dice coefficient.
+pub fn token_dice(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokenize(a).into_iter().collect();
+    let sb: HashSet<String> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let denom = (sa.len() + sb.len()) as f64;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    2.0 * sa.intersection(&sb).count() as f64 / denom
+}
+
+/// Monge–Elkan hybrid similarity: for each token of `a`, the best
+/// [`edit_similarity`] against any token of `b`, averaged. Asymmetric by
+/// construction; we symmetrize by averaging both directions.
+///
+/// Useful for author-list style columns where token order varies (paper
+/// Fig. 1: "Christian S. Jensen, Richard T. Snodgrass" vs. reordered lists).
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| edit_similarity(x, y))
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    0.5 * (dir(&ta, &tb) + dir(&tb, &ta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation() {
+        assert_eq!(
+            tokenize("Kossmann, Alfons-Kemper; C. Wiesner"),
+            vec!["kossmann", "alfons", "kemper", "c", "wiesner"]
+        );
+    }
+
+    #[test]
+    fn token_jaccard_order_invariant() {
+        let a = "donald kossmann alfons kemper";
+        let b = "alfons kemper donald kossmann";
+        assert_eq!(token_jaccard(a, b), 1.0);
+    }
+
+    #[test]
+    fn token_jaccard_partial() {
+        let s = token_jaccard("a b c d", "c d e f");
+        assert!((s - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_geq_jaccard() {
+        let a = "adaptable query optimization middleware";
+        let b = "query optimization in temporal middleware";
+        assert!(token_dice(a, b) >= token_jaccard(a, b));
+    }
+
+    #[test]
+    fn monge_elkan_handles_reordered_names() {
+        let a = "Christian S. Jensen, Richard T. Snodgrass";
+        let b = "Richard Thomas Snodgrass, Christian S. Jensen";
+        assert!(monge_elkan(a, b) > 0.7);
+        assert!(monge_elkan(a, b) <= 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_empty_cases() {
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("", "abc"), 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Corpus-guided deterministic string perturbation.
+//!
+//! Two roles (DESIGN.md §3.4):
+//!
+//! 1. **Training-pair seeding.** Background corpora pair strings by their
+//!    natural similarities; some buckets (e.g. `[0.6, 0.7)`) can be sparse.
+//!    [`perturb_toward`] manufactures a partner at any target similarity, so
+//!    every bucket model has training data.
+//! 2. **Candidate repair.** A small CPU-trained transformer sometimes misses
+//!    the target similarity; the bucketed synthesizer repairs the best
+//!    candidate with a few guided edits instead of rejecting outright.
+//!
+//! The perturbation alternates token-level edits — dropping tokens of `s`,
+//! appending/substituting tokens drawn from the corpus vocabulary — greedily
+//! keeping the edit that moves the 3-gram Jaccard similarity closest to the
+//! target, so outputs remain domain-plausible (corpus tokens only). Tokens
+//! keep their original case and punctuation: the 3-gram similarity is
+//! case-sensitive, and a lowercased copy of a mixed-case source would cap
+//! the reachable similarity well below 1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use similarity::{qgram_jaccard, tokenize};
+use std::collections::BTreeSet;
+
+/// A pool of domain tokens harvested from a background corpus.
+#[derive(Debug, Clone)]
+pub struct TokenPool {
+    /// Original-case tokens (deduplicated case-insensitively).
+    tokens: Vec<String>,
+    /// Lowercased token set for plausibility membership checks.
+    lower: BTreeSet<String>,
+}
+
+impl TokenPool {
+    /// Harvests the distinct tokens of the corpus, preserving their case.
+    pub fn from_corpus<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut lower = BTreeSet::new();
+        let mut tokens = Vec::new();
+        for s in corpus {
+            for t in s.split_whitespace() {
+                let key = t.to_lowercase();
+                if !key.chars().any(char::is_alphanumeric) {
+                    continue;
+                }
+                if lower.insert(key) {
+                    tokens.push(t.to_string());
+                }
+            }
+        }
+        if tokens.is_empty() {
+            tokens.push("item".to_string());
+            lower.insert("item".to_string());
+        }
+        TokenPool { tokens, lower }
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// A random token (original case).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        self.tokens.choose(rng).map(String::as_str).unwrap_or("item")
+    }
+
+    /// Whether the pool contains this token (case-insensitive; punctuation
+    /// is stripped the same way [`similarity::tokenize`] does).
+    pub fn contains(&self, token: &str) -> bool {
+        self.lower.contains(&token.to_lowercase())
+            || tokenize(token)
+                .iter()
+                .all(|t| self.lower.contains(t))
+    }
+
+    /// Fraction of `s`'s tokens that are pool tokens — a cheap plausibility
+    /// score for model-generated candidates.
+    pub fn plausibility(&self, s: &str) -> f64 {
+        let tokens = tokenize(s);
+        if tokens.is_empty() {
+            return 0.0;
+        }
+        tokens.iter().filter(|t| self.lower.contains(*t)).count() as f64 / tokens.len() as f64
+    }
+}
+
+/// Synthesizes `s'` from `s` with 3-gram Jaccard similarity close to
+/// `target`, using only tokens of `s` and of the `pool`.
+///
+/// Greedy local search: propose `width` random single edits per round
+/// (drop/append/replace a token), keep the best, stop when within `tol` or
+/// after `max_rounds` rounds. Returns the best string found and its achieved
+/// similarity.
+pub fn perturb_toward<R: Rng + ?Sized>(
+    s: &str,
+    target: f64,
+    pool: &TokenPool,
+    tol: f64,
+    max_rounds: usize,
+    rng: &mut R,
+) -> (String, f64) {
+    let target = target.clamp(0.0, 1.0);
+    // Case- and punctuation-preserving tokens of the source string.
+    let mut current: Vec<String> = s.split_whitespace().map(str::to_string).collect();
+    if current.is_empty() {
+        current.push(pool.sample(rng).to_string());
+    }
+    let score = |tokens: &[String]| qgram_jaccard(s, &tokens.join(" "), 3);
+    let mut best_sim = score(&current);
+
+    // target == 1 means an exact copy is wanted.
+    if target >= 1.0 - f64::EPSILON {
+        return (s.to_string(), 1.0);
+    }
+
+    let width = 8;
+    for _ in 0..max_rounds {
+        if (best_sim - target).abs() <= tol {
+            break;
+        }
+        let mut best_round: Option<(Vec<String>, f64)> = None;
+        for _ in 0..width {
+            let mut cand = current.clone();
+            let need_lower = best_sim > target;
+            let op = rng.gen_range(0..3);
+            match op {
+                // Drop a token (lowers similarity) / insert a corpus token.
+                0 => {
+                    if need_lower && cand.len() > 1 {
+                        let i = rng.gen_range(0..cand.len());
+                        cand.remove(i);
+                    } else {
+                        let i = rng.gen_range(0..=cand.len());
+                        cand.insert(i, pool.sample(rng).to_string());
+                    }
+                }
+                // Replace a token with a corpus token.
+                1 => {
+                    let i = rng.gen_range(0..cand.len());
+                    cand[i] = pool.sample(rng).to_string();
+                }
+                // Append a corpus token (lowers sim when already similar).
+                _ => {
+                    cand.push(pool.sample(rng).to_string());
+                }
+            }
+            if cand.is_empty() {
+                continue;
+            }
+            let sim = score(&cand);
+            let dist = (sim - target).abs();
+            if best_round
+                .as_ref()
+                .map_or(true, |(_, s2)| dist < (s2 - target).abs())
+            {
+                best_round = Some((cand, sim));
+            }
+        }
+        if let Some((cand, sim)) = best_round {
+            if (sim - target).abs() < (best_sim - target).abs() {
+                current = cand;
+                best_sim = sim;
+            }
+        }
+    }
+    (current.join(" "), best_sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> TokenPool {
+        TokenPool::from_corpus([
+            "adaptive query processing for data streams",
+            "efficient join algorithms in parallel databases",
+            "mining frequent patterns without candidate generation",
+            "temporal middleware evaluation strategies",
+        ])
+    }
+
+    #[test]
+    fn high_target_stays_close_to_source() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = "adaptive query processing in temporal middleware systems";
+        let (out, sim) = perturb_toward(s, 0.85, &pool(), 0.05, 200, &mut rng);
+        assert!((sim - 0.85).abs() < 0.12, "sim {sim} out {out:?}");
+    }
+
+    #[test]
+    fn mixed_case_source_reaches_high_similarity() {
+        // Regression: a lowercasing perturber capped similarity around 0.5
+        // for title-cased sources.
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = "Forest Family Restaurant";
+        let p = TokenPool::from_corpus(["Golden Dragon Diner", "Happy Garden Cafe"]);
+        let (out, sim) = perturb_toward(s, 0.73, &p, 0.05, 300, &mut rng);
+        assert!((sim - 0.73).abs() < 0.15, "sim {sim} out {out:?}");
+    }
+
+    #[test]
+    fn low_target_produces_dissimilar_string() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = "adaptive query processing in temporal middleware systems";
+        let (out, sim) = perturb_toward(s, 0.05, &pool(), 0.05, 300, &mut rng);
+        assert!(sim < 0.25, "sim {sim} out {out:?}");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn target_one_returns_copy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = "generalised hash teams";
+        let (out, sim) = perturb_toward(s, 1.0, &pool(), 0.01, 50, &mut rng);
+        assert_eq!(out, s);
+        assert_eq!(sim, 1.0);
+    }
+
+    #[test]
+    fn mid_targets_across_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = "mining frequent patterns from large transaction databases";
+        for target in [0.2, 0.4, 0.6, 0.8] {
+            let (_, sim) = perturb_toward(s, target, &pool(), 0.05, 400, &mut rng);
+            assert!(
+                (sim - target).abs() < 0.17,
+                "target {target} achieved {sim}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_tokens_are_domain_tokens() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = "temporal middleware evaluation";
+        let p = pool();
+        let (out, _) = perturb_toward(s, 0.5, &p, 0.02, 200, &mut rng);
+        let src_tokens: std::collections::HashSet<String> =
+            tokenize(s).into_iter().collect();
+        for t in tokenize(&out) {
+            assert!(
+                p.contains(&t) || src_tokens.contains(&t),
+                "alien token {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_contains_is_case_insensitive() {
+        let p = TokenPool::from_corpus(["Golden Dragon"]);
+        assert!(p.contains("golden"));
+        assert!(p.contains("Golden"));
+        assert!(p.contains("DRAGON"));
+        assert!(!p.contains("unicorn"));
+    }
+
+    #[test]
+    fn plausibility_scores() {
+        let p = pool();
+        assert_eq!(p.plausibility("adaptive query"), 1.0);
+        assert_eq!(p.plausibility("zzz qqq"), 0.0);
+        assert!((p.plausibility("adaptive zzz") - 0.5).abs() < 1e-12);
+        assert_eq!(p.plausibility(""), 0.0);
+    }
+
+    #[test]
+    fn empty_source_handled() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (out, _) = perturb_toward("", 0.5, &pool(), 0.05, 50, &mut rng);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_fallback() {
+        let p = TokenPool::from_corpus(std::iter::empty::<&str>());
+        assert!(!p.is_empty());
+    }
+}

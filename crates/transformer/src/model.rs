@@ -1,0 +1,586 @@
+//! The Vaswani-style encoder–decoder transformer, built on `neural`.
+
+use crate::vocab::{BOS, EOS, PAD};
+use neural::layers::{Embedding, Linear, Module};
+use neural::{Tensor, Var};
+use rand::Rng;
+
+/// Transformer hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TransformerConfig {
+    /// Vocabulary size (character vocab + specials).
+    pub vocab: usize,
+    /// Model width `d_model`.
+    pub d_model: usize,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// Encoder layer count.
+    pub n_enc_layers: usize,
+    /// Decoder layer count.
+    pub n_dec_layers: usize,
+    /// Feed-forward hidden width.
+    pub d_ff: usize,
+    /// Maximum sequence length (positional table size).
+    pub max_len: usize,
+}
+
+impl TransformerConfig {
+    /// The paper's configuration (Section VII "Settings"): hidden dimension
+    /// 256, 3 encoder/decoder layers, 8 heads. Character tokens.
+    pub fn paper(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 256,
+            n_heads: 8,
+            n_enc_layers: 3,
+            n_dec_layers: 3,
+            d_ff: 512,
+            max_len: 256,
+        }
+    }
+
+    /// A CPU-friendly configuration used by tests and the default benches.
+    pub fn tiny(vocab: usize) -> Self {
+        TransformerConfig {
+            vocab,
+            d_model: 32,
+            n_heads: 2,
+            n_enc_layers: 1,
+            n_dec_layers: 1,
+            d_ff: 64,
+            max_len: 96,
+        }
+    }
+}
+
+/// Multi-head scaled dot-product attention.
+struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_head: usize,
+}
+
+impl MultiHeadAttention {
+    fn new<R: Rng + ?Sized>(d_model: usize, n_heads: usize, rng: &mut R) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must be divisible by heads");
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            n_heads,
+            d_head: d_model / n_heads,
+        }
+    }
+
+    /// `q_in`: `(Lq, d)`, `k_in`/`v_in`: `(Lk, d)`, optional additive mask
+    /// `(Lq, Lk)` (0 = attend, -1e9 = blocked).
+    fn forward(&self, q_in: &Var, kv_in: &Var, mask: Option<&Tensor>) -> Var {
+        let q = self.wq.forward(q_in);
+        let k = self.wk.forward(kv_in);
+        let v = self.wv.forward(kv_in);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let qs = q.slice_cols(h * self.d_head, self.d_head);
+            let ks = k.slice_cols(h * self.d_head, self.d_head);
+            let vs = v.slice_cols(h * self.d_head, self.d_head);
+            let mut scores = qs.matmul(&ks.transpose()).scale(scale);
+            if let Some(m) = mask {
+                scores = scores.add_mask(m);
+            }
+            let attn = scores.softmax_rows();
+            heads.push(attn.matmul(&vs));
+        }
+        let concat = Var::concat_cols(&heads);
+        self.wo.forward(&concat)
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn parameters(&self) -> Vec<Var> {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+            .iter()
+            .flat_map(|l| l.parameters())
+            .collect()
+    }
+}
+
+struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    fn new<R: Rng + ?Sized>(d_model: usize, d_ff: usize, rng: &mut R) -> Self {
+        FeedForward {
+            l1: Linear::new(d_model, d_ff, rng),
+            l2: Linear::new(d_ff, d_model, rng),
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        self.l2.forward(&self.l1.forward(x).gelu())
+    }
+}
+
+impl Module for FeedForward {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.l1.parameters();
+        p.extend(self.l2.parameters());
+        p
+    }
+}
+
+struct EncoderLayer {
+    attn: MultiHeadAttention,
+    ff: FeedForward,
+    ln1: neural::layers::LayerNorm,
+    ln2: neural::layers::LayerNorm,
+}
+
+impl EncoderLayer {
+    fn new<R: Rng + ?Sized>(cfg: &TransformerConfig, rng: &mut R) -> Self {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, rng),
+            ff: FeedForward::new(cfg.d_model, cfg.d_ff, rng),
+            ln1: neural::layers::LayerNorm::new(cfg.d_model),
+            ln2: neural::layers::LayerNorm::new(cfg.d_model),
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        // Pre-norm residual blocks (more stable for small models).
+        let a = self.attn.forward(&self.ln1.forward(x), &self.ln1.forward(x), None);
+        let x = x.add(&a);
+        let f = self.ff.forward(&self.ln2.forward(&x));
+        x.add(&f)
+    }
+}
+
+impl Module for EncoderLayer {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.attn.parameters();
+        p.extend(self.ff.parameters());
+        p.extend(self.ln1.parameters());
+        p.extend(self.ln2.parameters());
+        p
+    }
+}
+
+struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ff: FeedForward,
+    ln1: neural::layers::LayerNorm,
+    ln2: neural::layers::LayerNorm,
+    ln3: neural::layers::LayerNorm,
+}
+
+impl DecoderLayer {
+    fn new<R: Rng + ?Sized>(cfg: &TransformerConfig, rng: &mut R) -> Self {
+        DecoderLayer {
+            self_attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, rng),
+            cross_attn: MultiHeadAttention::new(cfg.d_model, cfg.n_heads, rng),
+            ff: FeedForward::new(cfg.d_model, cfg.d_ff, rng),
+            ln1: neural::layers::LayerNorm::new(cfg.d_model),
+            ln2: neural::layers::LayerNorm::new(cfg.d_model),
+            ln3: neural::layers::LayerNorm::new(cfg.d_model),
+        }
+    }
+
+    fn forward(&self, x: &Var, memory: &Var, causal_mask: &Tensor) -> Var {
+        let n = self.ln1.forward(x);
+        let a = self.self_attn.forward(&n, &n, Some(causal_mask));
+        let x = x.add(&a);
+        let c = self
+            .cross_attn
+            .forward(&self.ln2.forward(&x), memory, None);
+        let x = x.add(&c);
+        let f = self.ff.forward(&self.ln3.forward(&x));
+        x.add(&f)
+    }
+}
+
+impl Module for DecoderLayer {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.self_attn.parameters();
+        p.extend(self.cross_attn.parameters());
+        p.extend(self.ff.parameters());
+        p.extend(self.ln1.parameters());
+        p.extend(self.ln2.parameters());
+        p.extend(self.ln3.parameters());
+        p
+    }
+}
+
+/// The encoder–decoder transformer for character string synthesis.
+pub struct Seq2SeqTransformer {
+    cfg: TransformerConfig,
+    embed_src: Embedding,
+    embed_tgt: Embedding,
+    pos: Tensor,
+    enc_layers: Vec<EncoderLayer>,
+    dec_layers: Vec<DecoderLayer>,
+    ln_final: neural::layers::LayerNorm,
+    out_proj: Linear,
+}
+
+impl Seq2SeqTransformer {
+    /// Builds a freshly initialized model.
+    pub fn new<R: Rng + ?Sized>(cfg: TransformerConfig, rng: &mut R) -> Self {
+        let pos = sinusoidal_positions(cfg.max_len, cfg.d_model);
+        Seq2SeqTransformer {
+            embed_src: Embedding::new(cfg.vocab, cfg.d_model, rng),
+            embed_tgt: Embedding::new(cfg.vocab, cfg.d_model, rng),
+            enc_layers: (0..cfg.n_enc_layers)
+                .map(|_| EncoderLayer::new(&cfg, rng))
+                .collect(),
+            dec_layers: (0..cfg.n_dec_layers)
+                .map(|_| DecoderLayer::new(&cfg, rng))
+                .collect(),
+            ln_final: neural::layers::LayerNorm::new(cfg.d_model),
+            out_proj: Linear::new(cfg.d_model, cfg.vocab, rng),
+            pos,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    fn embed(&self, table: &Embedding, ids: &[usize]) -> Var {
+        let ids: Vec<usize> = ids.iter().take(self.cfg.max_len).copied().collect();
+        let e = table.forward(&ids).scale((self.cfg.d_model as f32).sqrt());
+        let mut pos = Tensor::zeros(ids.len(), self.cfg.d_model);
+        for r in 0..ids.len() {
+            pos.row_mut(r).copy_from_slice(self.pos.row(r));
+        }
+        e.add(&Var::constant(pos))
+    }
+
+    /// Encodes framed source ids into a memory of shape `(L, d_model)`.
+    pub fn encode(&self, src_ids: &[usize]) -> Var {
+        let mut h = self.embed(&self.embed_src, src_ids);
+        for layer in &self.enc_layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Decodes target-input ids against the encoder memory, returning
+    /// `(L, vocab)` logits.
+    pub fn decode(&self, tgt_ids: &[usize], memory: &Var) -> Var {
+        let l = tgt_ids.len().min(self.cfg.max_len);
+        let mask = causal_mask(l);
+        let mut h = self.embed(&self.embed_tgt, tgt_ids);
+        for layer in &self.dec_layers {
+            h = layer.forward(&h, memory, &mask);
+        }
+        self.out_proj.forward(&self.ln_final.forward(&h))
+    }
+
+    /// Teacher-forced training loss for one `(src, tgt)` pair of *unframed*
+    /// token id sequences. Returns a scalar `Var`.
+    pub fn loss(&self, src: &[usize], tgt: &[usize]) -> Var {
+        let src_framed = frame(src);
+        // Decoder input: BOS + tgt; targets: tgt + EOS.
+        let mut dec_in = Vec::with_capacity(tgt.len() + 1);
+        dec_in.push(BOS);
+        dec_in.extend_from_slice(tgt);
+        let mut targets = tgt.to_vec();
+        targets.push(EOS);
+        // Truncate both to max_len consistently.
+        let l = dec_in.len().min(self.cfg.max_len);
+        let memory = self.encode(&src_framed);
+        let logits = self.decode(&dec_in[..l], &memory);
+        logits.cross_entropy_logits(&targets[..l], Some(PAD))
+    }
+
+    /// Deterministic beam-search decoding: keeps the `beam_width` highest
+    /// log-probability partial sequences, returns the best finished one
+    /// (normalized by length so shorter outputs aren't unfairly favored).
+    /// Complements [`Seq2SeqTransformer::generate`]'s temperature sampling
+    /// when a single high-likelihood output is wanted.
+    pub fn generate_beam(&self, src: &[usize], max_out: usize, beam_width: usize) -> Vec<usize> {
+        let memory = self.encode(&frame(src));
+        let width = beam_width.max(1);
+        // (sequence including leading BOS, total log-prob, finished)
+        let mut beams: Vec<(Vec<usize>, f32, bool)> = vec![(vec![BOS], 0.0, false)];
+        let limit = max_out.min(self.cfg.max_len - 1);
+        for _ in 0..limit {
+            if beams.iter().all(|(_, _, done)| *done) {
+                break;
+            }
+            let mut next: Vec<(Vec<usize>, f32, bool)> = Vec::new();
+            for (seq, score, done) in &beams {
+                if *done {
+                    next.push((seq.clone(), *score, true));
+                    continue;
+                }
+                let logits = self.decode(seq, &memory);
+                let data = logits.value();
+                let last = data.row(data.rows() - 1);
+                // Log-softmax over the row.
+                let m = last.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let z: f32 = last.iter().map(|&v| (v - m).exp()).sum();
+                let log_z = m + z.ln();
+                // Top `width` continuations of this beam.
+                let mut scored: Vec<(usize, f32)> = last
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != PAD && i != BOS)
+                    .map(|(i, &v)| (i, v - log_z))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(id, lp) in scored.iter().take(width) {
+                    let mut s = seq.clone();
+                    let finished = id == EOS;
+                    if !finished {
+                        s.push(id);
+                    }
+                    next.push((s, score + lp, finished));
+                }
+            }
+            // Prune to the global beam width by length-normalized score.
+            next.sort_by(|a, b| {
+                let na = a.1 / a.0.len().max(1) as f32;
+                let nb = b.1 / b.0.len().max(1) as f32;
+                nb.partial_cmp(&na).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            next.truncate(width);
+            beams = next;
+        }
+        let mut best = beams.remove(0).0;
+        best.remove(0); // strip BOS
+        best
+    }
+
+    /// Samples an output id sequence (without specials) for a framed source,
+    /// using temperature sampling. Stops at EOS or `max_out` tokens.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        src: &[usize],
+        max_out: usize,
+        temperature: f32,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let memory = self.encode(&frame(src));
+        let mut out: Vec<usize> = vec![BOS];
+        let limit = max_out.min(self.cfg.max_len - 1);
+        for _ in 0..limit {
+            let logits = self.decode(&out, &memory);
+            let data = logits.value();
+            let last = data.row(data.rows() - 1);
+            let id = sample_from_logits(last, temperature, rng);
+            if id == EOS {
+                break;
+            }
+            out.push(id);
+        }
+        out.remove(0);
+        out
+    }
+}
+
+impl Module for Seq2SeqTransformer {
+    fn parameters(&self) -> Vec<Var> {
+        let mut p = self.embed_src.parameters();
+        p.extend(self.embed_tgt.parameters());
+        for l in &self.enc_layers {
+            p.extend(l.parameters());
+        }
+        for l in &self.dec_layers {
+            p.extend(l.parameters());
+        }
+        p.extend(self.ln_final.parameters());
+        p.extend(self.out_proj.parameters());
+        p
+    }
+}
+
+fn frame(ids: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(ids.len() + 2);
+    out.push(BOS);
+    out.extend_from_slice(ids);
+    out.push(EOS);
+    out
+}
+
+/// `(max_len, d_model)` sinusoidal positional table.
+fn sinusoidal_positions(max_len: usize, d_model: usize) -> Tensor {
+    let mut t = Tensor::zeros(max_len, d_model);
+    for p in 0..max_len {
+        for i in 0..d_model {
+            let exponent = (2 * (i / 2)) as f32 / d_model as f32;
+            let angle = p as f32 / 10000f32.powf(exponent);
+            let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            t.set(p, i, v);
+        }
+    }
+    t
+}
+
+/// `(l, l)` additive causal mask: 0 on/below diagonal, -1e9 above.
+fn causal_mask(l: usize) -> Tensor {
+    let mut m = Tensor::zeros(l, l);
+    for r in 0..l {
+        for c in (r + 1)..l {
+            m.set(r, c, -1e9);
+        }
+    }
+    m
+}
+
+/// Temperature sampling over a logit row; `temperature <= 0` means argmax.
+/// `PAD` and `BOS` are never emitted.
+fn sample_from_logits<R: Rng + ?Sized>(logits: &[f32], temperature: f32, rng: &mut R) -> usize {
+    let forbidden = |i: usize| i == PAD || i == BOS;
+    if temperature <= 0.0 {
+        return logits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !forbidden(*i))
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(EOS);
+    }
+    let scaled: Vec<f32> = logits
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if forbidden(i) { f32::NEG_INFINITY } else { v / temperature })
+        .collect();
+    let m = scaled.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = scaled.iter().map(|&v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let mut u: f32 = rng.gen::<f32>() * z;
+    for (i, &e) in exps.iter().enumerate() {
+        if u < e {
+            return i;
+        }
+        u -= e;
+    }
+    EOS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::CharVocab;
+    use neural::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TransformerConfig::tiny(20);
+        let model = Seq2SeqTransformer::new(cfg, &mut rng);
+        let memory = model.encode(&[BOS, 4, 5, 6, 7, EOS]);
+        assert_eq!(memory.shape(), (6, 32));
+        let logits = model.decode(&[1, 4, 5], &memory);
+        assert_eq!(logits.shape(), (3, 20));
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(20), &mut rng);
+        let loss = model.loss(&[4, 5, 6], &[5, 6, 7]);
+        let v = loss.data().get(0, 0);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn can_memorize_identity_mapping() {
+        // A tiny copy task: the model should learn to echo short sequences.
+        let mut rng = StdRng::seed_from_u64(7);
+        let vocab = CharVocab::build(["abcd"]);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(vocab.len()), &mut rng);
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> = ["ab", "cd", "ad", "bc"]
+            .iter()
+            .map(|s| (vocab.encode(s, false), vocab.encode(s, false)))
+            .collect();
+        let mut opt = Adam::new(model.parameters(), 3e-3);
+        for _ in 0..150 {
+            for (src, tgt) in &pairs {
+                let loss = model.loss(src, tgt);
+                loss.backward();
+                opt.step();
+            }
+        }
+        let out = model.generate(&vocab.encode("ab", false), 8, 0.0, &mut rng);
+        assert_eq!(vocab.decode(&out), "ab");
+    }
+
+    #[test]
+    fn beam_search_matches_copy_task_too() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vocab = CharVocab::build(["abcd"]);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(vocab.len()), &mut rng);
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> = ["ab", "cd", "ad", "bc"]
+            .iter()
+            .map(|s| (vocab.encode(s, false), vocab.encode(s, false)))
+            .collect();
+        let mut opt = Adam::new(model.parameters(), 3e-3);
+        for _ in 0..150 {
+            for (src, tgt) in &pairs {
+                model.loss(src, tgt).backward();
+                opt.step();
+            }
+        }
+        let out = model.generate_beam(&vocab.encode("cd", false), 8, 3);
+        assert_eq!(vocab.decode(&out), "cd");
+    }
+
+    #[test]
+    fn beam_search_bounds_and_specials() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(20), &mut rng);
+        let out = model.generate_beam(&[4, 5], 5, 4);
+        assert!(out.len() <= 5);
+        assert!(out.iter().all(|&id| id != PAD && id != BOS && id != EOS));
+    }
+
+    #[test]
+    fn generate_respects_max_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(20), &mut rng);
+        let out = model.generate(&[4, 5], 5, 1.0, &mut rng);
+        assert!(out.len() <= 5);
+        assert!(out.iter().all(|&id| id != PAD && id != BOS));
+    }
+
+    #[test]
+    fn causal_mask_shape() {
+        let m = causal_mask(3);
+        assert_eq!(m.get(0, 1), -1e9);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn sampling_argmax_vs_temperature() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let logits = vec![0.0, 0.0, 0.1, 0.0, 5.0, 1.0];
+        assert_eq!(sample_from_logits(&logits, 0.0, &mut rng), 4);
+        // High temperature still never emits PAD/BOS.
+        for _ in 0..50 {
+            let id = sample_from_logits(&logits, 10.0, &mut rng);
+            assert!(id != PAD && id != BOS);
+        }
+    }
+
+    #[test]
+    fn positional_table_values() {
+        let pos = sinusoidal_positions(4, 4);
+        assert_eq!(pos.get(0, 0), 0.0); // sin(0)
+        assert_eq!(pos.get(0, 1), 1.0); // cos(0)
+        assert!((pos.get(1, 0) - 1f32.sin()).abs() < 1e-6);
+    }
+}

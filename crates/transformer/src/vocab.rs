@@ -1,0 +1,118 @@
+//! Character vocabulary with special tokens.
+
+use std::collections::HashMap;
+
+/// Special token ids.
+pub const PAD: usize = 0;
+/// Beginning-of-sequence token id.
+pub const BOS: usize = 1;
+/// End-of-sequence token id.
+pub const EOS: usize = 2;
+/// Unknown-character token id.
+pub const UNK: usize = 3;
+const SPECIALS: usize = 4;
+
+/// A character-level vocabulary (the paper tokenizes at character level).
+#[derive(Debug, Clone)]
+pub struct CharVocab {
+    to_id: HashMap<char, usize>,
+    to_char: Vec<char>,
+}
+
+impl CharVocab {
+    /// Builds a vocabulary from the characters occurring in `corpus`.
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut chars: Vec<char> = corpus
+            .into_iter()
+            .flat_map(str::chars)
+            .collect::<std::collections::BTreeSet<char>>()
+            .into_iter()
+            .collect();
+        chars.sort_unstable();
+        let to_id = chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i + SPECIALS))
+            .collect();
+        CharVocab { to_id, to_char: chars }
+    }
+
+    /// Vocabulary size including the 4 specials.
+    pub fn len(&self) -> usize {
+        self.to_char.len() + SPECIALS
+    }
+
+    /// Whether the vocabulary contains no real characters.
+    pub fn is_empty(&self) -> bool {
+        self.to_char.is_empty()
+    }
+
+    /// Encodes a string to ids (unknown characters map to `UNK`), with
+    /// optional BOS/EOS framing.
+    pub fn encode(&self, s: &str, frame: bool) -> Vec<usize> {
+        let mut out = Vec::with_capacity(s.len() + 2);
+        if frame {
+            out.push(BOS);
+        }
+        out.extend(s.chars().map(|c| self.to_id.get(&c).copied().unwrap_or(UNK)));
+        if frame {
+            out.push(EOS);
+        }
+        out
+    }
+
+    /// Decodes ids back to a string, skipping special tokens.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .filter_map(|&id| {
+                if id < SPECIALS {
+                    None
+                } else {
+                    self.to_char.get(id - SPECIALS).copied()
+                }
+            })
+            .collect()
+    }
+
+    /// Id for a character, if known.
+    pub fn id_of(&self, c: char) -> Option<usize> {
+        self.to_id.get(&c).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = CharVocab::build(["hello world", "paper title"]);
+        let ids = v.encode("hello", true);
+        assert_eq!(ids[0], BOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(v.decode(&ids), "hello");
+    }
+
+    #[test]
+    fn unknown_chars_map_to_unk() {
+        let v = CharVocab::build(["abc"]);
+        let ids = v.encode("abz", false);
+        assert_eq!(ids[2], UNK);
+        assert_eq!(v.decode(&ids), "ab");
+    }
+
+    #[test]
+    fn specials_reserved() {
+        let v = CharVocab::build(["ab"]);
+        assert_eq!(v.len(), 6);
+        assert!(v.id_of('a').unwrap() >= 4);
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let v1 = CharVocab::build(["ba", "c"]);
+        let v2 = CharVocab::build(["c", "ab"]);
+        assert_eq!(v1.id_of('a'), v2.id_of('a'));
+        assert_eq!(v1.id_of('c'), v2.id_of('c'));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the transformer crate's deterministic pieces
+//! (vocabulary, bucketing, guided perturbation).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use transformer::bucket::bucket_index;
+use transformer::guided::{perturb_toward, TokenPool};
+use transformer::CharVocab;
+
+proptest! {
+    #[test]
+    fn vocab_roundtrip_for_known_chars(s in "[a-z0-9 ]{0,40}") {
+        let v = CharVocab::build([s.as_str(), "abcdefghijklmnopqrstuvwxyz0123456789 "]);
+        let ids = v.encode(&s, true);
+        prop_assert_eq!(v.decode(&ids), s);
+    }
+
+    #[test]
+    fn vocab_encoding_is_deterministic(s in "[a-z ]{0,24}") {
+        let v = CharVocab::build(["abcdefghijklmnopqrstuvwxyz "]);
+        prop_assert_eq!(v.encode(&s, false), v.encode(&s, false));
+    }
+
+    #[test]
+    fn bucket_index_in_range(sim in -1.0f64..2.0, k in 1usize..32) {
+        let b = bucket_index(sim, k);
+        prop_assert!(b < k);
+    }
+
+    #[test]
+    fn bucket_index_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0, k in 1usize..16) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo, k) <= bucket_index(hi, k));
+    }
+
+    #[test]
+    fn bucket_centers_land_in_their_bucket(k in 1usize..20, i in 0usize..20) {
+        prop_assume!(i < k);
+        let center = (i as f64 + 0.5) / k as f64;
+        prop_assert_eq!(bucket_index(center, k), i);
+    }
+
+    #[test]
+    fn perturb_achieved_matches_reported(
+        target in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let pool = TokenPool::from_corpus([
+            "adaptive query processing systems",
+            "temporal data management engines",
+            "frequent pattern mining algorithms",
+        ]);
+        let s = "adaptive temporal mining of patterns";
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (out, achieved) = perturb_toward(s, target, &pool, 0.03, 150, &mut rng);
+        // Reported similarity is the true similarity of the output.
+        prop_assert!(
+            (similarity::qgram_jaccard(s, &out, 3) - achieved).abs() < 1e-12
+        );
+        prop_assert!((0.0..=1.0).contains(&achieved));
+    }
+
+    #[test]
+    fn perturb_never_emits_empty(target in 0.0f64..1.0, seed in any::<u64>()) {
+        let pool = TokenPool::from_corpus(["alpha beta gamma"]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (out, _) = perturb_toward("delta epsilon", target, &pool, 0.05, 60, &mut rng);
+        prop_assert!(!out.trim().is_empty());
+    }
+}

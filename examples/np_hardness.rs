@@ -1,0 +1,74 @@
+//! Why SERD is a heuristic: the SynER-Decision problem (paper Section III,
+//! Theorem 1) is NP-complete, so synthesizing entities that satisfy a target
+//! distribution *exactly* is intractable.
+//!
+//! ```text
+//! cargo run --release --example np_hardness
+//! ```
+//!
+//! Demonstrates both halves of the theorem on concrete instances:
+//! certificates verify in polynomial time, while exact search blows up
+//! exponentially — and then shows what SERD does instead (approximate,
+//! sample-and-reject).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::serd::decision::SynErDecision;
+use serd_repro::similarity::qgram_jaccard;
+use serd_repro::transformer::guided::{perturb_toward, TokenPool};
+use std::time::Instant;
+
+fn main() {
+    // --- The decision problem: a record at edit distance exactly k from
+    // every A_syn string (the point-mass M-distribution of the proof).
+    let instance = SynErDecision::new(
+        vec!["abab".into(), "baba".into(), "aabb".into()],
+        2,
+    );
+    println!("SynER-Decision instance: {:?} with k = {}", instance.strings(), instance.k());
+
+    // In NP: verification is polynomial.
+    let t = Instant::now();
+    let check = instance.verify("aaba");
+    println!(
+        "verify(\"aaba\") = {check}  ({}ns — polynomial certificate check)",
+        t.elapsed().as_nanos()
+    );
+
+    // NP-hard: exact solving explores an exponential space.
+    for max_len in [4usize, 6, 8] {
+        let space = SynErDecision::search_space(2, max_len);
+        let t = Instant::now();
+        let sol = instance.solve_exhaustive(&['a', 'b'], max_len);
+        println!(
+            "exhaustive search (len <= {max_len}): {:>8} candidates, {:>8.2?}, solution: {:?}",
+            space,
+            t.elapsed(),
+            sol
+        );
+    }
+    println!(
+        "...and over a 26-letter alphabet at length 12 the space is already {:.2e} strings.\n",
+        SynErDecision::search_space(26, 12) as f64
+    );
+
+    // --- SERD's answer: don't demand exactness. Sample a target similarity
+    // and synthesize an *approximately* conforming string in milliseconds.
+    let mut rng = StdRng::seed_from_u64(0);
+    let pool = TokenPool::from_corpus([
+        "adaptive query processing",
+        "temporal data management",
+        "parallel join algorithms",
+        "frequent pattern mining",
+    ]);
+    let s = "adaptive query processing in temporal systems";
+    for target in [0.2, 0.5, 0.8] {
+        let t = Instant::now();
+        let (out, achieved) = perturb_toward(s, target, &pool, 0.03, 300, &mut rng);
+        debug_assert!((qgram_jaccard(s, &out, 3) - achieved).abs() < 1e-12);
+        println!(
+            "heuristic synthesis: target {target:.2} -> achieved {achieved:.2} in {:?}  ({out:?})",
+            t.elapsed()
+        );
+    }
+}

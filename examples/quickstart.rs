@@ -1,0 +1,81 @@
+//! Quickstart: synthesize a privacy-preserving ER dataset end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Simulates a small Restaurant benchmark, fits SERD on it, synthesizes a
+//! fake dataset of the same size, and prints side-by-side samples plus the
+//! headline quality numbers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. A real ER dataset (simulated Restaurant benchmark at 5% scale).
+    let sim = generate(DatasetKind::Restaurant, 0.05, &mut rng);
+    println!(
+        "real dataset: |A|={} |B|={} matches={}",
+        sim.er.a().len(),
+        sim.er.b().len(),
+        sim.er.num_matches()
+    );
+
+    // 2. Fit SERD: learn the M-/N-distributions, train DP text models + GAN.
+    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        .expect("fit");
+    println!(
+        "offline training done, DP epsilon at delta=1e-5: {:.3}",
+        synthesizer.epsilon()
+    );
+
+    // 3. Synthesize E_syn.
+    let out = synthesizer.synthesize(&mut rng).expect("synthesize");
+    println!(
+        "synthesized: |A|={} |B|={} matches={} (S2: {}, S3: {})",
+        out.er.a().len(),
+        out.er.b().len(),
+        out.er.num_matches(),
+        out.stats.s2_matches,
+        out.stats.s3_matches
+    );
+    println!(
+        "rejections: {} by discriminator, {} by distribution",
+        out.stats.rejected_discriminator, out.stats.rejected_distribution
+    );
+
+    // 4. Peek at a synthesized matching pair.
+    if let Some(&(i, j)) = out.er.matches().iter().next() {
+        println!("\na synthesized matching pair:");
+        println!("  A: {:?}", out.er.a().entity(i).values());
+        println!("  B: {:?}", out.er.b().entity(j).values());
+        println!("  similarity vector: {:?}", out.er.similarity_vector(i, j));
+    }
+
+    // 5. Headline check: matcher trained on E_syn vs E_real, same test set.
+    let eval = model_evaluation(
+        MatcherKind::Magellan,
+        &sim.er,
+        &[("SERD", &out.er)],
+        4,
+        0.3,
+        &mut rng,
+    );
+    println!("\nmodel evaluation (Magellan matcher, same real test set):");
+    for (name, m) in &eval.rows {
+        println!("  trained on {name:<6}: {m}");
+    }
+    let diff = eval.rows[0].1.abs_diff(&eval.rows[1].1);
+    println!("  F1 difference: {:.1}%", diff.f1 * 100.0);
+
+    // 6. Privacy check.
+    println!("\nprivacy:");
+    println!(
+        "  hitting rate: {:.3}%  (threshold 0.9)",
+        hitting_rate(&sim.er, &out.er, 0.9)
+    );
+    println!("  DCR: {:.3}", dcr(&sim.er, &out.er));
+}

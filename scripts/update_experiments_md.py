@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Splices measured experiment outputs into EXPERIMENTS.md.
+
+Replaces each `<!-- RESULTS:name -->` marker with a fenced code block taken
+from the corresponding section of results/all_experiments.txt (or a whole
+results/*.txt file).
+"""
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+ALL = (ROOT / "results" / "all_experiments.txt").read_text()
+
+
+def section(start: str, end: str | None) -> str:
+    i = ALL.index(start)
+    j = ALL.index(end) if end else len(ALL)
+    return ALL[i:j].rstrip()
+
+
+SECTIONS = {
+    "fig5": section("Figure 5(a)", "Figure 6"),
+    "fig6_fig7": section("Figure 6", "Figure 8")
+    + "\n\n"
+    + section("Figure 7", "Figure 9"),
+    "fig8_fig9": section("Figure 8", "Figure 7")
+    + "\n\n"
+    + section("Figure 9", "Table III"),
+    "table3": section("Table III", "Table IV"),
+    "table4": section("Table IV", None),
+}
+
+md_path = ROOT / "EXPERIMENTS.md"
+md = md_path.read_text()
+for name, text in SECTIONS.items():
+    marker = f"<!-- RESULTS:{name} -->"
+    block = f"```text\n{text}\n```"
+    if marker in md:
+        md = md.replace(marker, block)
+    else:
+        # Already spliced once: replace the previous block following the
+        # heading is harder; just warn.
+        print(f"marker {marker} not found; skipping")
+md_path.write_text(md)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,41 @@
+//! # serd-repro — facade crate
+//!
+//! A from-scratch Rust reproduction of **SERD** (*Synthesizing Privacy Preserving
+//! Entity Resolution Datasets*, Qin et al., ICDE 2022).
+//!
+//! This crate re-exports every subsystem of the workspace so that downstream users
+//! can depend on a single crate:
+//!
+//! ```
+//! use serd_repro::prelude::*;
+//! ```
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the full
+//! system inventory.
+
+pub use datagen;
+pub use dp;
+pub use er_core;
+pub use eval;
+pub use gan;
+pub use gmm;
+pub use linalg;
+pub use matchers;
+pub use neural;
+pub use serd;
+pub use similarity;
+pub use transformer;
+
+/// Commonly used items across the whole pipeline.
+pub mod prelude {
+    pub use datagen::{generate, DatasetKind, SimulatedDataset};
+    pub use er_core::{ColumnType, Entity, ErDataset, Relation, Schema, Value};
+    pub use eval::experiment::{data_evaluation, labeled_vectors, model_evaluation};
+    pub use eval::metrics::{confusion, Metrics};
+    pub use eval::privacy::{dcr, hitting_rate};
+    pub use gmm::{Gmm, GmmConfig, OMixture};
+    pub use matchers::{Classifier, MatcherKind};
+    pub use serd::baselines::{embench, serd_minus};
+    pub use serd::{SerdConfig, SerdSynthesizer, SynthesizedEr};
+    pub use similarity::SimilarityKind;
+}
