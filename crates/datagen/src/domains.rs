@@ -391,8 +391,8 @@ fn gen_walmart_amazon<R: Rng + ?Sized>(
     let modelno = |rng: &mut R| {
         format!(
             "{}{}-{}",
-            (b'A' + rng.gen_range(0..26)) as char,
-            (b'A' + rng.gen_range(0..26)) as char,
+            (b'A' + rng.gen_range(0u8..26)) as char,
+            (b'A' + rng.gen_range(0u8..26)) as char,
             rng.gen_range(100..9999)
         )
     };
@@ -447,7 +447,7 @@ fn gen_walmart_amazon<R: Rng + ?Sized>(
         } else {
             d.to_string()
         };
-        let new_price = (price * rng.gen_range(0.95..1.05) * 100.0).round() / 100.0;
+        let new_price = (price * rng.gen_range(0.95f64..1.05) * 100.0).round() / 100.0;
         let j = b
             .push(vec![
                 Value::Text(new_m),
@@ -556,10 +556,10 @@ fn gen_itunes_amazon<R: Rng + ?Sized>(
             values[1] = Value::Text(reorder_tokens(s, rng));
         }
         if let Value::Numeric(p) = values[5] {
-            values[5] = Value::Numeric((p * rng.gen_range(0.9..1.1) * 100.0).round() / 100.0);
+            values[5] = Value::Numeric((p * rng.gen_range(0.9f64..1.1) * 100.0).round() / 100.0);
         }
         if let Value::Date(d) = values[7] {
-            values[7] = Value::Date(d + rng.gen_range(-30..=30));
+            values[7] = Value::Date(d + rng.gen_range(-30i64..=30));
         }
         let j = b.push(values).expect("schema-valid row");
         matches.push((i, j));

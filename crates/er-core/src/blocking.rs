@@ -85,7 +85,10 @@ pub fn token_candidates(a: &Relation, b: &Relation, max_bucket: usize) -> Vec<(u
             }
         }
     }
-    seen.into_keys().collect()
+    // Sorted so the candidate order doesn't leak hash-iteration order.
+    let mut out: Vec<(usize, usize)> = seen.into_keys().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Sorted-neighborhood blocking: merge-sort both relations on the lowercase
@@ -150,7 +153,10 @@ pub fn candidate_pairs(
             }
         }
     }
-    seen.into_keys().collect()
+    // Sorted so the candidate order doesn't leak hash-iteration order.
+    let mut out: Vec<(usize, usize)> = seen.into_keys().collect();
+    out.sort_unstable();
+    out
 }
 
 /// The index of the column used for blocking.

@@ -117,25 +117,27 @@ impl ErDataset {
     /// The blocked negatives matter: uniformly random pairs of large tables
     /// are trivially dissimilar, which would make the learned N-distribution
     /// degenerate near the origin and the matching task artificially easy.
+    ///
+    /// Pair scoring runs in parallel; the match set is sorted first (HashSet
+    /// iteration order varies run to run) so the extracted vectors arrive in
+    /// a reproducible order for the downstream GMM fits.
     pub fn similarity_vectors<R: Rng>(&self, neg_samples: usize, rng: &mut R) -> SimilarityVectors {
-        let pos = self
-            .matches
-            .iter()
-            .map(|&(i, j)| self.similarity_vector(i, j))
-            .collect();
+        let mut match_pairs: Vec<(usize, usize)> = self.matches.iter().copied().collect();
+        match_pairs.sort_unstable();
+        let pos = parallel::par_map(&match_pairs, |&(i, j)| self.similarity_vector(i, j));
 
         let neg_pairs = self.sample_nonmatch_pairs(neg_samples, rng);
-        let neg = neg_pairs
-            .into_iter()
-            .map(|(i, j)| self.similarity_vector(i, j))
-            .collect();
+        let neg = parallel::par_map(&neg_pairs, |&(i, j)| self.similarity_vector(i, j));
         SimilarityVectors { pos, neg }
     }
 
     /// Samples `n` non-matching pairs: blocked hard negatives first, then
-    /// uniform random pairs to fill the quota.
+    /// uniform random pairs to fill the quota. The returned order is a pure
+    /// function of the dataset and `rng` (insertion order, deduplicated) —
+    /// no hash-iteration order leaks into it.
     pub fn sample_nonmatch_pairs<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<(usize, usize)> {
-        let mut out: HashSet<(usize, usize)> = HashSet::new();
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
 
         // Hard negatives via q-gram blocking on the first text column.
         let mut blocked = blocking::candidate_pairs(&self.a, &self.b, 3, 20);
@@ -144,8 +146,8 @@ impl ErDataset {
             if out.len() >= n / 2 {
                 break;
             }
-            if !self.matches.contains(&(i, j)) {
-                out.insert((i, j));
+            if !self.matches.contains(&(i, j)) && seen.insert((i, j)) {
+                out.push((i, j));
             }
         }
 
@@ -157,12 +159,12 @@ impl ErDataset {
                 attempts += 1;
                 let i = rng.gen_range(0..na);
                 let j = rng.gen_range(0..nb);
-                if !self.matches.contains(&(i, j)) {
-                    out.insert((i, j));
+                if !self.matches.contains(&(i, j)) && seen.insert((i, j)) {
+                    out.push((i, j));
                 }
             }
         }
-        out.into_iter().collect()
+        out
     }
 
     /// Matching prior over the full cross product: `|M| / (|A| * |B|)`.
@@ -288,6 +290,28 @@ mod tests {
     fn match_prior() {
         let e = paper_like();
         assert!((e.match_prior() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extraction_is_reproducible_and_thread_count_independent() {
+        use std::sync::Arc;
+        let e = paper_like();
+        let run = |threads: usize| {
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || {
+                let mut rng = StdRng::seed_from_u64(42);
+                e.similarity_vectors(4, &mut rng)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_eq!(base.pos, other.pos, "pos differs at {threads} threads");
+            assert_eq!(base.neg, other.neg, "neg differs at {threads} threads");
+        }
+        // Same seed, same process: identical output (no hash-order leakage).
+        let again = run(1);
+        assert_eq!(base.pos, again.pos);
+        assert_eq!(base.neg, again.neg);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! labeling and Monte-Carlo Jensen–Shannon divergence.
 
 use crate::{Gmm, GmmConfig, GmmError, Result};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The overall mixture of the matching (`M`-) and non-matching (`N`-)
 /// distributions (paper Section II-B).
@@ -125,24 +126,40 @@ impl OMixture {
     /// estimated by sampling `n` points from each side. The result is in
     /// `[0, ln 2]`, and estimates are non-negative up to Monte-Carlo noise
     /// (clamped at 0).
+    ///
+    /// Sampling is chunk-parallel: one master seed is drawn from `rng`, each
+    /// chunk of draws gets an independent seed-split RNG stream, and chunk
+    /// sums merge in order — the estimate is a pure function of `(self,
+    /// other, n, master seed)` and does not depend on the thread count.
     pub fn jsd<R: Rng + ?Sized>(&self, other: &OMixture, n: usize, rng: &mut R) -> f64 {
+        const JSD_CHUNK: usize = 128;
         let n = n.max(1);
-        let mut kl_p = 0.0;
-        for _ in 0..n {
-            let (x, _) = self.sample(rng);
-            let lp = self.log_pdf(&x);
-            let lq = other.log_pdf(&x);
-            let lm = crate::log_sum_exp(&[lp, lq]) - std::f64::consts::LN_2;
-            kl_p += lp - lm;
-        }
-        let mut kl_q = 0.0;
-        for _ in 0..n {
-            let (x, _) = other.sample(rng);
-            let lq = other.log_pdf(&x);
-            let lp = self.log_pdf(&x);
-            let lm = crate::log_sum_exp(&[lp, lq]) - std::f64::consts::LN_2;
-            kl_q += lq - lm;
-        }
+        let master: u64 = rng.gen();
+        // Streams 2ci / 2ci+1 keep the p- and q-side draws independent.
+        let draws = vec![(); n];
+        let kl_side = |from_q: bool| -> f64 {
+            let partials = parallel::par_chunk_map(&draws, JSD_CHUNK, |ci, chunk| {
+                let stream = 2 * ci as u64 + from_q as u64;
+                let mut crng =
+                    StdRng::seed_from_u64(parallel::split_seed(master, stream));
+                let mut kl = 0.0;
+                for _ in 0..chunk.len() {
+                    let (x, _) = if from_q {
+                        other.sample(&mut crng)
+                    } else {
+                        self.sample(&mut crng)
+                    };
+                    let lp = self.log_pdf(&x);
+                    let lq = other.log_pdf(&x);
+                    let lm = crate::log_sum_exp(&[lp, lq]) - std::f64::consts::LN_2;
+                    kl += if from_q { lq - lm } else { lp - lm };
+                }
+                kl
+            });
+            partials.into_iter().sum()
+        };
+        let kl_p = kl_side(false);
+        let kl_q = kl_side(true);
         (0.5 * (kl_p + kl_q) / n as f64).max(0.0)
     }
 }
@@ -218,6 +235,24 @@ mod tests {
         let d_far = o1.jsd(&far, 800, &mut rng);
         assert!(d_near < d_far, "near {d_near} far {d_far}");
         assert!(d_far <= std::f64::consts::LN_2 + 0.05);
+    }
+
+    #[test]
+    fn jsd_is_thread_count_independent() {
+        use std::sync::Arc;
+        let mut rng = StdRng::seed_from_u64(23);
+        let o1 = o_like(&mut rng, 0.0);
+        let o2 = o_like(&mut rng, -0.2);
+        let run = |threads: usize| {
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || {
+                let mut r = StdRng::seed_from_u64(77);
+                o1.jsd(&o2, 700, &mut r)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(base.to_bits(), run(threads).to_bits());
+        }
     }
 
     #[test]

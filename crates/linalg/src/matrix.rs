@@ -15,6 +15,26 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// Products below this many flops (`2·m·k·n`) run serially: thread handoff
+/// costs more than the multiply itself for small operands.
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// One output row of a matmul: `dst += self_row[k] * other_row_k` for every
+/// `k`. The i-k-j order keeps the inner loop streaming over contiguous rows.
+/// Shared by the serial and parallel paths so results match bit-for-bit.
+#[inline]
+fn matmul_row(arow: &[f64], other_data: &[f64], ocols: usize, dst: &mut [f64]) {
+    for (k, &a) in arow.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let orow = &other_data[k * ocols..(k + 1) * ocols];
+        for (d, &o) in dst.iter_mut().zip(orow) {
+            *d += a * o;
+        }
+    }
+}
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -124,18 +144,31 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose (blocked for cache locality: both the read and the
+    /// write side stay within a `TB x TB` tile that fits in L1).
     pub fn transpose(&self) -> Matrix {
+        const TB: usize = 32;
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.set(c, r, self.get(r, c));
+        for rb in (0..self.rows).step_by(TB) {
+            let r_end = (rb + TB).min(self.rows);
+            for cb in (0..self.cols).step_by(TB) {
+                let c_end = (cb + TB).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        t.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         t
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// Large products are parallelized over row blocks: each output row
+    /// depends only on the matching row of `self`, so rows are computed by
+    /// the exact same serial inner loop regardless of the thread count and
+    /// the result is bit-identical to the single-threaded product.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -145,18 +178,24 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+        let flops = 2 * self.rows * self.cols * other.cols;
+        if flops >= PAR_FLOP_THRESHOLD && self.rows > 1 {
+            let rows_per_chunk = parallel::default_chunk_size(self.rows);
+            let ocols = other.cols;
+            parallel::par_chunks_mut(
+                &mut out.data,
+                rows_per_chunk * ocols,
+                |ci, block| {
+                    let row0 = ci * rows_per_chunk;
+                    for (bi, dst) in block.chunks_mut(ocols).enumerate() {
+                        matmul_row(self.row(row0 + bi), &other.data, ocols, dst);
+                    }
+                },
+            );
+        } else {
+            for i in 0..self.rows {
                 let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (d, &o) in dst.iter_mut().zip(orow) {
-                    *d += a * o;
-                }
+                matmul_row(self.row(i), &other.data, other.cols, dst);
             }
         }
         Ok(out)
@@ -466,6 +505,44 @@ mod tests {
         assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
         assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 2.0]);
         assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_blocked_non_multiple_of_tile() {
+        // 50x37 exercises partial tiles on both axes.
+        let a = Matrix::from_vec(50, 37, (0..50 * 37).map(|i| i as f64).collect());
+        let t = a.transpose();
+        assert_eq!(t.shape(), (37, 50));
+        for r in 0..50 {
+            for c in 0..37 {
+                assert_eq!(t.get(c, r), a.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn large_matmul_is_thread_count_independent() {
+        use std::sync::Arc;
+        // 80x70 * 70x60 = 672k flops, above PAR_FLOP_THRESHOLD.
+        let a = Matrix::from_vec(80, 70, (0..80 * 70).map(|i| (i as f64).sin()).collect());
+        let b = Matrix::from_vec(70, 60, (0..70 * 60).map(|i| (i as f64).cos()).collect());
+        let run = |threads: usize| {
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || {
+                a.matmul(&b).unwrap()
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert!(
+                serial
+                    .as_slice()
+                    .iter()
+                    .zip(par.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use crate::{Tensor, Var};
 use dp::RdpAccountant;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Plain SGD with optional momentum.
 pub struct Sgd {
@@ -187,38 +188,62 @@ impl DpSgd {
             return;
         }
         let j = batch.len() as f32;
-        // Accumulate clipped sums.
-        let mut sums: Vec<Tensor> = self
-            .params
-            .iter()
-            .map(|p| {
-                let (r, c) = p.shape();
-                Tensor::zeros(r, c)
-            })
-            .collect();
-        for example in batch {
-            assert_eq!(example.len(), self.params.len(), "gradient arity mismatch");
-            // Joint L2 norm across all parameter tensors.
-            let norm: f32 = example
-                .iter()
-                .map(|g| g.as_slice().iter().map(|&v| v * v).sum::<f32>())
-                .sum::<f32>()
-                .sqrt();
-            let scale = if norm > self.clip && norm > 0.0 {
-                self.clip / norm
-            } else {
-                1.0
-            };
-            for (s, g) in sums.iter_mut().zip(example) {
-                s.add_scaled_assign(g, scale);
-            }
-        }
-        // Add noise and step.
+        // Clip and sum per-example gradients in parallel. Examples are folded
+        // into per-chunk partial sums that merge in chunk order, so the
+        // accumulation order — hence the f32 result — depends only on the
+        // batch and chunk size, never on the thread count.
+        let clip = self.clip;
+        let n_params = self.params.len();
+        let shapes: Vec<(usize, usize)> = self.params.iter().map(|p| p.shape()).collect();
+        let chunk = parallel::default_chunk_size(batch.len());
+        let mut sums: Vec<Tensor> = parallel::par_reduce(
+            batch,
+            chunk,
+            || {
+                shapes
+                    .iter()
+                    .map(|&(r, c)| Tensor::zeros(r, c))
+                    .collect::<Vec<Tensor>>()
+            },
+            |mut acc, _, example| {
+                assert_eq!(example.len(), n_params, "gradient arity mismatch");
+                // Joint L2 norm across all parameter tensors.
+                let norm: f32 = example
+                    .iter()
+                    .map(|g| g.as_slice().iter().map(|&v| v * v).sum::<f32>())
+                    .sum::<f32>()
+                    .sqrt();
+                let scale = if norm > clip && norm > 0.0 {
+                    clip / norm
+                } else {
+                    1.0
+                };
+                for (s, g) in acc.iter_mut().zip(example) {
+                    s.add_scaled_assign(g, scale);
+                }
+                acc
+            },
+            |mut a, b| {
+                for (s, g) in a.iter_mut().zip(&b) {
+                    s.add_scaled_assign(g, 1.0);
+                }
+                a
+            },
+        );
+        // Gaussian noise: one master seed from the caller's RNG, then an
+        // independent stream per (parameter, element-chunk) via seed
+        // splitting — no shared RNG state is consumed in thread order.
         let noise_std = self.sigma * self.clip;
-        for (p, s) in self.params.iter().zip(&mut sums) {
-            for v in s.as_mut_slice() {
-                *v += noise_std * standard_normal(rng);
-            }
+        let master: u64 = rng.gen();
+        const NOISE_CHUNK: usize = 4096;
+        for (p_idx, (p, s)) in self.params.iter().zip(&mut sums).enumerate() {
+            parallel::par_chunks_mut(s.as_mut_slice(), NOISE_CHUNK, |ci, vals| {
+                let stream = ((p_idx as u64) << 32) | ci as u64;
+                let mut nrng = StdRng::seed_from_u64(parallel::split_seed(master, stream));
+                for v in vals {
+                    *v += noise_std * standard_normal(&mut nrng);
+                }
+            });
             let lr = self.lr;
             let update = s.scale(1.0 / j);
             p.update_value(|t| t.add_scaled_assign(&update, -lr));
@@ -357,6 +382,39 @@ mod tests {
         let x = Var::constant(Tensor::from_vec(1, 1, vec![1.0]));
         let out = l.forward(&x).value().get(0, 0);
         assert!((out - 3.0).abs() < 0.05, "got {out}");
+    }
+
+    #[test]
+    fn dp_sgd_step_is_thread_count_independent() {
+        use std::sync::Arc;
+        let run = |threads: usize| -> Vec<f32> {
+            let mut rng = StdRng::seed_from_u64(7);
+            let l = Linear::new(4, 3, &mut rng);
+            let mut opt = DpSgd::new(l.parameters(), 0.1, 1.0, 0.5, 0.1);
+            let mut batch = Vec::new();
+            for i in 0..6 {
+                l.zero_grad();
+                let x = Var::constant(Tensor::from_vec(1, 4, vec![i as f32, 1.0, -1.0, 0.5]));
+                let loss = l.forward(&x).mse(&Tensor::from_vec(1, 3, vec![0.0, 1.0, 2.0]));
+                loss.backward();
+                batch.push(opt.take_example_grads());
+            }
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || {
+                opt.step(&batch, &mut rng);
+            });
+            l.parameters()
+                .iter()
+                .flat_map(|p| p.value().as_slice().to_vec())
+                .collect()
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert!(
+                base.iter().zip(&other).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "DP-SGD step differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,25 @@ pub struct Tensor {
     data: Vec<f32>,
 }
 
+/// Products below this many flops (`2·m·k·n`) run serially; see
+/// `linalg::Matrix::matmul` for the same cutoff on the f64 side.
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// One output row of a matmul (i-k-j order, zero-skip). Shared by the serial
+/// and parallel paths so they agree bit-for-bit.
+#[inline]
+fn matmul_row(arow: &[f32], other_data: &[f32], ocols: usize, dst: &mut [f32]) {
+    for (k, &a) in arow.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let orow = &other_data[k * ocols..(k + 1) * ocols];
+        for (d, &o) in dst.iter_mut().zip(orow) {
+            *d += a * o;
+        }
+    }
+}
+
 impl Tensor {
     /// A `rows x cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -126,28 +145,45 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let drow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (d, &o) in drow.iter_mut().zip(orow) {
-                    *d += a * o;
-                }
+        let flops = 2 * self.rows * self.cols * other.cols;
+        if flops >= PAR_FLOP_THRESHOLD && self.rows > 1 {
+            // Row-blocked parallel product: each output row is produced by
+            // the same serial kernel as the single-threaded path, so the
+            // result is bit-identical at any thread count.
+            let rows_per_chunk = parallel::default_chunk_size(self.rows);
+            let ocols = other.cols;
+            parallel::par_chunks_mut(
+                &mut out.data,
+                rows_per_chunk * ocols,
+                |ci, block| {
+                    let row0 = ci * rows_per_chunk;
+                    for (bi, dst) in block.chunks_mut(ocols).enumerate() {
+                        matmul_row(self.row(row0 + bi), &other.data, ocols, dst);
+                    }
+                },
+            );
+        } else {
+            for i in 0..self.rows {
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                matmul_row(self.row(i), &other.data, other.cols, dst);
             }
         }
         out
     }
 
-    /// Transpose.
+    /// Transpose (blocked: reads and writes stay within an L1-sized tile).
     pub fn transpose(&self) -> Tensor {
+        const TB: usize = 32;
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        for rb in (0..self.rows).step_by(TB) {
+            let r_end = (rb + TB).min(self.rows);
+            for cb in (0..self.cols).step_by(TB) {
+                let c_end = (cb + TB).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -342,5 +378,38 @@ mod tests {
     fn transpose_roundtrip() {
         let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn transpose_blocked_partial_tiles() {
+        let t = Tensor::from_vec(45, 33, (0..45 * 33).map(|i| i as f32).collect());
+        let tt = t.transpose();
+        for r in 0..45 {
+            for c in 0..33 {
+                assert_eq!(tt.get(c, r), t.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn large_matmul_is_thread_count_independent() {
+        use std::sync::Arc;
+        let a = Tensor::from_vec(80, 70, (0..80 * 70).map(|i| (i as f32).sin()).collect());
+        let b = Tensor::from_vec(70, 60, (0..70 * 60).map(|i| (i as f32).cos()).collect());
+        let run = |threads: usize| {
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || a.matmul(&b))
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert!(
+                serial
+                    .as_slice()
+                    .iter()
+                    .zip(par.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "matmul differs at {threads} threads"
+            );
+        }
     }
 }

@@ -1,0 +1,60 @@
+//! From-scratch data-parallel runtime for the SERD pipeline.
+//!
+//! Built on `std::thread` only (no external dependencies), this crate
+//! provides a [`ThreadPool`] with a scoped-task API plus chunked
+//! data-parallel primitives — [`par_chunk_map`], [`par_map`],
+//! [`par_chunks_mut`], [`par_reduce`] — with a hard **determinism
+//! contract**:
+//!
+//! > For a fixed input and fixed chunk size, every primitive returns a
+//! > result that is *bit-identical* regardless of the number of worker
+//! > threads (including the serial `SERD_THREADS=1` path).
+//!
+//! The contract holds because of three rules, which callers in the
+//! workspace's hot paths (matmul, GMM EM, Monte-Carlo JSD, DP-SGD,
+//! similarity-vector extraction) all follow:
+//!
+//! 1. **Chunk boundaries are a function of the input size only** — never of
+//!    the worker count. Threads race for *which* chunk to run next, not for
+//!    where chunks begin.
+//! 2. **Reduction happens in chunk order.** Per-chunk partial results are
+//!    collected into slots indexed by chunk and merged left-to-right after
+//!    the scope completes, so floating-point accumulation order is fixed.
+//! 3. **Randomness is seed-split, never shared.** A stage that needs
+//!    randomness draws one master seed from its caller's RNG and derives an
+//!    independent stream per chunk with [`split_seed`]; no RNG state is
+//!    consumed in a thread-dependent order.
+//!
+//! The global pool sizes itself from the `SERD_THREADS` environment variable
+//! when set (minimum 1), otherwise from
+//! [`std::thread::available_parallelism`]. `SERD_THREADS=1` bypasses the
+//! pool entirely: closures run inline on the caller with zero spawn or
+//! boxing overhead.
+
+mod ops;
+mod pool;
+mod seed;
+
+pub use ops::{
+    default_chunk_size, par_chunk_map, par_chunks_mut, par_map, par_reduce, with_pool,
+};
+/// `par_chunk_map` under its task-oriented name: run `f` for every chunk.
+pub use ops::par_chunk_map as par_for_chunks;
+pub use pool::{Scope, ThreadPool};
+pub use seed::split_seed;
+
+/// Number of compute threads the global pool uses (`SERD_THREADS` or the
+/// machine's available parallelism).
+pub fn num_threads() -> usize {
+    pool::current_pool(|p| p.num_threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Chunked data-parallel primitives with chunk-order-deterministic results.
+
+use crate::pool::current_pool;
+pub use crate::pool::with_pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A default chunk size that depends on the input length only — never on the
+/// worker count — so results stay identical when `SERD_THREADS` changes.
+/// Targets ~128 chunks: enough slack for dynamic load balancing on any
+/// realistic core count without drowning small inputs in per-chunk overhead.
+pub fn default_chunk_size(len: usize) -> usize {
+    (len / 128).max(1)
+}
+
+/// Applies `f` to each chunk of `items` (boundaries every `chunk_size`
+/// elements) and returns one result per chunk, **in chunk order**. `f`
+/// receives the chunk index and the chunk slice.
+///
+/// This is the root primitive: chunks are claimed dynamically by whichever
+/// thread is free, but the output vector is ordered by chunk index, so any
+/// order-sensitive merge downstream sees a schedule-independent sequence.
+pub fn par_chunk_map<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_chunks = items.len().div_ceil(chunk_size);
+
+    current_pool(|pool| {
+        if pool.num_threads() == 1 || n_chunks == 1 {
+            // Serial fast path: same chunk boundaries, same order, no pool.
+            return items
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(ci, chunk)| f(ci, chunk))
+                .collect();
+        }
+
+        let slots: Mutex<Vec<Option<U>>> =
+            Mutex::new((0..n_chunks).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let tasks = pool.num_threads().min(n_chunks);
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|| loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= n_chunks {
+                        break;
+                    }
+                    let lo = ci * chunk_size;
+                    let hi = (lo + chunk_size).min(items.len());
+                    let out = f(ci, &items[lo..hi]);
+                    slots.lock().unwrap()[ci] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("chunk result missing"))
+            .collect()
+    })
+}
+
+/// Element-wise parallel map preserving input order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk = default_chunk_size(items.len());
+    let per_chunk = par_chunk_map(items, chunk, |_, slice| {
+        slice.iter().map(&f).collect::<Vec<U>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for mut v in per_chunk {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Applies `f` to disjoint mutable chunks of `data` in parallel. `f`
+/// receives the chunk index and the chunk slice; chunk `ci` starts at
+/// element `ci * chunk_size`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_size);
+
+    current_pool(|pool| {
+        if pool.num_threads() == 1 || n_chunks == 1 {
+            for (ci, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f(ci, chunk);
+            }
+            return;
+        }
+
+        let slots: Mutex<Vec<Option<&mut [T]>>> =
+            Mutex::new(data.chunks_mut(chunk_size).map(Some).collect());
+        let next = AtomicUsize::new(0);
+        let tasks = pool.num_threads().min(n_chunks);
+        pool.scope(|s| {
+            for _ in 0..tasks {
+                s.spawn(|| loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= n_chunks {
+                        break;
+                    }
+                    let chunk = slots.lock().unwrap()[ci]
+                        .take()
+                        .expect("chunk claimed twice");
+                    f(ci, chunk);
+                });
+            }
+        });
+    });
+}
+
+/// Parallel fold with a deterministic merge tree: each chunk is folded
+/// serially in element order with `fold` (which also receives the *global*
+/// element index), and the per-chunk accumulators are merged left-to-right
+/// in chunk order with `merge`. Floating-point results therefore do not
+/// depend on the thread count — only on `chunk_size`.
+pub fn par_reduce<T, A, I, F, M>(
+    items: &[T],
+    chunk_size: usize,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk_size = chunk_size.max(1);
+    let partials = par_chunk_map(items, chunk_size, |ci, chunk| {
+        let base = ci * chunk_size;
+        let mut acc = init();
+        for (k, item) in chunk.iter().enumerate() {
+            acc = fold(acc, base + k, item);
+        }
+        acc
+    });
+    let mut iter = partials.into_iter();
+    let first = match iter.next() {
+        Some(a) => a,
+        None => return init(),
+    };
+    iter.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::Arc;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunk_map_indices_and_boundaries() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = par_chunk_map(&items, 4, |ci, chunk| (ci, chunk.to_vec()));
+        assert_eq!(
+            out,
+            vec![
+                (0, vec![0, 1, 2, 3]),
+                (1, vec![4, 5, 6, 7]),
+                (2, vec![8, 9]),
+            ]
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0usize; 103];
+        par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ci * 10 + k + 1;
+            }
+        });
+        let expect: Vec<usize> = (1..=103).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_reduce_matches_serial_sum() {
+        let items: Vec<f64> = (0..997).map(|i| (i as f64).sin()).collect();
+        let total = par_reduce(
+            &items,
+            64,
+            || 0.0f64,
+            |acc, _, &x| acc + x,
+            |a, b| a + b,
+        );
+        // Same chunked merge tree computed by hand.
+        let expect = items
+            .chunks(64)
+            .map(|c| c.iter().sum::<f64>())
+            .fold(0.0, |a, b| a + b);
+        assert_eq!(total.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert!(par_chunk_map(&empty, 8, |_, c| c.len()).is_empty());
+        assert_eq!(
+            par_reduce(&empty, 8, || 7u64, |a, _, &x| a + x, |a, b| a + b),
+            7
+        );
+        let mut no_data: Vec<u64> = Vec::new();
+        par_chunks_mut(&mut no_data, 8, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn results_identical_across_pools() {
+        let items: Vec<f64> = (0..500).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let run = |threads: usize| {
+            with_pool(Arc::new(ThreadPool::new(threads)), || {
+                par_reduce(&items, 32, || 0.0f64, |a, _, &x| a + x, |a, b| a + b)
+            })
+        };
+        let bits1 = run(1).to_bits();
+        assert_eq!(bits1, run(2).to_bits());
+        assert_eq!(bits1, run(8).to_bits());
+    }
+}

@@ -1,0 +1,49 @@
+//! Seed-splitting: deriving independent RNG streams per chunk.
+
+/// Derives the seed of an independent RNG stream from a `master` seed and a
+/// `stream` index (typically a chunk index, optionally combined with a stage
+/// tag in the high bits).
+///
+/// Uses the SplitMix64 finalizer over `master + (stream+1)·φ64`, the
+/// construction recommended for seeding families of PRNGs: nearby stream
+/// indices produce decorrelated seeds, and the map is bijective in `master`
+/// for a fixed stream. This is the primitive that keeps DP noise and
+/// Monte-Carlo sampling reproducible at any thread count: each chunk seeds
+/// its own RNG from `split_seed(master, chunk_index)` instead of consuming a
+/// shared RNG in scheduling order.
+pub fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(split_seed(42, 7), split_seed(42, 7));
+    }
+
+    #[test]
+    fn streams_differ() {
+        let seeds: Vec<u64> = (0..100).map(|i| split_seed(123, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "stream collision");
+    }
+
+    #[test]
+    fn masters_differ() {
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn zero_inputs_are_fine() {
+        assert_ne!(split_seed(0, 0), 0);
+        assert_ne!(split_seed(0, 0), split_seed(0, 1));
+    }
+}

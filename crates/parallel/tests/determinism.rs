@@ -1,0 +1,74 @@
+//! Property tests for the determinism contract: every primitive must return
+//! bit-identical results at 1, 2, and 8 threads for arbitrary inputs and
+//! chunk sizes.
+
+use parallel::{par_chunk_map, par_map, par_reduce, with_pool, ThreadPool};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn on_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    with_pool(Arc::new(ThreadPool::new(threads)), f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn par_reduce_sum_bit_identical_across_threads(
+        data in prop::collection::vec(-1.0e6f64..1.0e6, 1..400),
+        chunk in 1usize..48,
+    ) {
+        let run = |threads: usize| {
+            on_pool(threads, || {
+                par_reduce(&data, chunk, || 0.0f64, |a, _, &x| a + x, |a, b| a + b)
+            })
+        };
+        let bits1 = run(1).to_bits();
+        prop_assert_eq!(bits1, run(2).to_bits());
+        prop_assert_eq!(bits1, run(8).to_bits());
+    }
+
+    #[test]
+    fn par_map_bit_identical_across_threads(
+        data in prop::collection::vec(-1.0e3f64..1.0e3, 0..300),
+    ) {
+        let run = |threads: usize| {
+            on_pool(threads, || par_map(&data, |&x| (x.sin() * 1e4).round()))
+        };
+        let base = run(1);
+        prop_assert_eq!(&base, &run(2));
+        prop_assert_eq!(&base, &run(8));
+    }
+
+    #[test]
+    fn par_chunk_map_order_matches_serial_chunks(
+        data in prop::collection::vec(0u64..1000, 1..300),
+        chunk in 1usize..64,
+    ) {
+        let expect: Vec<u64> = data.chunks(chunk).map(|c| c.iter().sum()).collect();
+        for threads in [1usize, 2, 8] {
+            let got = on_pool(threads, || {
+                par_chunk_map(&data, chunk, |_, c| c.iter().sum::<u64>())
+            });
+            prop_assert_eq!(&expect, &got, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn global_index_seen_by_fold_is_the_element_index(
+        len in 1usize..300,
+        chunk in 1usize..64,
+    ) {
+        let data: Vec<usize> = (0..len).collect();
+        let ok = on_pool(8, || {
+            par_reduce(
+                &data,
+                chunk,
+                || true,
+                |acc, idx, &x| acc && idx == x,
+                |a, b| a && b,
+            )
+        });
+        prop_assert!(ok);
+    }
+}

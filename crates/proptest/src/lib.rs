@@ -1,0 +1,163 @@
+//! Vendored, `std`-only stand-in for the subset of `proptest` this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`] with `prop_map`, numeric range
+//! and regex-subset string strategies, tuple/`vec` composition, `any::<T>()`,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Shrinking is intentionally not implemented: on failure the harness panics
+//! with the full `Debug` rendering of the generated inputs instead of
+//! minimizing them. Regression files (`*.proptest-regressions`) are ignored.
+//! Case generation is seeded deterministically per test (from the test's
+//! name) so CI runs are reproducible; set `PROPTEST_SEED` to vary them.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `proptest::prelude::prop` module path used in tests
+    /// (e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]   // optional
+///
+///     #[test]
+///     fn name(pattern in strategy, other in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::TestRunner::new_seeded(config, stringify!($name));
+            let cases = runner.cases();
+            for case in 0..cases {
+                let mut rejects: u32 = 0;
+                loop {
+                    $(
+                        let __generated =
+                            $crate::Strategy::new_value(&$strat, &mut runner);
+                        let __rendered = format!("{:?}", __generated);
+                        let $pat = __generated;
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => break,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < 1000,
+                                "proptest '{}': too many prop_assume! rejections",
+                                stringify!($name),
+                            );
+                            continue;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            let mut inputs = ::std::string::String::new();
+                            $(
+                                inputs.push_str("\n    ");
+                                inputs.push_str(stringify!($pat));
+                                inputs.push_str(" = ");
+                                inputs.push_str(&__rendered);
+                            )*
+                            panic!(
+                                "proptest '{}' failed at case {}/{}: {}\n  inputs:{}",
+                                stringify!($name), case + 1, cases, msg, inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l,
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,200 @@
+//! Regex-subset string generation.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. The workspace
+//! only uses the `[class]{m,n}`-style subset, so this module implements a
+//! small generator for: literal characters, character classes with ranges
+//! (`[a-zA-Z0-9 ,']`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (the unbounded ones capped at 8 repetitions). Escapes inside the pattern
+//! (`\n`, `\\`, `\]`, `\-`) are honored; everything else is a literal.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single literal character.
+    Literal(char),
+    /// A flattened character class (each entry equally likely).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Term {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax this subset does not support (unclosed `[` or `{`).
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let terms = parse(pattern);
+    let mut out = String::new();
+    for t in &terms {
+        let n = if t.min == t.max {
+            t.min
+        } else {
+            rng.gen_range(t.min..=t.max)
+        };
+        for _ in 0..n {
+            match &t.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(chars) => {
+                    out.push(chars[rng.gen_range(0..chars.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Term> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut terms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("trailing backslash in pattern");
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i);
+        i = next;
+        terms.push(Term { atom, min, max });
+    }
+    terms
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    loop {
+        let c = *chars.get(i).expect("unclosed character class");
+        match c {
+            ']' => return (class, i + 1),
+            '\\' => {
+                i += 1;
+                let e = *chars.get(i).expect("trailing backslash in class");
+                class.push(unescape(e));
+                i += 1;
+            }
+            _ => {
+                // Range `x-y` when a dash sits between two ordinary chars.
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+                    let hi = chars[i + 2];
+                    assert!(c <= hi, "inverted class range {c}-{hi}");
+                    for v in c as u32..=hi as u32 {
+                        if let Some(ch) = char::from_u32(v) {
+                            class.push(ch);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    class.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_ranges_and_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z ]{1,20}", &mut r);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn csv_hostile_class() {
+        let mut r = rng();
+        let mut saw_quote = false;
+        let mut saw_newline = false;
+        for _ in 0..500 {
+            let s = generate("[a-zA-Z0-9 ,\"\n']{0,24}", &mut r);
+            assert!(s.chars().count() <= 24);
+            saw_quote |= s.contains('"');
+            saw_newline |= s.contains('\n');
+        }
+        assert!(saw_quote && saw_newline, "class members never sampled");
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a{3}", &mut r), "aaa");
+    }
+
+    #[test]
+    fn optional_and_star() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("a?b*", &mut r);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            assert!(s.chars().filter(|&c| c == 'a').count() <= 1);
+        }
+    }
+}

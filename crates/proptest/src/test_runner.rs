@@ -1,0 +1,80 @@
+//! The per-test state driving case generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a single generated case ended, other than success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; generate a fresh case.
+    Reject,
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Test-level configuration (the used subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this workspace trades a smaller default
+        // for CI latency (expensive suites already override with_cases).
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Generation state handed to [`crate::Strategy::new_value`].
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with an arbitrary fixed seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(0x5EED_CAFE),
+        }
+    }
+
+    /// A runner seeded from the test name (stable across runs and platforms)
+    /// xor the optional `PROPTEST_SEED` environment variable.
+    pub fn new_seeded(config: ProptestConfig, name: &str) -> Self {
+        let mut seed: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(env) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = env.trim().parse::<u64>() {
+                seed ^= v;
+            }
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

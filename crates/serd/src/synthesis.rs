@@ -130,9 +130,9 @@ impl ColumnSynthesizer {
             .filter(|&c| c >= lo && c <= hi)
             .collect();
         let chosen = match in_bounds.len() {
-            2 => in_bounds[rng.gen_range(0..2)],
+            2 => in_bounds[rng.gen_range(0..2usize)],
             1 => in_bounds[0],
-            _ => candidates[rng.gen_range(0..2)].clamp(lo, hi),
+            _ => candidates[rng.gen_range(0..2usize)].clamp(lo, hi),
         };
         Value::Numeric(self.round_if_integral(col, chosen))
     }

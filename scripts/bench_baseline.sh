@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Serial-vs-parallel baseline for the data-parallel runtime (crates/parallel).
+#
+# Runs the thread-sweep benchmarks (matmul + GMM EM in parallel_bench, plus the
+# gmm and pipeline suites, which exercise the global pool) twice — once pinned
+# to SERD_THREADS=1 and once at the machine default — and merges the
+# machine-readable samples emitted by the vendored criterion harness
+# (CRITERION_JSON) into a single BENCH_parallel.json at the repo root.
+#
+# Usage: scripts/bench_baseline.sh [extra cargo-bench filter]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+OUT="BENCH_parallel.json"
+TMP_SERIAL="$(mktemp)"
+TMP_DEFAULT="$(mktemp)"
+trap 'rm -f "$TMP_SERIAL" "$TMP_DEFAULT"' EXIT
+
+run_suite() {
+    local json_file="$1"
+    shift
+    for bench in parallel_bench gmm_bench pipeline; do
+        CRITERION_JSON="$json_file" "$@" \
+            cargo bench --offline -q -p bench --bench "$bench" -- $FILTER \
+            || echo "warning: bench $bench failed" >&2
+    done
+}
+
+echo "== serial pass (SERD_THREADS=1) =="
+run_suite "$TMP_SERIAL" env SERD_THREADS=1
+
+echo "== parallel pass (SERD_THREADS unset; machine default) =="
+run_suite "$TMP_DEFAULT" env -u SERD_THREADS
+
+# Merge both passes into one JSON document, tagging each sample with its pass
+# and recording the runner so single-core CI results are not mistaken for a
+# missing speedup.
+{
+    echo '{'
+    echo "  \"runner_cores\": ${CORES},"
+    echo "  \"serial\": ["
+    sed 's/^/    /; $!s/$/,/' "$TMP_SERIAL"
+    echo '  ],'
+    echo "  \"parallel\": ["
+    sed 's/^/    /; $!s/$/,/' "$TMP_DEFAULT"
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote $OUT (runner has ${CORES} core(s))"
