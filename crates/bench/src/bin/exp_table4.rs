@@ -30,8 +30,8 @@ fn main() {
         println!(
             "{:<16} {:>12.2} {:>12.2} {:>10} {:>10} {:>10}",
             kind.name(),
-            bundle.serd.stats.offline_secs,
-            bundle.serd.stats.online_secs,
+            bundle.offline_secs,
+            bundle.online_secs,
             bundle.sim.er.a().len() + bundle.sim.er.b().len(),
             n_text,
             bundle.serd.stats.accepted,

@@ -48,6 +48,10 @@ pub struct Bundle {
     pub serd_minus: SynthesizedEr,
     /// EMBench-style baseline output.
     pub embench: SynthesizedEr,
+    /// Wall-clock seconds of SERD's offline phase (`fit`), Table IV.
+    pub offline_secs: f64,
+    /// Wall-clock seconds of SERD's online phase (`synthesize`), Table IV.
+    pub online_secs: f64,
 }
 
 /// Generates the dataset and runs all three methods (deterministic per
@@ -55,10 +59,14 @@ pub struct Bundle {
 pub fn prepare(kind: DatasetKind, seed: u64) -> Bundle {
     let mut rng = StdRng::seed_from_u64(seed);
     let sim = generate_with_min_matches(kind, scale_for(kind), MIN_MATCHES, &mut rng);
+    let t_fit = std::time::Instant::now();
     let synthesizer =
         SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
             .expect("SERD fit");
+    let offline_secs = t_fit.elapsed().as_secs_f64();
+    let t_syn = std::time::Instant::now();
     let serd = synthesizer.synthesize(&mut rng).expect("SERD synthesize");
+    let online_secs = t_syn.elapsed().as_secs_f64();
     let minus = serd_minus(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
         .expect("SERD- synthesize");
     let emb = embench(&sim.er, &mut rng).expect("EMBench");
@@ -68,6 +76,8 @@ pub fn prepare(kind: DatasetKind, seed: u64) -> Bundle {
         serd,
         serd_minus: minus,
         embench: emb,
+        offline_secs,
+        online_secs,
     }
 }
 

@@ -203,6 +203,34 @@ mod tests {
     }
 
     #[test]
+    fn epsilon_matches_independent_reference_small_q() {
+        // Reference value computed independently (lgamma-based log-binomial,
+        // same Mironov integer-order formula, orders 2..=64) for
+        // q = 0.01, σ = 1.0, T = 1000, δ = 1e-5.
+        let mut acc = RdpAccountant::new();
+        acc.compose_steps(0.01, 1.0, 1000);
+        let eps = acc.epsilon(1e-5);
+        let reference = 2.5383475454588975;
+        assert!(
+            (eps - reference).abs() < 1e-6,
+            "eps {eps} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    fn epsilon_matches_independent_reference_moderate_q() {
+        // Same independent reference for q = 0.1, σ = 2.0, T = 500, δ = 1e-6.
+        let mut acc = RdpAccountant::new();
+        acc.compose_steps(0.1, 2.0, 500);
+        let eps = acc.epsilon(1e-6);
+        let reference = 7.3223618843890925;
+        assert!(
+            (eps - reference).abs() < 1e-6,
+            "eps {eps} vs reference {reference}"
+        );
+    }
+
+    #[test]
     fn composition_is_additive() {
         let mut a = RdpAccountant::new();
         a.compose_steps(0.05, 1.2, 50);

@@ -36,15 +36,38 @@ pub enum BlockingStrategy {
 }
 
 impl BlockingStrategy {
+    /// Short name used for metric keys.
+    fn key(&self) -> &'static str {
+        match self {
+            BlockingStrategy::Qgram { .. } => "qgram",
+            BlockingStrategy::Token { .. } => "token",
+            BlockingStrategy::SortedNeighborhood { .. } => "sorted_neighborhood",
+        }
+    }
+
     /// Generates candidate pairs under this strategy.
     pub fn candidates(&self, a: &Relation, b: &Relation) -> Vec<(usize, usize)> {
-        match *self {
+        let _span = obs::span("blocking");
+        let out = match *self {
             BlockingStrategy::Qgram { q, max_bucket } => candidate_pairs(a, b, q, max_bucket),
             BlockingStrategy::Token { max_bucket } => token_candidates(a, b, max_bucket),
             BlockingStrategy::SortedNeighborhood { window } => {
                 sorted_neighborhood(a, b, window)
             }
+        };
+        if obs::enabled() {
+            let key = self.key();
+            obs::counter(&format!("candidates.{key}"), out.len() as u64);
+            let cross = a.len() as f64 * b.len() as f64;
+            if cross > 0.0 {
+                // Fraction of the cross product pruned away by blocking.
+                obs::gauge(
+                    &format!("reduction_ratio.{key}"),
+                    1.0 - out.len() as f64 / cross,
+                );
+            }
         }
+        out
     }
 }
 
@@ -139,6 +162,7 @@ pub fn candidate_pairs(
     q: usize,
     max_bucket: usize,
 ) -> Vec<(usize, usize)> {
+    let _span = obs::span("blocking");
     let col = blocking_column(a);
     let index_a = gram_index(a, col, q, max_bucket);
     let index_b = gram_index(b, col, q, max_bucket);
@@ -156,6 +180,13 @@ pub fn candidate_pairs(
     // Sorted so the candidate order doesn't leak hash-iteration order.
     let mut out: Vec<(usize, usize)> = seen.into_keys().collect();
     out.sort_unstable();
+    if obs::enabled() {
+        obs::counter("candidates.qgram", out.len() as u64);
+        let cross = (a.len() as f64) * (b.len() as f64);
+        if cross > 0.0 {
+            obs::gauge("reduction_ratio.qgram", 1.0 - out.len() as f64 / cross);
+        }
+    }
     out
 }
 

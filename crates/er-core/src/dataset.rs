@@ -122,12 +122,24 @@ impl ErDataset {
     /// iteration order varies run to run) so the extracted vectors arrive in
     /// a reproducible order for the downstream GMM fits.
     pub fn similarity_vectors<R: Rng>(&self, neg_samples: usize, rng: &mut R) -> SimilarityVectors {
+        let _span = obs::span("similarity_vectors");
+        let timer = obs::enabled().then(std::time::Instant::now);
+
         let mut match_pairs: Vec<(usize, usize)> = self.matches.iter().copied().collect();
         match_pairs.sort_unstable();
         let pos = parallel::par_map(&match_pairs, |&(i, j)| self.similarity_vector(i, j));
 
         let neg_pairs = self.sample_nonmatch_pairs(neg_samples, rng);
         let neg = parallel::par_map(&neg_pairs, |&(i, j)| self.similarity_vector(i, j));
+
+        if let Some(t) = timer {
+            let pairs = (pos.len() + neg.len()) as u64;
+            obs::counter("pairs", pairs);
+            let secs = t.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obs::gauge("pairs_per_sec", pairs as f64 / secs);
+            }
+        }
         SimilarityVectors { pos, neg }
     }
 

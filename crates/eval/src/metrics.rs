@@ -93,21 +93,22 @@ impl std::fmt::Display for Metrics {
 /// Area under the ROC curve for scored predictions, computed by the
 /// rank-sum (Mann–Whitney U) formulation with midrank tie handling.
 ///
-/// Returns 0.5 when either class is absent (no ranking information).
+/// Non-finite scores carry no ranking information and are dropped (with
+/// their labels) before ranking — a NaN must not silently glue unrelated
+/// scores into one "tie" group, which is what `partial_cmp` fallback did.
+/// Returns 0.5 when either class is absent among the finite-scored items.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "aligned slices required");
+    let (scores, labels) = finite_scored(scores, labels);
     let n_pos = labels.iter().filter(|&&l| l).count();
     let n_neg = labels.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    // Sort indices by score; assign midranks to ties.
+    // Sort indices by score; assign midranks to ties. `total_cmp` gives a
+    // total order, so the sort cannot scramble on pathological inputs.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -123,7 +124,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     }
     let rank_sum_pos: f64 = ranks
         .iter()
-        .zip(labels)
+        .zip(&labels)
         .filter(|(_, &l)| l)
         .map(|(&r, _)| r)
         .sum();
@@ -132,19 +133,32 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
 }
 
 /// Precision/recall pairs at every distinct score threshold, sorted by
-/// descending threshold — the data behind a PR curve.
+/// descending threshold — the data behind a PR curve. Non-finite scores are
+/// dropped with their labels (a NaN threshold would predict nothing and a
+/// NaN score never satisfies `>=`, skewing every row's counts).
 pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, Metrics)> {
     assert_eq!(scores.len(), labels.len());
-    let mut thresholds: Vec<f64> = scores.to_vec();
-    thresholds.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let (scores, labels) = finite_scored(scores, labels);
+    let mut thresholds: Vec<f64> = scores.clone();
+    thresholds.sort_by(|a, b| b.total_cmp(a));
     thresholds.dedup();
     thresholds
         .into_iter()
         .map(|t| {
             let preds: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
-            (t, confusion(&preds, labels).metrics())
+            (t, confusion(&preds, &labels).metrics())
         })
         .collect()
+}
+
+/// Keeps only the finite-scored items of an aligned (scores, labels) pair.
+fn finite_scored(scores: &[f64], labels: &[bool]) -> (Vec<f64>, Vec<bool>) {
+    scores
+        .iter()
+        .zip(labels)
+        .filter(|(s, _)| s.is_finite())
+        .map(|(&s, &l)| (s, l))
+        .unzip()
 }
 
 #[cfg(test)]
@@ -224,6 +238,41 @@ mod tests {
         }
         // The loosest threshold captures all positives.
         assert_eq!(curve.last().unwrap().1.recall, 1.0);
+    }
+
+    #[test]
+    fn auc_ignores_nan_and_infinite_scores() {
+        // The finite subset is perfectly separated; the NaN and ±inf entries
+        // must not perturb the ranking (the old partial_cmp fallback treated
+        // NaN as equal to whatever it was compared against).
+        let scores = [0.9, f64::NAN, 0.8, 0.2, f64::INFINITY, 0.1, f64::NEG_INFINITY];
+        let labels = [true, false, true, false, false, false, true];
+        let auc = roc_auc(&scores, &labels);
+        assert_eq!(auc, 1.0, "finite subset is perfectly ranked, got {auc}");
+        assert!(auc.is_finite());
+    }
+    #[test]
+    fn auc_all_nan_scores_is_half() {
+        let scores = [f64::NAN, f64::NAN];
+        let labels = [true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn pr_curve_ignores_non_finite_scores() {
+        let scores = [0.9, f64::NAN, 0.5, f64::INFINITY];
+        let labels = [true, true, false, false];
+        let curve = pr_curve(&scores, &labels);
+        // Only the two finite thresholds survive, and no row is NaN.
+        assert_eq!(curve.len(), 2);
+        for (t, m) in &curve {
+            assert!(t.is_finite());
+            assert!(m.precision.is_finite() && m.recall.is_finite() && m.f1.is_finite());
+        }
+        // At threshold 0.9 the single finite positive is captured cleanly.
+        assert_eq!(curve[0].0, 0.9);
+        assert_eq!(curve[0].1.precision, 1.0);
+        assert_eq!(curve[0].1.recall, 1.0);
     }
 
     #[test]

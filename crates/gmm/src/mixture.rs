@@ -160,7 +160,9 @@ impl OMixture {
         };
         let kl_p = kl_side(false);
         let kl_q = kl_side(true);
-        (0.5 * (kl_p + kl_q) / n as f64).max(0.0)
+        let d = (0.5 * (kl_p + kl_q) / n as f64).max(0.0);
+        obs::series("jsd_estimate", d);
+        d
     }
 }
 

@@ -120,6 +120,10 @@ impl Gmm {
 
         let mut prev_ll = f64::NEG_INFINITY;
         let mut stats = SuffStats::zeros(g, d);
+        // Per-iteration log-likelihood trajectory, buffered locally so that
+        // concurrent fits (the AIC sweep) publish one series each instead of
+        // interleaving nondeterministically.
+        let mut ll_trace: Vec<f64> = Vec::new();
         for _ in 0..config.max_iters {
             // E-step: responsibilities + log-likelihood, folded into stats.
             // Runs chunk-parallel; see `e_step` for the determinism argument.
@@ -128,6 +132,9 @@ impl Gmm {
             let mut ll = e.1;
             let worst = e.2;
             ll /= data.len() as f64;
+            if obs::enabled() {
+                ll_trace.push(ll);
+            }
 
             // M-step from the sufficient statistics (Eq. 6).
             for k in 0..g {
@@ -151,6 +158,7 @@ impl Gmm {
             }
             prev_ll = ll;
         }
+        obs::series_extend(&format!("em.loglik.g{g}"), &ll_trace);
 
         Ok(Gmm {
             weights,
@@ -167,6 +175,7 @@ impl Gmm {
         config: &GmmConfig,
         rng: &mut R,
     ) -> Result<(Gmm, usize)> {
+        let _span = obs::span("gmm.fit_auto");
         // The candidate fits are independent, so the sweep runs in parallel.
         // Each `g` gets its own RNG stream derived from one master seed —
         // initialization no longer depends on how earlier candidates consumed
@@ -189,14 +198,17 @@ impl Gmm {
                 best = Some(fit);
             }
         }
-        match best {
-            Some((_, m, g)) => Ok((m, g)),
+        let picked = match best {
+            Some((_, m, g)) => (m, g),
             None => {
                 // Fall back to a single component (possible when data is tiny).
-                let m = Gmm::fit(data, 1, config, rng)?;
-                Ok((m, 1))
+                (Gmm::fit(data, 1, config, rng)?, 1)
             }
-        }
+        };
+        // A histogram (not a gauge) so both the M- and N-side sweeps of one
+        // run stay visible: count, min, max of the AIC-chosen g values.
+        obs::hist("aic_chosen_g", picked.1 as f64);
+        Ok(picked)
     }
 
     /// Component weights `π_k`.

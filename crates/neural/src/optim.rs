@@ -196,16 +196,20 @@ impl DpSgd {
         let n_params = self.params.len();
         let shapes: Vec<(usize, usize)> = self.params.iter().map(|p| p.shape()).collect();
         let chunk = parallel::default_chunk_size(batch.len());
-        let mut sums: Vec<Tensor> = parallel::par_reduce(
+        // The accumulator carries the clipped-example count alongside the
+        // gradient sums: counting inside the reduction keeps the tally a pure
+        // function of the batch (chunk-ordered merge), not the thread count.
+        let (mut sums, clipped): (Vec<Tensor>, u64) = parallel::par_reduce(
             batch,
             chunk,
             || {
-                shapes
+                let zeros = shapes
                     .iter()
                     .map(|&(r, c)| Tensor::zeros(r, c))
-                    .collect::<Vec<Tensor>>()
+                    .collect::<Vec<Tensor>>();
+                (zeros, 0u64)
             },
-            |mut acc, _, example| {
+            |(mut acc, mut clipped), _, example| {
                 assert_eq!(example.len(), n_params, "gradient arity mismatch");
                 // Joint L2 norm across all parameter tensors.
                 let norm: f32 = example
@@ -214,6 +218,7 @@ impl DpSgd {
                     .sum::<f32>()
                     .sqrt();
                 let scale = if norm > clip && norm > 0.0 {
+                    clipped += 1;
                     clip / norm
                 } else {
                     1.0
@@ -221,13 +226,13 @@ impl DpSgd {
                 for (s, g) in acc.iter_mut().zip(example) {
                     s.add_scaled_assign(g, scale);
                 }
-                acc
+                (acc, clipped)
             },
-            |mut a, b| {
+            |(mut a, ca), (b, cb)| {
                 for (s, g) in a.iter_mut().zip(&b) {
                     s.add_scaled_assign(g, 1.0);
                 }
-                a
+                (a, ca + cb)
             },
         );
         // Gaussian noise: one master seed from the caller's RNG, then an
@@ -251,6 +256,11 @@ impl DpSgd {
         }
         self.accountant
             .compose_subsampled_gaussian(self.sampling_rate, self.sigma as f64);
+        if obs::enabled() {
+            obs::hist("dpsgd.clip_fraction", clipped as f64 / j as f64);
+            // ε(δ) trajectory at the reporting δ used throughout the repo.
+            obs::series("dpsgd.epsilon", self.accountant.epsilon(1e-5));
+        }
     }
 
     /// The `(ε)` spent so far at the given `δ`.

@@ -1,0 +1,54 @@
+//! Minimal JSON string helpers for the hand-rolled report writer.
+
+/// Escapes a string for inclusion inside JSON double quotes.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON value. Rust's `Display` for finite floats is
+/// already valid JSON (shortest round-trip decimal, no exponent for the
+/// magnitudes we record); non-finite values have no JSON number form and
+/// serialize as `null`.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` can produce exponent forms like `1e300`; JSON accepts
+        // them, but `1e300`-style output lacks a fraction dot — still valid.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("日本語"), "日本語");
+    }
+
+    #[test]
+    fn f64_forms() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(-0.25), "-0.25");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,274 @@
+//! From-scratch structured observability for the SERD pipeline.
+//!
+//! Built on `std` only (no `tracing`, no `log`), this crate provides the
+//! measurement substrate the paper's experimental section needs: offline and
+//! online runtime per stage, the privacy budget ε(δ) trajectory, and
+//! distributional-fidelity trajectories (per-iteration log-likelihood, JSD
+//! over rejection commits) — all collected into one per-run report.
+//!
+//! # Model
+//!
+//! * **Spans** — hierarchical timed regions. [`span`] returns an RAII guard;
+//!   nesting follows the per-thread span stack, and repeated entries of the
+//!   same region aggregate (call count + total wall time), profiler-style.
+//! * **Metrics** — attached to the innermost active span of the calling
+//!   thread (or the root when none is active):
+//!   [`counter`] (monotone u64), [`gauge`] (last-write f64),
+//!   [`hist`] (count/sum/min/max summary), and [`series`] (an append-only
+//!   f64 trajectory with deterministic stride-doubling downsampling).
+//! * **Diagnostics** — [`diag`] always warns on stderr (it replaces bare
+//!   `eprintln!` call sites) and is additionally recorded in the run-report
+//!   when observability is on.
+//! * **Run-report** — [`report_json`] / [`report_text`] serialize the whole
+//!   tree; the JSON writer is hand-rolled (workspace no-dependency rule).
+//!
+//! # Control and overhead contract
+//!
+//! The layer is controlled by the `SERD_OBS` environment variable:
+//! `off` (default), `text`, or `json`. [`set_mode`] overrides it
+//! programmatically (tests, examples).
+//!
+//! **When disabled, every entry point is one relaxed atomic load plus a
+//! branch — no allocation, no locking, no clock read.** Recording never
+//! consumes caller randomness and never changes control flow, so pipeline
+//! outputs are bit-identical with observability on or off, at any thread
+//! count.
+
+mod json;
+mod registry;
+
+use registry::Registry;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Observability mode, from `SERD_OBS` or [`set_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Recording disabled (the default). Near-zero overhead.
+    Off,
+    /// Recording enabled; [`report`] renders a human-readable tree.
+    Text,
+    /// Recording enabled; [`report`] renders the JSON run-report.
+    Json,
+}
+
+const MODE_UNINIT: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+thread_local! {
+    /// The calling thread's stack of active span names (root-relative path).
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The active mode. First call reads `SERD_OBS` (`off` | `text` | `json`;
+/// unknown values fall back to `off`); later calls are one atomic load.
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Text,
+        2 => Mode::Json,
+        _ => {
+            let m = match std::env::var("SERD_OBS").as_deref() {
+                Ok("text") => Mode::Text,
+                Ok("json") => Mode::Json,
+                _ => Mode::Off,
+            };
+            // A racing first call resolves the same env value; last store wins
+            // with an identical byte, so the race is benign.
+            MODE.store(m as u8, Ordering::Relaxed);
+            m
+        }
+    }
+}
+
+/// Overrides the mode (tests and examples; wins over `SERD_OBS`).
+pub fn set_mode(m: Mode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Whether recording is enabled. This is the fast path every instrumentation
+/// site checks first: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    // Initialized modes are 0/1/2; MODE_UNINIT means `mode()` has not run yet.
+    match MODE.load(Ordering::Relaxed) {
+        0 => false,
+        MODE_UNINIT => mode() != Mode::Off,
+        _ => true,
+    }
+}
+
+/// RAII guard for a timed span; records on drop. Inert when disabled.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Ok(mut reg) = registry().lock() {
+                reg.record_span(&stack, elapsed);
+            }
+            stack.pop();
+        });
+    }
+}
+
+/// Enters a named span on the calling thread. The returned guard must be
+/// dropped in LIFO order (the natural scoping of a `let _span = ...;`).
+#[must_use = "the span is timed until the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+fn with_current_path<F: FnOnce(&mut Registry, &[String])>(f: F) {
+    SPAN_STACK.with(|s| {
+        let stack = s.borrow();
+        if let Ok(mut reg) = registry().lock() {
+            f(&mut reg, &stack);
+        }
+    });
+}
+
+/// Adds `delta` to the named counter under the current span.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_current_path(|reg, path| reg.counter(path, name, delta));
+}
+
+/// Sets the named gauge (last write wins) under the current span.
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_current_path(|reg, path| reg.gauge(path, name, value));
+}
+
+/// Records one observation into the named histogram under the current span.
+pub fn hist(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_current_path(|reg, path| reg.hist(path, name, value));
+}
+
+/// Appends one value to the named series under the current span.
+pub fn series(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_current_path(|reg, path| reg.series_extend(path, name, &[value]));
+}
+
+/// Appends a whole trajectory to the named series in one locked operation —
+/// use this from parallel stages that buffer locally (one append per stage
+/// keeps concurrent trajectories from interleaving).
+pub fn series_extend(name: &str, values: &[f64]) {
+    if !enabled() || values.is_empty() {
+        return;
+    }
+    with_current_path(|reg, path| reg.series_extend(path, name, values));
+}
+
+/// Emits a diagnostic: always printed to stderr (this is the replacement for
+/// ad-hoc `eprintln!` warnings), and recorded in the run-report when
+/// observability is on.
+pub fn diag(msg: &str) {
+    eprintln!("[serd] {msg}");
+    if !enabled() {
+        return;
+    }
+    if let Ok(mut reg) = registry().lock() {
+        reg.diag(msg);
+    }
+}
+
+/// Total recorded seconds of the span at `path` (root-relative), if any.
+pub fn span_secs(path: &[&str]) -> Option<f64> {
+    if !enabled() {
+        return None;
+    }
+    registry().lock().ok().and_then(|reg| reg.span_secs(path))
+}
+
+/// Clears all recorded data (spans, metrics, diagnostics). The mode is kept.
+/// Call between runs when one process produces several reports.
+pub fn reset() {
+    if let Ok(mut reg) = registry().lock() {
+        *reg = Registry::new();
+    }
+}
+
+/// The run-report as JSON (stable shape; see DESIGN.md §8). Returns a valid
+/// document even when disabled (`{"enabled":false}`-style stub).
+pub fn report_json() -> String {
+    match registry().lock() {
+        Ok(reg) => reg.to_json(enabled()),
+        Err(_) => "{\"enabled\":false}".to_string(),
+    }
+}
+
+/// The run-report as an indented human-readable tree.
+pub fn report_text() -> String {
+    match registry().lock() {
+        Ok(reg) => reg.to_text(enabled()),
+        Err(_) => String::new(),
+    }
+}
+
+/// The run-report rendered for the active mode (`Json` → JSON, otherwise the
+/// text tree).
+pub fn report() -> String {
+    if mode() == Mode::Json {
+        report_json()
+    } else {
+        report_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the mode is process-global, so unit tests here only exercise the
+    // disabled fast path plus pure helpers; enabled-path behaviour is covered
+    // by the integration tests in `tests/report.rs` (their own process).
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        set_mode(Mode::Off);
+        let g = span("never");
+        counter("c", 1);
+        gauge("g", 1.0);
+        hist("h", 1.0);
+        series("s", 1.0);
+        drop(g);
+        assert!(!enabled());
+        assert!(span_secs(&["never"]).is_none());
+    }
+
+    #[test]
+    fn disabled_report_is_valid_stub() {
+        set_mode(Mode::Off);
+        let j = report_json();
+        assert!(j.contains("\"enabled\":false"), "{j}");
+    }
+}

@@ -1,0 +1,420 @@
+//! The global span/metric tree behind the public API.
+
+use crate::json::{escape, fmt_f64};
+use std::time::Duration;
+
+/// Cap on stored series points before stride-doubling downsampling kicks in.
+/// Downsampling is a pure function of the append sequence, so the stored
+/// trajectory is deterministic for a deterministic run.
+const SERIES_CAP: usize = 2048;
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Series {
+    values: Vec<f64>,
+    /// Every `stride`-th appended value is kept (1 until the cap is first
+    /// hit, then doubled on every subsequent hit).
+    stride: u64,
+    seen: u64,
+}
+
+impl Series {
+    fn new() -> Self {
+        Series {
+            values: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    fn extend(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.seen += 1;
+            if self.seen % self.stride != 0 {
+                continue;
+            }
+            self.values.push(v);
+            if self.values.len() >= SERIES_CAP {
+                // Keep every other stored point; future appends thin to match.
+                let mut keep = false;
+                self.values.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+    }
+}
+
+/// One node of the span tree. Metrics recorded while this span is the
+/// innermost active one attach here; the root node holds span-less metrics.
+#[derive(Debug, Default)]
+pub(crate) struct Node {
+    name: String,
+    calls: u64,
+    nanos: u128,
+    children: Vec<Node>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Hist)>,
+    series: Vec<(String, Series)>,
+}
+
+impl Node {
+    fn child_mut(&mut self, name: &str) -> &mut Node {
+        // Linear scan: span fan-out is small (pipeline stages, not events).
+        let idx = match self.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                self.children.push(Node {
+                    name: name.to_string(),
+                    ..Node::default()
+                });
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[idx]
+    }
+
+    fn at_path(&mut self, path: &[String]) -> &mut Node {
+        let mut node = self;
+        for name in path {
+            node = node.child_mut(name);
+        }
+        node
+    }
+}
+
+/// All recorded observability data for the current run.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    root: Node,
+    diagnostics: Vec<String>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            root: Node {
+                name: "run".to_string(),
+                ..Node::default()
+            },
+            diagnostics: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_span(&mut self, path: &[String], elapsed: Duration) {
+        let node = self.root.at_path(path);
+        node.calls += 1;
+        node.nanos += elapsed.as_nanos();
+    }
+
+    pub(crate) fn counter(&mut self, path: &[String], name: &str, delta: u64) {
+        let node = self.root.at_path(path);
+        match node.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => node.counters.push((name.to_string(), delta)),
+        }
+    }
+
+    pub(crate) fn gauge(&mut self, path: &[String], name: &str, value: f64) {
+        let node = self.root.at_path(path);
+        match node.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => node.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    pub(crate) fn hist(&mut self, path: &[String], name: &str, value: f64) {
+        let node = self.root.at_path(path);
+        match node.hists.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(value),
+            None => {
+                let mut h = Hist::default();
+                h.record(value);
+                node.hists.push((name.to_string(), h));
+            }
+        }
+    }
+
+    pub(crate) fn series_extend(&mut self, path: &[String], name: &str, values: &[f64]) {
+        let node = self.root.at_path(path);
+        match node.series.iter_mut().find(|(n, _)| n == name) {
+            Some((_, s)) => s.extend(values),
+            None => {
+                let mut s = Series::new();
+                s.extend(values);
+                node.series.push((name.to_string(), s));
+            }
+        }
+    }
+
+    pub(crate) fn diag(&mut self, msg: &str) {
+        self.diagnostics.push(msg.to_string());
+    }
+
+    pub(crate) fn span_secs(&self, path: &[&str]) -> Option<f64> {
+        let mut node = &self.root;
+        for name in path {
+            node = node.children.iter().find(|c| c.name == *name)?;
+        }
+        Some(node.nanos as f64 / 1e9)
+    }
+
+    pub(crate) fn to_json(&self, enabled: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        out.push_str("\"enabled\":");
+        out.push_str(if enabled { "true" } else { "false" });
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(d));
+            out.push('"');
+        }
+        out.push_str("],\"root\":");
+        node_json(&self.root, &mut out);
+        out.push('}');
+        out
+    }
+
+    pub(crate) fn to_text(&self, enabled: bool) -> String {
+        let mut out = String::new();
+        if !enabled {
+            out.push_str("observability disabled (set SERD_OBS=text or json)\n");
+            return out;
+        }
+        for d in &self.diagnostics {
+            out.push_str("! ");
+            out.push_str(d);
+            out.push('\n');
+        }
+        node_text(&self.root, 0, &mut out);
+        out
+    }
+}
+
+fn node_json(node: &Node, out: &mut String) {
+    out.push('{');
+    out.push_str("\"name\":\"");
+    out.push_str(&escape(&node.name));
+    out.push('"');
+    if node.calls > 0 {
+        out.push_str(&format!(",\"calls\":{}", node.calls));
+        out.push_str(",\"secs\":");
+        out.push_str(&fmt_f64(node.nanos as f64 / 1e9));
+    }
+    if !node.counters.is_empty() {
+        out.push_str(",\"counters\":{");
+        for (i, (n, v)) in node.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(n), v));
+        }
+        out.push('}');
+    }
+    if !node.gauges.is_empty() {
+        out.push_str(",\"gauges\":{");
+        for (i, (n, v)) in node.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(n), fmt_f64(*v)));
+        }
+        out.push('}');
+    }
+    if !node.hists.is_empty() {
+        out.push_str(",\"hists\":{");
+        for (i, (n, h)) in node.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                escape(n),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(mean)
+            ));
+        }
+        out.push('}');
+    }
+    if !node.series.is_empty() {
+        out.push_str(",\"series\":{");
+        for (i, (n, s)) in node.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"stride\":{},\"n\":{},\"values\":[",
+                escape(n),
+                s.stride,
+                s.seen
+            ));
+            for (j, v) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f64(*v));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+    }
+    if !node.children.is_empty() {
+        out.push_str(",\"children\":[");
+        for (i, c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            node_json(c, out);
+        }
+        out.push(']');
+    }
+    out.push('}');
+}
+
+fn node_text(node: &Node, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push_str(&node.name);
+    if node.calls > 0 {
+        out.push_str(&format!(
+            "  [{} call{}, {:.3}s]",
+            node.calls,
+            if node.calls == 1 { "" } else { "s" },
+            node.nanos as f64 / 1e9
+        ));
+    }
+    out.push('\n');
+    for (n, v) in &node.counters {
+        out.push_str(&format!("{pad}  {n} = {v}\n"));
+    }
+    for (n, v) in &node.gauges {
+        out.push_str(&format!("{pad}  {n} = {v:.6}\n"));
+    }
+    for (n, h) in &node.hists {
+        let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "{pad}  {n}: count={} mean={:.6} min={:.6} max={:.6}\n",
+            h.count, mean, h.min, h.max
+        ));
+    }
+    for (n, s) in &node.series {
+        let first = s.values.first().copied().unwrap_or(0.0);
+        let last = s.values.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "{pad}  {n}: {} pts (stride {}) {:.6} -> {:.6}\n",
+            s.seen, s.stride, first, last
+        ));
+    }
+    for c in &node.children {
+        node_text(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn span_tree_aggregates_by_path() {
+        let mut reg = Registry::new();
+        reg.record_span(&path(&["fit"]), Duration::from_millis(10));
+        reg.record_span(&path(&["fit"]), Duration::from_millis(5));
+        reg.record_span(&path(&["fit", "gmm"]), Duration::from_millis(3));
+        assert!((reg.span_secs(&["fit"]).unwrap() - 0.015).abs() < 1e-9);
+        assert!((reg.span_secs(&["fit", "gmm"]).unwrap() - 0.003).abs() < 1e-9);
+        assert!(reg.span_secs(&["missing"]).is_none());
+    }
+
+    #[test]
+    fn counters_accumulate_gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.counter(&[], "jobs", 2);
+        reg.counter(&[], "jobs", 3);
+        reg.gauge(&[], "rate", 0.5);
+        reg.gauge(&[], "rate", 0.7);
+        let j = reg.to_json(true);
+        assert!(j.contains("\"jobs\":5"), "{j}");
+        assert!(j.contains("\"rate\":0.7"), "{j}");
+    }
+
+    #[test]
+    fn hist_summary() {
+        let mut reg = Registry::new();
+        for v in [1.0, 2.0, 3.0] {
+            reg.hist(&[], "h", v);
+        }
+        let j = reg.to_json(true);
+        assert!(j.contains("\"count\":3"), "{j}");
+        assert!(j.contains("\"min\":1"), "{j}");
+        assert!(j.contains("\"max\":3"), "{j}");
+        assert!(j.contains("\"mean\":2"), "{j}");
+    }
+
+    #[test]
+    fn series_downsamples_deterministically() {
+        let mut s = Series::new();
+        let vals: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        s.extend(&vals);
+        assert!(s.values.len() < SERIES_CAP);
+        assert_eq!(s.seen, 10_000);
+        assert!(s.stride >= 4);
+        // Kept points are still in append order.
+        for w in s.values.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Same appends -> same stored values.
+        let mut s2 = Series::new();
+        s2.extend(&vals);
+        assert_eq!(s.values, s2.values);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let mut reg = Registry::new();
+        reg.record_span(&path(&["a"]), Duration::from_millis(1));
+        reg.series_extend(&path(&["a"]), "traj", &[1.0, f64::NAN, 2.0]);
+        reg.diag("warn \"quoted\"");
+        let j = reg.to_json(true);
+        // Non-finite values serialize as null; quotes are escaped.
+        assert!(j.contains("null"), "{j}");
+        assert!(j.contains("\\\"quoted\\\""), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -1,0 +1,52 @@
+//! Disabled-path overhead pin. Lives in its own test binary (own process) so
+//! forcing the process-global mode to `Off` cannot race the enabled-path
+//! tests in `report.rs`.
+//!
+//! The contract: with recording off, every instrumentation site is one
+//! relaxed atomic load plus a branch — no allocation, no locking, no
+//! formatting. We pin that with a generous absolute budget rather than a
+//! relative one, so the test is immune to CI noise: 10M guarded calls must
+//! finish well under a second (a mutex or allocation per call would blow
+//! through the budget by an order of magnitude).
+
+use obs::Mode;
+use std::time::Instant;
+
+const CALLS: u64 = 10_000_000;
+// ~100ns per disabled call — a relaxed load is ~1ns even on busy CI machines.
+const BUDGET_SECS: f64 = 1.0;
+
+#[test]
+fn disabled_instrumentation_is_near_free() {
+    obs::set_mode(Mode::Off);
+    assert!(!obs::enabled());
+
+    // Counters/gauges/series through the public guard, as call sites do.
+    let t = Instant::now();
+    let mut live = 0u64;
+    for i in 0..CALLS {
+        if obs::enabled() {
+            obs::counter("never", i);
+        } else {
+            live += 1;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert_eq!(live, CALLS);
+    assert!(
+        secs < BUDGET_SECS,
+        "disabled-path guard took {secs:.3}s for {CALLS} calls (budget {BUDGET_SECS}s)"
+    );
+
+    // Span guards must also be inert: no timing, no registry writes.
+    let t = Instant::now();
+    for _ in 0..1_000_000 {
+        let _g = obs::span("never");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert!(
+        secs < BUDGET_SECS,
+        "disabled span guard took {secs:.3}s for 1M spans (budget {BUDGET_SECS}s)"
+    );
+    assert!(obs::span_secs(&["never"]).is_none());
+}

@@ -1,0 +1,76 @@
+//! Enabled-path integration tests. These run in their own test binary so the
+//! process-global mode does not interfere with other crates' tests.
+
+use obs::Mode;
+
+/// Everything in one test: the mode is process-global state, so sub-cases
+/// run sequentially against one registry with resets in between.
+#[test]
+fn enabled_recording_end_to_end() {
+    obs::set_mode(Mode::Json);
+    assert!(obs::enabled());
+
+    // Nested spans land at the right paths.
+    {
+        let _outer = obs::span("fit");
+        obs::counter("pairs", 7);
+        {
+            let _inner = obs::span("gmm");
+            obs::gauge("g", 2.0);
+            obs::series("loglik", -10.0);
+            obs::series("loglik", -8.5);
+        }
+        obs::hist("batch", 3.0);
+    }
+    let fit_secs = obs::span_secs(&["fit"]).expect("fit span recorded");
+    assert!(fit_secs >= 0.0);
+    assert!(obs::span_secs(&["fit", "gmm"]).is_some());
+    let j = obs::report_json();
+    assert!(j.contains("\"enabled\":true"), "{j}");
+    assert!(j.contains("\"name\":\"fit\""), "{j}");
+    assert!(j.contains("\"name\":\"gmm\""), "{j}");
+    assert!(j.contains("\"pairs\":7"), "{j}");
+    assert!(j.contains("\"loglik\""), "{j}");
+    assert!(j.contains("-8.5"), "{j}");
+
+    // Text rendering carries the same tree.
+    let t = obs::report_text();
+    assert!(t.contains("fit"), "{t}");
+    assert!(t.contains("gmm"), "{t}");
+
+    // Spans re-entered aggregate instead of duplicating nodes.
+    obs::reset();
+    for _ in 0..3 {
+        let _s = obs::span("stage");
+    }
+    let j = obs::report_json();
+    assert_eq!(j.matches("\"name\":\"stage\"").count(), 1, "{j}");
+    assert!(j.contains("\"calls\":3"), "{j}");
+
+    // Metrics recorded with no active span attach to the root.
+    obs::reset();
+    obs::counter("rootc", 1);
+    let j = obs::report_json();
+    assert!(j.contains("\"rootc\":1"), "{j}");
+
+    // Diagnostics are recorded and escaped.
+    obs::reset();
+    obs::diag("SERD_THREADS=\"x\" is not a non-negative integer");
+    let j = obs::report_json();
+    assert!(j.contains("SERD_THREADS"), "{j}");
+    assert!(j.contains("\\\"x\\\""), "{j}");
+
+    // Spans recorded on other threads attach to that thread's own stack.
+    obs::reset();
+    std::thread::spawn(|| {
+        let _s = obs::span("worker-side");
+    })
+    .join()
+    .unwrap();
+    assert!(obs::span_secs(&["worker-side"]).is_some());
+
+    // reset() clears everything.
+    obs::reset();
+    let j = obs::report_json();
+    assert!(!j.contains("worker-side"), "{j}");
+}

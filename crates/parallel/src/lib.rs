@@ -40,7 +40,7 @@ pub use ops::{
 };
 /// `par_chunk_map` under its task-oriented name: run `f` for every chunk.
 pub use ops::par_chunk_map as par_for_chunks;
-pub use pool::{Scope, ThreadPool};
+pub use pool::{pool_stats, Scope, ThreadPool};
 pub use seed::split_seed;
 
 /// Number of compute threads the global pool uses (`SERD_THREADS` or the

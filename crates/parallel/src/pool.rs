@@ -12,11 +12,39 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-wide pool execution counters, filled only while `obs` recording
+/// is enabled (one `obs::enabled()` check per job otherwise).
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of pool work done so far: `(jobs_executed, busy_secs)`. Busy time
+/// sums the wall time of every executed job across all compute threads
+/// (workers and scope callers); both are zero unless `obs` was enabled while
+/// the work ran.
+pub fn pool_stats() -> (u64, f64) {
+    (
+        JOBS_EXECUTED.load(Ordering::Relaxed),
+        BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+    )
+}
+
+/// Runs one queued job, tracking execution counters when `obs` is enabled.
+fn run_job(job: Job) {
+    if obs::enabled() {
+        let t = Instant::now();
+        job();
+        BUSY_NANOS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    } else {
+        job();
+    }
+}
 
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
@@ -94,7 +122,7 @@ impl ThreadPool {
         loop {
             let job = self.shared.queue.lock().unwrap().pop_front();
             match job {
-                Some(job) => job(),
+                Some(job) => run_job(job),
                 None => {
                     if state.pending.load(Ordering::Acquire) == 0 {
                         break;
@@ -192,20 +220,45 @@ fn worker_loop(shared: &Shared) {
             }
         };
         // Job wrappers catch panics themselves; nothing to do here.
-        job();
+        run_job(job);
+    }
+}
+
+/// How `SERD_THREADS` resolved: an explicit count, the machine's available
+/// parallelism (unset, or the explicit `0` convention), or a misparse that
+/// falls back to available parallelism with a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadsRequest {
+    Explicit(usize),
+    Available,
+    Invalid,
+}
+
+/// Pure parse of a `SERD_THREADS` value. `0` explicitly means "use available
+/// parallelism"; anything that is not a non-negative integer is `Invalid`.
+fn parse_threads(v: Option<&str>) -> ThreadsRequest {
+    match v {
+        None => ThreadsRequest::Available,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => ThreadsRequest::Available,
+            Ok(n) => ThreadsRequest::Explicit(n),
+            Err(_) => ThreadsRequest::Invalid,
+        },
     }
 }
 
 fn threads_from_env() -> usize {
-    match std::env::var("SERD_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("SERD_THREADS={v:?} is not a positive integer; using available parallelism");
-                available()
-            }
-        },
-        Err(_) => available(),
+    let var = std::env::var("SERD_THREADS").ok();
+    match parse_threads(var.as_deref()) {
+        ThreadsRequest::Explicit(n) => n,
+        ThreadsRequest::Available => available(),
+        ThreadsRequest::Invalid => {
+            obs::diag(&format!(
+                "SERD_THREADS={:?} is not a non-negative integer; using available parallelism",
+                var.unwrap_or_default()
+            ));
+            available()
+        }
     }
 }
 
@@ -250,6 +303,19 @@ pub(crate) fn current_pool<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serd_threads_parse() {
+        assert_eq!(parse_threads(None), ThreadsRequest::Available);
+        assert_eq!(parse_threads(Some("0")), ThreadsRequest::Available);
+        assert_eq!(parse_threads(Some(" 0 ")), ThreadsRequest::Available);
+        assert_eq!(parse_threads(Some("1")), ThreadsRequest::Explicit(1));
+        assert_eq!(parse_threads(Some(" 8\n")), ThreadsRequest::Explicit(8));
+        assert_eq!(parse_threads(Some("")), ThreadsRequest::Invalid);
+        assert_eq!(parse_threads(Some("-2")), ThreadsRequest::Invalid);
+        assert_eq!(parse_threads(Some("four")), ThreadsRequest::Invalid);
+        assert_eq!(parse_threads(Some("3.5")), ThreadsRequest::Invalid);
+    }
 
     #[test]
     fn scope_runs_all_tasks() {

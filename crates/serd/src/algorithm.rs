@@ -9,10 +9,11 @@ use gan::TabularGan;
 use gmm::OMixture;
 use rand::Rng;
 use std::collections::HashMap;
-use std::time::Instant;
 use transformer::BucketedSynthesizer;
 
-/// Counters and timings of one synthesis run.
+/// Counters of one synthesis run. Stage timings live in the observability
+/// layer now: enable `SERD_OBS` and read the `fit` / `synthesize` spans from
+/// [`SerdSynthesizer::run_report`] instead of ad-hoc stopwatch fields.
 #[derive(Debug, Clone, Default)]
 pub struct SynthesisStats {
     /// Entities accepted into `E_syn`.
@@ -27,10 +28,6 @@ pub struct SynthesisStats {
     pub s2_matches: usize,
     /// Matching pairs added by S3 posterior labeling.
     pub s3_matches: usize,
-    /// Offline (training) wall-clock seconds.
-    pub offline_secs: f64,
-    /// Online (synthesis) wall-clock seconds.
-    pub online_secs: f64,
     /// DP ε (δ = 1e-5) spent training the text models.
     pub epsilon: f64,
 }
@@ -57,7 +54,6 @@ pub struct SerdSynthesizer {
     names: (String, String),
     /// S2-2 probability of drawing from the M-distribution.
     match_rate: f64,
-    offline_secs: f64,
     epsilon: f64,
 }
 
@@ -73,7 +69,7 @@ impl SerdSynthesizer {
         cfg: SerdConfig,
         rng: &mut R,
     ) -> Result<Self> {
-        let t0 = Instant::now();
+        let _span = obs::span("fit");
         if real.num_matches() == 0 {
             return Err(SerdError::NoMatches);
         }
@@ -204,7 +200,6 @@ impl SerdSynthesizer {
             gan,
             match_rate,
             background: background.to_vec(),
-            offline_secs: t0.elapsed().as_secs_f64(),
             epsilon,
         })
     }
@@ -224,11 +219,6 @@ impl SerdSynthesizer {
         self.epsilon
     }
 
-    /// Wall-clock seconds `fit` took (the paper's "offline" time, Table IV).
-    pub fn offline_secs(&self) -> f64 {
-        self.offline_secs
-    }
-
     /// Serializes the learned `O_real` distribution to text (`gmm::io`
     /// format). This is exactly the artifact the paper's Figure 2 deems safe
     /// to share: distribution parameters, never entities.
@@ -239,9 +229,8 @@ impl SerdSynthesizer {
     /// **S2 + S3.** Runs the iterative synthesis loop with entity rejection,
     /// then labels all remaining (blocked) pairs by GMM posterior.
     pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SynthesizedEr> {
-        let t0 = Instant::now();
+        let _span = obs::span("synthesize");
         let mut stats = SynthesisStats {
-            offline_secs: self.offline_secs,
             epsilon: self.epsilon,
             ..Default::default()
         };
@@ -347,27 +336,71 @@ impl SerdSynthesizer {
                 stats.s2_matches += 1;
             }
             osyn.commit(&delta, &self.o_real, &self.cfg.gmm, self.cfg.jsd_samples, rng)?;
+            // The committed JSD(O_syn, O_real) trajectory (Eq. 10 left side).
+            if obs::enabled() && osyn.jsd_current().is_finite() {
+                obs::series("rejection.jsd", osyn.jsd_current());
+            }
         }
 
         // S3: label remaining pairs by posterior over blocked candidates.
-        let known: std::collections::HashSet<(usize, usize)> =
-            matches.iter().copied().collect();
-        for (i, j) in blocking::candidate_pairs(&a, &b, 3, 50) {
-            if known.contains(&(i, j)) {
-                continue;
-            }
-            let v = pair_similarity(a.schema(), a.entity(i), b.entity(j));
-            if self.o_real.is_match(&v) {
-                matches.push((i, j));
-                stats.s3_matches += 1;
+        {
+            let _s3 = obs::span("s3.label");
+            let known: std::collections::HashSet<(usize, usize)> =
+                matches.iter().copied().collect();
+            for (i, j) in blocking::candidate_pairs(&a, &b, 3, 50) {
+                if known.contains(&(i, j)) {
+                    continue;
+                }
+                let v = pair_similarity(a.schema(), a.entity(i), b.entity(j));
+                if self.o_real.is_match(&v) {
+                    matches.push((i, j));
+                    stats.s3_matches += 1;
+                }
             }
         }
 
-        stats.online_secs = t0.elapsed().as_secs_f64();
+        if obs::enabled() {
+            obs::counter("accepted", stats.accepted as u64);
+            obs::counter("rejected.discriminator", stats.rejected_discriminator as u64);
+            obs::counter("rejected.distribution", stats.rejected_distribution as u64);
+            obs::counter("forced_accepts", stats.forced_accepts as u64);
+            obs::counter("matches.s2", stats.s2_matches as u64);
+            obs::counter("matches.s3", stats.s3_matches as u64);
+            let attempts = stats.accepted
+                + stats.rejected_discriminator
+                + stats.rejected_distribution;
+            if attempts > 0 {
+                obs::gauge(
+                    "acceptance_rate",
+                    stats.accepted as f64 / attempts as f64,
+                );
+            }
+        }
         Ok(SynthesizedEr {
             er: ErDataset::new(a, b, matches)?,
             stats,
         })
+    }
+
+    /// The structured run-report: publishes end-of-run pool utilization
+    /// gauges, then serializes every recorded span, counter, gauge,
+    /// histogram, and series to JSON. Returns a `{"enabled":false}` stub
+    /// when observability is off (`SERD_OBS` unset).
+    pub fn run_report(&self) -> String {
+        if obs::enabled() {
+            let (jobs, busy) = parallel::pool_stats();
+            obs::gauge("pool.jobs_executed", jobs as f64);
+            obs::gauge("pool.busy_secs", busy);
+            let threads = parallel::num_threads() as f64;
+            obs::gauge("pool.threads", threads);
+            let wall = obs::span_secs(&["fit"]).unwrap_or(0.0)
+                + obs::span_secs(&["synthesize"]).unwrap_or(0.0);
+            if wall > 0.0 {
+                obs::gauge("pool.utilization", (busy / (wall * threads)).min(1.0));
+            }
+            obs::gauge("epsilon", self.epsilon);
+        }
+        obs::report_json()
     }
 }
 
@@ -497,8 +530,8 @@ mod tests {
         // With rejection on, at least the machinery ran; counters are
         // consistent (every accepted entity was attempted at least once).
         assert!(out.stats.accepted > 0);
-        assert!(out.stats.online_secs > 0.0);
-        assert!(out.stats.offline_secs > 0.0);
+        assert!(out.stats.accepted >= out.er.a().len() + out.er.b().len());
+        assert!(out.stats.s2_matches + out.stats.s3_matches == out.er.num_matches());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub fn serd_minus<R: Rng>(
 /// This baseline leaks privacy by construction — synthesized entities stay
 /// close to their real sources — which is exactly what Exp-4 measures.
 pub fn embench<R: Rng + ?Sized>(real: &ErDataset, rng: &mut R) -> Result<SynthesizedEr> {
-    let start = std::time::Instant::now();
+    let _span = obs::span("embench");
     let mut a = Relation::new(
         format!("{}_embench", real.a().name()),
         real.a().schema().clone(),
@@ -49,7 +49,6 @@ pub fn embench<R: Rng + ?Sized>(real: &ErDataset, rng: &mut R) -> Result<Synthes
         stats: crate::SynthesisStats {
             accepted,
             s2_matches: er.num_matches(),
-            online_secs: start.elapsed().as_secs_f64(),
             ..Default::default()
         },
         er,
@@ -100,14 +99,21 @@ fn perturb_string<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
 
 fn abbreviate<R: Rng + ?Sized>(s: &str, rng: &mut R) -> String {
     let mut tokens: Vec<String> = s.split_whitespace().map(str::to_string).collect();
-    if tokens.is_empty() {
+    // Only tokens longer than two characters abbreviate; draw uniformly over
+    // those, so a long token among initials ("j r r tolkien") still gets
+    // abbreviated instead of the rule silently no-opping most of the time.
+    let eligible: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.chars().count() > 2)
+        .map(|(i, _)| i)
+        .collect();
+    if eligible.is_empty() {
         return s.to_string();
     }
-    let i = rng.gen_range(0..tokens.len());
-    if tokens[i].chars().count() > 2 {
-        let first = tokens[i].chars().next().unwrap();
-        tokens[i] = format!("{first}.");
-    }
+    let i = eligible[rng.gen_range(0..eligible.len())];
+    let first = tokens[i].chars().next().unwrap();
+    tokens[i] = format!("{first}.");
     tokens.join(" ")
 }
 
@@ -188,6 +194,20 @@ mod tests {
         assert_eq!(out.stats.rejected_discriminator, 0);
         assert_eq!(out.stats.rejected_distribution, 0);
         assert_eq!(out.er.a().len(), sim.er.a().len());
+    }
+
+    #[test]
+    fn abbreviate_targets_a_long_token_when_one_exists() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // One abbreviable token among short ones: it must be abbreviated on
+        // every draw, never left untouched by an unlucky index pick.
+        for _ in 0..20 {
+            let out = abbreviate("j r r tolkien", &mut rng);
+            assert_eq!(out, "j r r t.", "got {out:?}");
+        }
+        // No abbreviable token at all: the string is returned unchanged.
+        assert_eq!(abbreviate("a bc de", &mut rng), "a bc de");
+        assert_eq!(abbreviate("", &mut rng), "");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! End-to-end test of the enabled observability path: run the fast SERD
+//! pipeline with `obs` in JSON mode and check that the run-report carries
+//! spans and metrics for every pipeline stage, and that recording does not
+//! perturb the synthesis output (obs must never consume RNG or change
+//! control flow).
+//!
+//! This lives in an integration-test binary so flipping the process-global
+//! obs mode cannot race the crate's unit tests.
+
+use datagen::{generate, DatasetKind};
+use er_core::csv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd::{SerdConfig, SerdSynthesizer};
+
+fn run_pipeline(seed: u64) -> (SerdSynthesizer, serd::SynthesizedEr) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+    let syn = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        .expect("fit");
+    let out = syn.synthesize(&mut rng).expect("synthesize");
+    (syn, out)
+}
+
+#[test]
+fn json_run_report_covers_every_stage_and_recording_is_inert() {
+    // Baseline run with obs off: capture the exact synthesized output.
+    obs::set_mode(obs::Mode::Off);
+    let (_, baseline) = run_pipeline(11);
+    let baseline_a = csv::relation_to_csv(baseline.er.a());
+    let baseline_b = csv::relation_to_csv(baseline.er.b());
+
+    // Instrumented run, same seed.
+    obs::set_mode(obs::Mode::Json);
+    obs::reset();
+    let (syn, out) = run_pipeline(11);
+    let report = syn.run_report();
+    obs::set_mode(obs::Mode::Off);
+
+    // Determinism: recording must not consume RNG or alter control flow.
+    assert_eq!(csv::relation_to_csv(out.er.a()), baseline_a);
+    assert_eq!(csv::relation_to_csv(out.er.b()), baseline_b);
+    assert_eq!(out.er.num_matches(), baseline.er.num_matches());
+    assert_eq!(out.stats.accepted, baseline.stats.accepted);
+
+    // The report is one JSON object with spans + metrics sections.
+    assert!(report.starts_with('{') && report.trim_end().ends_with('}'));
+
+    // Spans for each pipeline stage (fit/synthesize at top level, the inner
+    // stages nested under them, so their names appear in the tree).
+    for span in ["\"fit\"", "\"synthesize\"", "\"blocking\"", "\"similarity_vectors\"",
+                 "\"gmm.fit_auto\"", "\"transformer.train\"", "\"s3.label\""] {
+        assert!(report.contains(span), "missing span {span} in report:\n{report}");
+    }
+
+    // Metrics recorded by each subsystem.
+    for metric in [
+        "reduction_ratio",      // er-core blocking
+        "pairs_per_sec",        // similarity-vector extraction
+        "em.loglik",            // gmm EM per-iteration log-likelihood
+        "aic_chosen_g",         // gmm AIC-selected component count
+        "jsd_estimate",         // gmm JSD estimates
+        "train.loss.bucket",    // transformer per-epoch loss
+        "dpsgd.epsilon",        // DP-SGD accountant epsilon trajectory
+        "dpsgd.clip_fraction",  // DP-SGD clip fraction
+        "rejection.jsd",        // rejection sampling JSD trajectory
+        "acceptance_rate",      // rejection sampling acceptance rate
+        "pool.jobs_executed",   // parallel pool stats
+        "pool.utilization",
+        "epsilon",              // total privacy budget
+    ] {
+        assert!(report.contains(metric), "missing metric {metric} in report:\n{report}");
+    }
+
+    // Rejection counters are present and the acceptance gauge is sane.
+    assert!(report.contains("accepted"));
+    assert!(report.contains("rejected.discriminator"));
+    assert!(report.contains("rejected.distribution"));
+}

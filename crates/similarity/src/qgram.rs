@@ -189,6 +189,56 @@ mod tests {
     }
 
     #[test]
+    fn profile_of_empty_string_is_empty() {
+        let p = qgram_profile("", 3);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.distinct(), 0);
+        // And it behaves sanely in set operations.
+        assert_eq!(p.intersection(&qgram_profile("abc", 3)), 0);
+        assert_eq!(p.jaccard(&qgram_profile("", 3)), 1.0);
+    }
+
+    #[test]
+    fn profile_shorter_than_q_is_whole_string_gram() {
+        // A 2-char string with q = 3 yields exactly one gram: the string
+        // itself (documented fallback so short values still compare).
+        let p = qgram_profile("ab", 3);
+        assert_eq!(p.total(), 1);
+        assert_eq!(p.distinct(), 1);
+        assert_eq!(p.intersection(&qgram_profile("ab", 3)), 1);
+        // The fallback gram is the whole string, not a prefix: "a" ≠ "ab".
+        assert_eq!(p.intersection(&qgram_profile("a", 3)), 0);
+        // q = 1 on the same string tokenizes per character instead.
+        assert_eq!(qgram_profile("ab", 1).total(), 2);
+    }
+
+    #[test]
+    fn profile_unicode_multibyte_counts_chars_not_bytes() {
+        // "héllo" is 5 chars / 6 bytes. Windows must be over chars: a
+        // byte-window tokenizer would produce 4 grams and could split the
+        // 2-byte 'é' in half (invalid UTF-8 boundaries).
+        let p = qgram_profile("héllo", 3);
+        assert_eq!(p.total(), 3); // hél, éll, llo
+        assert_eq!(p.distinct(), 3);
+        // 4-char CJK string: 2 grams of 3 chars each.
+        let cjk = qgram_profile("日本語学", 3);
+        assert_eq!(cjk.total(), 2);
+        // Mixed-width comparison stays consistent under symmetry.
+        assert_eq!(
+            qgram_jaccard("héllo", "hello", 3),
+            qgram_jaccard("hello", "héllo", 3)
+        );
+    }
+
+    #[test]
+    fn profile_q_zero_is_clamped_to_one() {
+        // q = 0 would make windows() panic; the profile clamps to q = 1.
+        let p = qgram_profile("abc", 0);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.distinct(), 3);
+    }
+
+    #[test]
     fn venue_similarity_is_low_like_paper() {
         // Paper Example 2 reports 0.16 for these two venues; exact value
         // depends on tokenizer details, so assert the ballpark.

@@ -95,22 +95,24 @@ impl BucketedSynthesizer {
         cfg: BucketedSynthesizerConfig,
         rng: &mut R,
     ) -> Self {
+        let _span = obs::span("transformer.train");
         let vocab = CharVocab::build(background.iter().map(String::as_str));
         let pool = TokenPool::from_corpus(background.iter().map(String::as_str));
         let mut buckets = build_training_pairs(background, &cfg, &pool, rng);
 
         let mut models = Vec::with_capacity(cfg.buckets);
         let mut epsilon_spent = 0.0f64;
-        for pairs in buckets.iter_mut() {
+        for (idx, pairs) in buckets.iter_mut().enumerate() {
             if pairs.is_empty() {
                 models.push(None);
                 continue;
             }
             let model = Seq2SeqTransformer::new((cfg.arch)(vocab.len()), rng);
-            let eps = train_one_model(&model, pairs, &vocab, &cfg, rng);
+            let eps = train_one_model(&model, pairs, &vocab, &cfg, idx, rng);
             epsilon_spent = epsilon_spent.max(eps);
             models.push(Some(model));
         }
+        obs::gauge("transformer.epsilon", epsilon_spent);
         BucketedSynthesizer {
             cfg,
             vocab,
@@ -247,6 +249,7 @@ fn train_one_model<R: Rng + ?Sized>(
     pairs: &mut [(String, String)],
     vocab: &CharVocab,
     cfg: &BucketedSynthesizerConfig,
+    bucket: usize,
     rng: &mut R,
 ) -> f64 {
     let q = (cfg.batch_size as f64 / pairs.len().max(1) as f64).min(1.0);
@@ -257,8 +260,12 @@ fn train_one_model<R: Rng + ?Sized>(
         .map(|(s, t)| (vocab.encode(s, false), vocab.encode(t, false)))
         .collect();
     let mut order: Vec<usize> = (0..encoded.len()).collect();
+    // Per-epoch mean loss, buffered and published as one trajectory.
+    let mut epoch_losses: Vec<f64> = Vec::new();
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0u64;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut batch = Vec::with_capacity(chunk.len());
             for &i in chunk {
@@ -268,13 +275,21 @@ fn train_one_model<R: Rng + ?Sized>(
                 }
                 let loss = model.loss(src, tgt);
                 loss.backward();
+                if obs::enabled() {
+                    loss_sum += loss.value().get(0, 0) as f64;
+                    loss_n += 1;
+                }
                 batch.push(opt.take_example_grads());
             }
             if !batch.is_empty() {
                 opt.step(&batch, rng);
             }
         }
+        if loss_n > 0 {
+            epoch_losses.push(loss_sum / loss_n as f64);
+        }
     }
+    obs::series_extend(&format!("train.loss.bucket{bucket}"), &epoch_losses);
     if cfg.sigma > 0.0 {
         opt.epsilon(1e-5)
     } else {

@@ -22,6 +22,7 @@ pub use gmm;
 pub use linalg;
 pub use matchers;
 pub use neural;
+pub use obs;
 pub use parallel;
 pub use serd;
 pub use similarity;

@@ -177,26 +177,31 @@ fn cmd_synthesize(opts: &Opts) -> Result<(), String> {
         cfg = cfg.without_rejection();
     }
     println!("fitting SERD on {} ...", opts.dataset.name());
+    let t_fit = std::time::Instant::now();
     let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
         .map_err(|e| e.to_string())?;
     println!(
         "offline done in {:.1}s (DP eps at 1e-5: {:.3}); synthesizing ...",
-        synthesizer.offline_secs(),
+        t_fit.elapsed().as_secs_f64(),
         synthesizer.epsilon()
     );
+    let t_syn = std::time::Instant::now();
     let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
     println!(
         "synthesized |A|={} |B|={} matches={} in {:.1}s ({} rejected by D, {} by JSD)",
         out.er.a().len(),
         out.er.b().len(),
         out.er.num_matches(),
-        out.stats.online_secs,
+        t_syn.elapsed().as_secs_f64(),
         out.stats.rejected_discriminator,
         out.stats.rejected_distribution,
     );
     write_file(&opts.out, "A_syn.csv", &csv::relation_to_csv(out.er.a()))?;
     write_file(&opts.out, "B_syn.csv", &csv::relation_to_csv(out.er.b()))?;
     write_file(&opts.out, "matches_syn.csv", &matches_csv(&out.er))?;
+    if serd_repro::obs::enabled() {
+        eprintln!("{}", synthesizer.run_report());
+    }
     Ok(())
 }
 
