@@ -25,9 +25,10 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| candidate_pairs(black_box(sim.er.a()), black_box(sim.er.b()), 3, 20))
     });
 
-    let synthesizer =
+    let synthesizer = SerdSynthesizer::from_model(
         SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-            .expect("fit");
+            .expect("fit"),
+    );
     let entity = sim.er.a().entity(0).clone();
     let x = vec![0.8, 0.7, 0.3, 0.9];
     g.bench_function("synthesize_entity/4col", |b| {
@@ -51,9 +52,10 @@ fn bench_pipeline(c: &mut Criterion) {
             .expect("fit")
         })
     });
-    let small_syn =
+    let small_syn = SerdSynthesizer::from_model(
         SerdSynthesizer::fit(&small.er, &small.background, SerdConfig::fast(), &mut rng)
-            .expect("fit");
+            .expect("fit"),
+    );
     g.bench_function("serd_synthesize/restaurant_2pct", |b| {
         b.iter(|| small_syn.synthesize(&mut rng).expect("synthesize"))
     });

@@ -9,10 +9,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let sim = serd_repro::datagen::generate_with_min_matches(DatasetKind::Restaurant, 0.08, 16, &mut rng);
     let mut rng = StdRng::seed_from_u64(12);
-    let syn = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-        .unwrap()
-        .synthesize(&mut rng)
-        .unwrap();
+    let syn = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    )
+    .synthesize(&mut rng)
+    .unwrap();
     let schema = sim.er.a().schema();
     let mut corpus: Vec<String> = sim.er.a().entities().iter().chain(sim.er.b().entities())
         .map(|e| entity_text(schema, e)).collect();

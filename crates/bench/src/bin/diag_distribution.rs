@@ -22,7 +22,9 @@ fn mean(vs: &[Vec<f64>]) -> Vec<f64> {
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let sim = serd_repro::datagen::generate_with_min_matches(DatasetKind::DblpAcm, 0.03, 20, &mut rng);
-    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
     let svr = sim.er.similarity_vectors(400, &mut rng);
     let svs = out.er.similarity_vectors(400, &mut rng);

@@ -45,8 +45,9 @@ fn main() {
             ..SerdConfig::fast()
         };
         let mut rng = StdRng::seed_from_u64(7);
-        let synthesizer =
-            SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("fit");
+        let synthesizer = SerdSynthesizer::from_model(
+            SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("fit"),
+        );
         let out = synthesizer.synthesize(&mut rng).expect("synthesize");
         let eval = model_evaluation(
             MatcherKind::Magellan,

@@ -60,9 +60,10 @@ pub fn prepare(kind: DatasetKind, seed: u64) -> Bundle {
     let mut rng = StdRng::seed_from_u64(seed);
     let sim = generate_with_min_matches(kind, scale_for(kind), MIN_MATCHES, &mut rng);
     let t_fit = std::time::Instant::now();
-    let synthesizer =
+    let synthesizer = SerdSynthesizer::from_model(
         SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-            .expect("SERD fit");
+            .expect("SERD fit"),
+    );
     let offline_secs = t_fit.elapsed().as_secs_f64();
     let t_syn = std::time::Instant::now();
     let serd = synthesizer.synthesize(&mut rng).expect("SERD synthesize");

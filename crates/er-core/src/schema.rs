@@ -1,6 +1,7 @@
 //! Schemas: column names, types, and similarity configuration.
 
 use crate::{ErError, Result, Value};
+use persist::{Persist, PersistError, Reader, Writer};
 use similarity::SimilarityKind;
 
 /// The type of a column (paper Section IV-B1 taxonomy).
@@ -178,6 +179,72 @@ impl Schema {
     }
 }
 
+impl ColumnType {
+    /// Stable persistence token for this type.
+    fn token(&self) -> &'static str {
+        match self {
+            ColumnType::Numeric => "numeric",
+            ColumnType::Categorical => "categorical",
+            ColumnType::Text => "text",
+            ColumnType::Date => "date",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<ColumnType> {
+        match s {
+            "numeric" => Some(ColumnType::Numeric),
+            "categorical" => Some(ColumnType::Categorical),
+            "text" => Some(ColumnType::Text),
+            "date" => Some(ColumnType::Date),
+            _ => None,
+        }
+    }
+}
+
+/// Upper bound on persisted column counts: a schema wider than this is
+/// corrupt, not a real ER benchmark (the paper's widest table has 22).
+const MAX_PERSISTED_COLUMNS: usize = 4096;
+
+impl Persist for Schema {
+    const MAGIC: &'static str = "serd-schema-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("columns", self.columns.len());
+        for c in &self.columns {
+            w.kv_str("name", &c.name);
+            w.kv("ctype", c.ctype.token());
+            w.kv("sim", c.sim.token());
+            w.kv_f64("range", c.range);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("columns")?;
+        if n > MAX_PERSISTED_COLUMNS {
+            return Err(r.invalid(format!("implausible column count {n}")));
+        }
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.kv_str("name")?;
+            let ctype_tok = r.kv("ctype")?.trim().to_string();
+            let ctype = ColumnType::from_token(&ctype_tok)
+                .ok_or_else(|| r.invalid(format!("unknown column type {ctype_tok:?}")))?;
+            let sim_tok = r.kv("sim")?.trim().to_string();
+            let sim = SimilarityKind::from_token(&sim_tok)
+                .ok_or_else(|| r.invalid(format!("unknown similarity kind {sim_tok:?}")))?;
+            let range = r.kv_finite_f64("range")?;
+            if range < 0.0 {
+                return Err(PersistError::Invalid {
+                    line: r.line_no(),
+                    msg: format!("negative range {range} for column {name:?}"),
+                });
+            }
+            columns.push(Column { name, ctype, sim, range });
+        }
+        Ok(Schema { columns })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +315,31 @@ mod tests {
         let c = Column::text("t");
         assert_eq!(c.similarity(&Value::Null, &Value::Null), 1.0);
         assert_eq!(c.similarity(&Value::Null, &Value::Text("x".into())), 0.0);
+    }
+
+    #[test]
+    fn schema_persist_roundtrip() {
+        let mut s = paper_schema();
+        s.set_ranges(&[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0), (1990.0, 2005.5)]);
+        let text = s.to_persist_string();
+        let back = Schema::from_persist_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.columns()[3].range.to_bits(), s.columns()[3].range.to_bits());
+    }
+
+    #[test]
+    fn schema_persist_rejects_corruption() {
+        let s = paper_schema();
+        let text = s.to_persist_string();
+        // truncate mid-column
+        let cut: String = text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(Schema::from_persist_str(&cut).is_err());
+        // unknown column type
+        let bad = text.replace("ctype text", "ctype blob");
+        assert!(Schema::from_persist_str(&bad).is_err());
+        // unknown similarity kind
+        let bad = text.replace("sim qgram-jaccard:3", "sim vibes");
+        assert!(Schema::from_persist_str(&bad).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fixed-width numeric encodings of entities.
 
 use er_core::{ColumnType, Entity, Relation, Value};
+use persist::{Persist, Reader, Writer};
 use similarity::tokenize;
 
 /// Number of hashed character-trigram buckets in a text-column encoding.
@@ -208,6 +209,83 @@ impl EntityEncoder {
             }
         }
         out
+    }
+}
+
+/// Upper bounds for persisted encoder geometry.
+const MAX_PERSISTED_COLUMNS: usize = 4096;
+const MAX_PERSISTED_DOMAIN: usize = 1 << 16;
+
+impl Persist for EntityEncoder {
+    const MAGIC: &'static str = "serd-encoder-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("columns", self.columns.len());
+        for enc in &self.columns {
+            match enc {
+                ColumnEncoding::Numeric { min, max, date } => {
+                    w.kv("kind", "numeric");
+                    w.kv_f64("min", *min);
+                    w.kv_f64("max", *max);
+                    w.kv_bool("date", *date);
+                }
+                ColumnEncoding::Categorical { domain } => {
+                    w.kv("kind", "categorical");
+                    w.kv("domain", domain.len());
+                    for d in domain {
+                        w.kv_str("d", d);
+                    }
+                }
+                ColumnEncoding::Text { norm_len } => {
+                    w.kv("kind", "text");
+                    w.kv_f64("norm_len", *norm_len);
+                }
+            }
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("columns")?;
+        if n > MAX_PERSISTED_COLUMNS {
+            return Err(r.invalid(format!("implausible column count {n}")));
+        }
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = r.kv("kind")?.trim().to_string();
+            match kind.as_str() {
+                "numeric" => {
+                    let min = r.kv_finite_f64("min")?;
+                    let max = r.kv_finite_f64("max")?;
+                    let date = r.kv_bool("date")?;
+                    if min > max {
+                        return Err(r.invalid(format!("numeric column min {min} > max {max}")));
+                    }
+                    columns.push(ColumnEncoding::Numeric { min, max, date });
+                }
+                "categorical" => {
+                    let k = r.kv_usize("domain")?;
+                    if k > MAX_PERSISTED_DOMAIN {
+                        return Err(r.invalid(format!("implausible domain size {k}")));
+                    }
+                    let mut domain = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        domain.push(r.kv_str("d")?);
+                    }
+                    columns.push(ColumnEncoding::Categorical { domain });
+                }
+                "text" => {
+                    let norm_len = r.kv_finite_f64("norm_len")?;
+                    if norm_len <= 0.0 {
+                        return Err(r.invalid(format!("non-positive norm_len {norm_len}")));
+                    }
+                    columns.push(ColumnEncoding::Text { norm_len });
+                }
+                other => {
+                    return Err(r.invalid(format!("unknown column encoding {other:?}")));
+                }
+            }
+        }
+        Ok(EntityEncoder { columns })
     }
 }
 

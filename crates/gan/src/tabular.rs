@@ -5,6 +5,7 @@ use er_core::{Entity, Relation, Value};
 use neural::layers::{Mlp, Module};
 use neural::optim::Adam;
 use neural::{Tensor, Var};
+use persist::{Persist, Reader, Writer};
 use rand::Rng;
 
 /// GAN hyperparameters.
@@ -217,6 +218,77 @@ impl TabularGan {
     }
 }
 
+impl Persist for TabularGan {
+    const MAGIC: &'static str = "serd-gan-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("noise_dim", self.cfg.noise_dim);
+        w.kv("hidden", self.cfg.hidden);
+        w.kv("iterations", self.cfg.iterations);
+        w.kv("batch_size", self.cfg.batch_size);
+        w.kv_f32("lr", self.cfg.lr);
+        match self.cfg.dp {
+            None => w.kv("dp", "none"),
+            Some(dp) => {
+                w.kv("dp", "some");
+                w.kv_f32("clip", dp.clip);
+                w.kv_f32("sigma", dp.sigma);
+            }
+        }
+        w.kv_f64("epsilon", self.epsilon);
+        w.child(&self.encoder);
+        w.child(&self.generator);
+        w.child(&self.discriminator);
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let noise_dim = r.kv_usize("noise_dim")?;
+        let hidden = r.kv_usize("hidden")?;
+        let iterations = r.kv_usize("iterations")?;
+        let batch_size = r.kv_usize("batch_size")?;
+        let lr = r.kv_finite_f32("lr")?;
+        let dp = match r.kv("dp")?.trim() {
+            "none" => None,
+            "some" => Some(DpGanConfig {
+                clip: r.kv_finite_f32("clip")?,
+                sigma: r.kv_finite_f32("sigma")?,
+            }),
+            other => {
+                let msg = format!("unknown dp tag {other:?}");
+                return Err(r.invalid(msg));
+            }
+        };
+        let cfg = TabularGanConfig { noise_dim, hidden, iterations, batch_size, lr, dp };
+        let epsilon = r.kv_finite_f64("epsilon")?;
+        if epsilon < 0.0 {
+            return Err(r.invalid(format!("negative epsilon {epsilon}")));
+        }
+        let encoder: EntityEncoder = r.child()?;
+        let generator: Mlp = r.child()?;
+        let discriminator: Mlp = r.child()?;
+        // Cross-component shape checks: sampling feeds a `(1, noise_dim)`
+        // noise row through G and a `(1, width)` encoding through D, and a
+        // mismatch would only surface as a matmul panic at synthesis time.
+        let dim = encoder.width();
+        let g_in = generator.layers()[0].w.shape().0;
+        let g_out = generator.layers()[generator.layers().len() - 1].w.shape().1;
+        if g_in != cfg.noise_dim || g_out != dim {
+            return Err(r.invalid(format!(
+                "generator maps {g_in} -> {g_out}, expected {} -> {dim}",
+                cfg.noise_dim
+            )));
+        }
+        let d_in = discriminator.layers()[0].w.shape().0;
+        let d_out = discriminator.layers()[discriminator.layers().len() - 1].w.shape().1;
+        if d_in != dim || d_out != 1 {
+            return Err(r.invalid(format!(
+                "discriminator maps {d_in} -> {d_out}, expected {dim} -> 1"
+            )));
+        }
+        Ok(TabularGan { encoder, generator, discriminator, cfg, epsilon })
+    }
+}
+
 fn noise_tensor<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Tensor {
     let mut t = Tensor::zeros(rows, cols);
     for v in t.as_mut_slice() {
@@ -351,6 +423,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let gan = TabularGan::train(&relation(), TabularGanConfig::test_tiny(), &mut rng);
         assert_eq!(gan.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn persist_roundtrip_same_behavior() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let r = relation();
+        let gan = TabularGan::train(&r, TabularGanConfig::test_tiny(), &mut rng);
+        let text = gan.to_persist_string();
+        let back = TabularGan::from_persist_str(&text).unwrap();
+        for e in r.entities() {
+            assert_eq!(
+                gan.discriminator_prob(e).to_bits(),
+                back.discriminator_prob(e).to_bits()
+            );
+        }
+        let corpora = vec![vec!["query engines".to_string()], vec![], vec![]];
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(
+            gan.generate_entity(&corpora, &mut r1),
+            back.generate_entity(&corpora, &mut r2)
+        );
+        assert_eq!(back.to_persist_string(), text);
+    }
+
+    #[test]
+    fn persist_rejects_mismatched_generator_width() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gan = TabularGan::train(&relation(), TabularGanConfig::test_tiny(), &mut rng);
+        let text = gan.to_persist_string().replace("noise_dim 8", "noise_dim 9");
+        assert!(TabularGan::from_persist_str(&text).is_err());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::em::SuffStats;
 use crate::{Gaussian, Gmm, GmmError, OMixture, Result};
 use linalg::Matrix;
+use persist::{Persist, Reader, Writer};
 use std::fmt::Write as _;
 
 const MAGIC: &str = "serd-gmm-v1";
@@ -93,6 +94,64 @@ pub fn omixture_from_str(text: &str) -> Result<OMixture> {
         .next()
         .ok_or_else(|| GmmError::Parse("missing --n-- section".into()))?;
     OMixture::new(pi, gmm_from_str(m_text)?, gmm_from_str(n_text)?)
+}
+
+/// Upper bound on embedded o-distribution line counts.
+const MAX_EMBEDDED_LINES: usize = 1 << 22;
+
+/// [`Persist`] wrapper for the `O`-distribution: the established
+/// `serd-omixture-v1` text is embedded verbatim behind a line count, so the
+/// standalone format and the model-artifact embedding stay byte-compatible.
+impl Persist for OMixture {
+    const MAGIC: &'static str = "serd-odist-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        let text = omixture_to_string(self);
+        let lines: Vec<&str> = text.lines().collect();
+        w.kv("lines", lines.len());
+        for l in lines {
+            w.line(l);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("lines")?;
+        if n > MAX_EMBEDDED_LINES {
+            return Err(r.invalid(format!("implausible line count {n}")));
+        }
+        let start = r.line_no();
+        let mut text = String::new();
+        for _ in 0..n {
+            text.push_str(r.raw_line()?);
+            text.push('\n');
+        }
+        let o = omixture_from_str(&text).map_err(|e| persist::PersistError::Invalid {
+            line: start,
+            msg: format!("o-distribution: {e}"),
+        })?;
+        // `omixture_from_str` checks structure; finiteness is this layer's
+        // policy — a NaN mean would silently poison every posterior online.
+        if !o.pi().is_finite() || !(0.0..=1.0).contains(&o.pi()) {
+            return Err(r.invalid(format!("pi {} out of [0, 1]", o.pi())));
+        }
+        for (name, g) in [("m", o.m()), ("n", o.n())] {
+            let st = g.stats();
+            let finite = g.reg_covar().is_finite()
+                && g.weights().iter().all(|w| w.is_finite())
+                && g.components().iter().all(|c| {
+                    c.mean().iter().all(|v| v.is_finite())
+                        && c.cov().as_slice().iter().all(|v| v.is_finite())
+                })
+                && st.n.is_finite()
+                && st.gamma.iter().all(|v| v.is_finite())
+                && st.sum_x.iter().flatten().all(|v| v.is_finite())
+                && st.sum_xx.iter().all(|m| m.as_slice().iter().all(|v| v.is_finite()));
+            if !finite {
+                return Err(r.invalid(format!("non-finite parameters in mixture {name:?}")));
+            }
+        }
+        Ok(o)
+    }
 }
 
 fn expect<'a>(lines: &mut impl Iterator<Item = &'a str>, magic: &str) -> Result<()> {
@@ -190,6 +249,39 @@ mod tests {
         for x in [[0.3, 0.3], [0.8, 0.8]] {
             assert_eq!(back.posterior_match(&x), o.posterior_match(&x));
         }
+    }
+
+    #[test]
+    fn omixture_persist_roundtrip_bitexact() {
+        let o = OMixture::new(0.33, fitted(6), fitted(7)).unwrap();
+        let text = o.to_persist_string();
+        let back = OMixture::from_persist_str(&text).unwrap();
+        assert_eq!(back.pi().to_bits(), o.pi().to_bits());
+        for x in [[0.3, 0.3], [0.8, 0.8]] {
+            assert_eq!(back.posterior_match(&x), o.posterior_match(&x));
+        }
+        assert_eq!(back.to_persist_string(), text);
+    }
+
+    #[test]
+    fn omixture_persist_rejects_nan_means() {
+        let o = OMixture::new(0.33, fitted(8), fitted(9)).unwrap();
+        let good_mean = vec_to_hex(o.m().components()[0].mean());
+        let nan_mean = vec_to_hex(&[f64::NAN, o.m().components()[0].mean()[1]]);
+        let text = o.to_persist_string().replacen(&good_mean, &nan_mean, 1);
+        assert!(OMixture::from_persist_str(&text).is_err());
+    }
+
+    #[test]
+    fn omixture_persist_rejects_truncation() {
+        let o = OMixture::new(0.5, fitted(10), fitted(11)).unwrap();
+        let text = o.to_persist_string();
+        let cut: String = text
+            .lines()
+            .take(text.lines().count() / 2)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(OMixture::from_persist_str(&cut).is_err());
     }
 
     #[test]

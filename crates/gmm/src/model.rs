@@ -58,7 +58,7 @@ fn e_step(
 }
 
 /// Hyperparameters for GMM fitting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GmmConfig {
     /// Maximum number of components tried by [`Gmm::fit_auto`] (AIC picks the
     /// best `g` in `1..=max_components`).

@@ -1,0 +1,203 @@
+//! Persistence helpers for tensors and layers.
+//!
+//! Learned weights are written as one line per tensor — `key rows cols
+//! hex...` with 8-hex-digit `f32` bit patterns — so round-trips are
+//! bit-exact. Readers validate shapes *before* constructing tensors: a
+//! corrupt artifact must surface as a [`persist::PersistError`], never as a
+//! panic or a multi-gigabyte allocation.
+
+use crate::layers::{Linear, Mlp};
+use crate::{Tensor, Var};
+use persist::{hex_to_f32, Persist, PersistError, Reader, Writer};
+
+/// Upper bound on a persisted tensor dimension. Real models in this
+/// workspace top out in the thousands; anything larger is corruption.
+pub const MAX_TENSOR_DIM: usize = 1 << 20;
+
+/// Writes a tensor as `key rows cols hex...` on a single line.
+pub fn write_tensor(w: &mut Writer, key: &str, t: &Tensor) {
+    let mut line = format!("{key} {} {}", t.rows(), t.cols());
+    for &v in t.as_slice() {
+        line.push(' ');
+        line.push_str(&persist::f32_to_hex(v));
+    }
+    w.line(&line);
+}
+
+/// Reads a tensor written by [`write_tensor`], rejecting implausible shapes
+/// and non-finite values.
+pub fn read_tensor(r: &mut Reader<'_>, key: &str) -> persist::Result<Tensor> {
+    let raw = r.kv(key)?;
+    let line = r.line_no();
+    let mut toks = raw.split_whitespace();
+    let parse_dim = |tok: Option<&str>| -> persist::Result<usize> {
+        let tok = tok.ok_or(PersistError::Parse {
+            line,
+            msg: format!("{key:?}: missing tensor shape"),
+        })?;
+        tok.parse().map_err(|_| PersistError::Parse {
+            line,
+            msg: format!("{key:?}: bad tensor dimension {tok:?}"),
+        })
+    };
+    let rows = parse_dim(toks.next())?;
+    let cols = parse_dim(toks.next())?;
+    if rows == 0 || cols == 0 || rows > MAX_TENSOR_DIM || cols > MAX_TENSOR_DIM {
+        return Err(PersistError::Invalid {
+            line,
+            msg: format!("{key:?}: implausible tensor shape ({rows}, {cols})"),
+        });
+    }
+    let expected = rows.checked_mul(cols).filter(|&n| n <= MAX_TENSOR_DIM);
+    let Some(expected) = expected else {
+        return Err(PersistError::Invalid {
+            line,
+            msg: format!("{key:?}: implausible tensor size ({rows}, {cols})"),
+        });
+    };
+    let mut data = Vec::with_capacity(expected);
+    for tok in toks {
+        let v = hex_to_f32(tok).ok_or_else(|| PersistError::Parse {
+            line,
+            msg: format!("{key:?}: bad f32 hex {tok:?}"),
+        })?;
+        if !v.is_finite() {
+            return Err(PersistError::NonFinite { line, key: key.to_string() });
+        }
+        if data.len() == expected {
+            return Err(PersistError::Parse {
+                line,
+                msg: format!("{key:?}: more than {expected} values"),
+            });
+        }
+        data.push(v);
+    }
+    if data.len() != expected {
+        return Err(PersistError::Parse {
+            line,
+            msg: format!("{key:?}: expected {expected} values, found {}", data.len()),
+        });
+    }
+    Ok(Tensor::from_vec(rows, cols, data))
+}
+
+/// Upper bound on persisted MLP depth.
+const MAX_MLP_LAYERS: usize = 1024;
+
+impl Persist for Mlp {
+    const MAGIC: &'static str = "neural-mlp-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("layers", self.layers().len());
+        for l in self.layers() {
+            write_tensor(w, "w", &l.w.value());
+            write_tensor(w, "b", &l.b.value());
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("layers")?;
+        if n == 0 || n > MAX_MLP_LAYERS {
+            return Err(r.invalid(format!("implausible layer count {n}")));
+        }
+        let mut layers: Vec<Linear> = Vec::with_capacity(n);
+        for i in 0..n {
+            let w = read_tensor(r, "w")?;
+            let b = read_tensor(r, "b")?;
+            if b.rows() != 1 || b.cols() != w.cols() {
+                return Err(r.invalid(format!(
+                    "layer {i}: bias shape ({}, {}) does not match weight ({}, {})",
+                    b.rows(),
+                    b.cols(),
+                    w.rows(),
+                    w.cols()
+                )));
+            }
+            if let Some(prev) = layers.last() {
+                let (_, prev_out) = prev.w.shape();
+                if w.rows() != prev_out {
+                    return Err(r.invalid(format!(
+                        "layer {i}: input width {} does not chain from previous output {prev_out}",
+                        w.rows()
+                    )));
+                }
+            }
+            layers.push(Linear { w: Var::param(w), b: Var::param(b) });
+        }
+        Ok(Mlp::from_layers(layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tensor_roundtrip_bitexact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::uniform(3, 5, 0.7, &mut rng);
+        let mut w = Writer::new();
+        write_tensor(&mut w, "t", &t);
+        let text = w.finish();
+        let mut r = Reader::new(&text);
+        let back = read_tensor(&mut r, "t").unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_rejects_bad_shapes_and_values() {
+        for text in [
+            "t\n",                      // no shape
+            "t 2\n",                    // missing cols
+            "t 0 4\n",                  // zero dim
+            "t 2 2 00000000\n",         // too few values
+            "t 1 1 zzzzzzzz\n",         // bad hex
+            "t 99999999 99999999\n",    // absurd size
+            &format!("t 1 1 {}\n", persist::f32_to_hex(f32::NAN)),
+        ] {
+            let mut r = Reader::new(text);
+            assert!(read_tensor(&mut r, "t").is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn mlp_roundtrip_same_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let back = Mlp::from_persist_str(&mlp.to_persist_string()).unwrap();
+        let x = Var::constant(Tensor::uniform(3, 4, 1.0, &mut rng));
+        let a = mlp.forward(&x).value();
+        let b = back.forward(&x).value();
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn mlp_rejects_unchained_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&[2, 3], &mut rng);
+        let b = Mlp::new(&[5, 1], &mut rng);
+        // Splice layer lines from two incompatible MLPs into one artifact.
+        let a_text = a.to_persist_string();
+        let b_text = b.to_persist_string();
+        let mut lines: Vec<&str> = a_text.lines().collect();
+        lines[1] = "layers 2";
+        let spliced: String = lines
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .chain(b_text.lines().skip(2).map(|l| format!("{l}\n")))
+            .collect();
+        assert!(Mlp::from_persist_str(&spliced).is_err());
+    }
+
+    #[test]
+    fn mlp_rejects_zero_layers() {
+        assert!(Mlp::from_persist_str("neural-mlp-v1\nlayers 0\n").is_err());
+    }
+}

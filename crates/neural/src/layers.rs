@@ -160,6 +160,14 @@ impl Mlp {
     pub fn layers(&self) -> &[Linear] {
         &self.layers
     }
+
+    /// Assembles an MLP from already-built layers (persistence path).
+    ///
+    /// Callers must supply at least one layer with chained widths; the
+    /// artifact reader validates this before construction.
+    pub fn from_layers(layers: Vec<Linear>) -> Self {
+        Mlp { layers }
+    }
 }
 
 impl Module for Mlp {

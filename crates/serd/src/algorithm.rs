@@ -1,9 +1,14 @@
-//! The SERD algorithm: S1 (fit), S2 (synthesize loop + rejection), S3
-//! (label all pairs).
+//! The SERD algorithm: S1 (fit, the *offline* phase), S2 (synthesize loop +
+//! rejection) and S3 (label all pairs) — the *online* phase.
+//!
+//! The two phases meet at [`SerdModel`]: `fit` produces one, `from_model`
+//! turns one (fresh from `fit` or loaded from a `serd-model-v1` artifact)
+//! back into a runnable synthesizer. Synthesis is bit-identical either way.
 
+use crate::model::SerdModel;
 use crate::rejection::OSynState;
 use crate::synthesis::ColumnSynthesizer;
-use crate::{Result, SerdConfig, SerdError};
+use crate::{OnlineConfig, Result, SerdConfig, SerdError};
 use er_core::{blocking, pair_similarity, ColumnType, Entity, ErDataset, Relation, Value};
 use gan::TabularGan;
 use gmm::OMixture;
@@ -40,21 +45,10 @@ pub struct SynthesizedEr {
     pub stats: SynthesisStats,
 }
 
-/// The fitted SERD pipeline: `O_real`, the column synthesizer (bucketed DP
-/// transformers, categorical domains, numeric solvers), and the tabular GAN.
+/// The online half of the pipeline: wraps a fitted [`SerdModel`] (`O_real`,
+/// the column synthesizer, the tabular GAN) and runs S2 + S3 against it.
 pub struct SerdSynthesizer {
-    cfg: SerdConfig,
-    o_real: OMixture,
-    columns: ColumnSynthesizer,
-    gan: TabularGan,
-    /// Background corpora per column (GAN text decoding).
-    background: Vec<Vec<String>>,
-    n_a: usize,
-    n_b: usize,
-    names: (String, String),
-    /// S2-2 probability of drawing from the M-distribution.
-    match_rate: f64,
-    epsilon: f64,
+    model: SerdModel,
 }
 
 impl SerdSynthesizer {
@@ -63,12 +57,16 @@ impl SerdSynthesizer {
     /// transformers on `background`, and trains the tabular GAN on a
     /// background relation (text from corpora, numerics/categoricals drawn
     /// from the real columns' ranges — never real rows).
+    ///
+    /// Returns the fitted [`SerdModel`] — save it with
+    /// [`SerdModel::save_to`] or run it directly via
+    /// [`SerdSynthesizer::from_model`].
     pub fn fit<R: Rng>(
         real: &ErDataset,
         background: &[Vec<String>],
         cfg: SerdConfig,
         rng: &mut R,
-    ) -> Result<Self> {
+    ) -> Result<SerdModel> {
         let _span = obs::span("fit");
         if real.num_matches() == 0 {
             return Err(SerdError::NoMatches);
@@ -102,6 +100,10 @@ impl SerdSynthesizer {
         let mut domains_a = HashMap::new();
         let mut domains_b = HashMap::new();
         let mut text_models: HashMap<usize, BucketedSynthesizer> = HashMap::new();
+        // Only text columns keep their corpus slice: the GAN decoder reads
+        // nothing else, and cloning the full background into every model
+        // bloated the artifact for no behavioral difference.
+        let mut text_corpora: Vec<Vec<String>> = vec![Vec::new(); schema.len()];
         let mut epsilon = 0.0f64;
         for (i, col) in schema.columns().iter().enumerate() {
             match col.ctype {
@@ -114,6 +116,7 @@ impl SerdSynthesizer {
                 }
                 ColumnType::Text => {
                     let corpus = background.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                    text_corpora[i] = corpus.to_vec();
                     if !corpus.is_empty() {
                         let model =
                             BucketedSynthesizer::train(corpus, cfg.text.clone(), rng);
@@ -187,73 +190,91 @@ impl SerdSynthesizer {
                     / (real.a().len() + real.b().len()).max(1) as f64
             })
             .clamp(0.0, 0.9);
-        Ok(SerdSynthesizer {
+        Ok(SerdModel {
+            o_real,
+            columns,
+            gan,
+            text_corpora,
             n_a,
             n_b,
             names: (
                 format!("{}_syn", real.a().name()),
                 format!("{}_syn", real.b().name()),
             ),
-            cfg,
-            o_real,
-            columns,
-            gan,
             match_rate,
-            background: background.to_vec(),
             epsilon,
+            online: OnlineConfig::from_serd(&cfg),
         })
+    }
+
+    /// Wraps a fitted model — fresh from [`SerdSynthesizer::fit`] or loaded
+    /// from a `serd-model-v1` artifact — into a runnable synthesizer.
+    pub fn from_model(model: SerdModel) -> Self {
+        SerdSynthesizer { model }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &SerdModel {
+        &self.model
+    }
+
+    /// Unwraps the model (e.g. to save it after a run).
+    pub fn into_model(self) -> SerdModel {
+        self.model
     }
 
     /// The learned `O_real` distribution.
     pub fn o_real(&self) -> &OMixture {
-        &self.o_real
+        &self.model.o_real
     }
 
     /// The column synthesizer (exposed for examples and ablations).
     pub fn columns(&self) -> &ColumnSynthesizer {
-        &self.columns
+        &self.model.columns
     }
 
     /// DP ε (δ = 1e-5) spent on the text models during `fit`.
     pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        self.model.epsilon
     }
 
     /// Serializes the learned `O_real` distribution to text (`gmm::io`
     /// format). This is exactly the artifact the paper's Figure 2 deems safe
     /// to share: distribution parameters, never entities.
     pub fn export_o_real(&self) -> String {
-        gmm::io::omixture_to_string(&self.o_real)
+        gmm::io::omixture_to_string(&self.model.o_real)
     }
 
     /// **S2 + S3.** Runs the iterative synthesis loop with entity rejection,
     /// then labels all remaining (blocked) pairs by GMM posterior.
     pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SynthesizedEr> {
         let _span = obs::span("synthesize");
+        let model = &self.model;
+        let online = &model.online;
         let mut stats = SynthesisStats {
-            epsilon: self.epsilon,
+            epsilon: model.epsilon,
             ..Default::default()
         };
-        let schema = self.columns.schema().clone();
-        let mut a = Relation::new(self.names.0.clone(), schema.clone());
-        let mut b = Relation::new(self.names.1.clone(), schema.clone());
+        let schema = model.columns.schema().clone();
+        let mut a = Relation::new(model.names.0.clone(), schema.clone());
+        let mut b = Relation::new(model.names.1.clone(), schema.clone());
         let mut matches: Vec<(usize, usize)> = Vec::new();
-        let mut osyn = OSynState::new(self.cfg.osyn_warmup);
+        let mut osyn = OSynState::new(online.osyn_warmup);
 
         // Bootstrap: one GAN-generated fake A-entity (Section IV-B2).
-        let first = Entity::new(self.gan.generate_entity(&self.background, rng));
+        let first = Entity::new(model.gan.generate_entity(&model.text_corpora, rng));
         a.push_entity(first)?;
         stats.accepted += 1;
 
-        while a.len() < self.n_a || b.len() < self.n_b {
+        while a.len() < model.n_a || b.len() < model.n_b {
             // S2-1: sample an existing synthesized entity. Once a table is
             // full, `e` is drawn only from it so `e'` fills the other one
             // (paper Section III Remark 1).
-            let e_in_a = if a.len() >= self.n_a {
+            let e_in_a = if a.len() >= model.n_a {
                 true // A full: e from A, e' into B
             } else if b.is_empty() {
                 true // only A has entities yet
-            } else if b.len() >= self.n_b {
+            } else if b.len() >= model.n_b {
                 false // B full: e from B, e' into A
             } else {
                 rng.gen_range(0..a.len() + b.len()) < a.len()
@@ -268,59 +289,67 @@ impl SerdSynthesizer {
 
             // S2-2: sample a similarity vector from O_real — from the
             // M-distribution with the (match-count-preserving) match rate.
-            let from_m = rng.gen::<f64>() < self.match_rate;
+            let from_m = rng.gen::<f64>() < model.match_rate;
             let x = if from_m {
-                self.o_real.m().sample_clamped(rng)
+                model.o_real.m().sample_clamped(rng)
             } else {
-                self.o_real.n().sample_clamped(rng)
+                model.o_real.n().sample_clamped(rng)
             };
 
-            // S2-3 with rejection (Section V).
+            // S2-3 with rejection (Section V). Up to `max_retries` candidates
+            // go through both rejection cases; when every one of them is
+            // rejected, a final candidate is synthesized and accepted
+            // unconditionally — the paper notes rejection must not loop
+            // forever, and that candidate is counted as a forced accept.
             let target_side = if e_in_a {
                 crate::Side::B
             } else {
                 crate::Side::A
             };
+            let source_table = if e_in_a { &a } else { &b };
             let mut chosen: Option<(Entity, Vec<Vec<f64>>)> = None;
-            for attempt in 0..=self.cfg.max_retries {
-                let candidate = self.columns.synthesize_entity(&e, &x, target_side, rng);
+            for _attempt in 0..online.max_retries {
+                let candidate = model.columns.synthesize_entity(&e, &x, target_side, rng);
 
-                if self.cfg.reject_by_discriminator
-                    && self.gan.discriminator_prob(&candidate) < self.cfg.beta
-                    && attempt < self.cfg.max_retries
+                if online.reject_by_discriminator
+                    && model.gan.discriminator_prob(&candidate) < online.beta
                 {
                     stats.rejected_discriminator += 1;
                     continue;
                 }
 
                 // ΔX_syn: candidate vs (a sample of) the table e lives in.
-                let source_table = if e_in_a { &a } else { &b };
-                let delta = delta_vectors(
-                    &candidate,
-                    source_table,
-                    self.cfg.t_sample,
-                    rng,
-                );
-                if self.cfg.reject_by_distribution
-                    && attempt < self.cfg.max_retries
+                let delta = delta_vectors(&candidate, source_table, online.t_sample, rng);
+                if online.reject_by_distribution
                     && osyn.would_reject(
                         &delta,
-                        &self.o_real,
-                        self.cfg.alpha,
-                        self.cfg.jsd_samples,
+                        &model.o_real,
+                        online.alpha,
+                        online.jsd_samples,
                         rng,
                     )
                 {
                     stats.rejected_distribution += 1;
                     continue;
                 }
-                if attempt == self.cfg.max_retries && attempt > 0 {
-                    stats.forced_accepts += 1;
-                }
                 chosen = Some((candidate, delta));
                 break;
             }
-            let (e_prime, delta) = chosen.expect("loop always selects by the last attempt");
+            let (e_prime, delta) = match chosen {
+                Some(picked) => picked,
+                None => {
+                    // Every retry was rejected (or retries are disabled):
+                    // synthesize one last candidate and accept it as-is.
+                    let candidate =
+                        model.columns.synthesize_entity(&e, &x, target_side, rng);
+                    let delta =
+                        delta_vectors(&candidate, source_table, online.t_sample, rng);
+                    if online.max_retries > 0 {
+                        stats.forced_accepts += 1;
+                    }
+                    (candidate, delta)
+                }
+            };
 
             // S2-4: add e' to the opposite table and record the pair label.
             let (ai, bi) = if e_in_a {
@@ -335,7 +364,7 @@ impl SerdSynthesizer {
                 matches.push((ai, bi));
                 stats.s2_matches += 1;
             }
-            osyn.commit(&delta, &self.o_real, &self.cfg.gmm, self.cfg.jsd_samples, rng)?;
+            osyn.commit(&delta, &model.o_real, &online.gmm, online.jsd_samples, rng)?;
             // The committed JSD(O_syn, O_real) trajectory (Eq. 10 left side).
             if obs::enabled() && osyn.jsd_current().is_finite() {
                 obs::series("rejection.jsd", osyn.jsd_current());
@@ -352,7 +381,7 @@ impl SerdSynthesizer {
                     continue;
                 }
                 let v = pair_similarity(a.schema(), a.entity(i), b.entity(j));
-                if self.o_real.is_match(&v) {
+                if model.o_real.is_match(&v) {
                     matches.push((i, j));
                     stats.s3_matches += 1;
                 }
@@ -398,7 +427,7 @@ impl SerdSynthesizer {
             if wall > 0.0 {
                 obs::gauge("pool.utilization", (busy / (wall * threads)).min(1.0));
             }
-            obs::gauge("epsilon", self.epsilon);
+            obs::gauge("epsilon", self.model.epsilon);
         }
         obs::report_json()
     }
@@ -441,9 +470,9 @@ mod tests {
     fn fit_fast(kind: DatasetKind, scale: f64, seed: u64) -> (SerdSynthesizer, ErDataset) {
         let mut rng = StdRng::seed_from_u64(seed);
         let sim = generate(kind, scale, &mut rng);
-        let syn = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
             .expect("fit succeeds on simulated data");
-        (syn, sim.er)
+        (SerdSynthesizer::from_model(model), sim.er)
     }
 
     #[test]
@@ -543,8 +572,8 @@ mod tests {
             n_b: Some(15),
             ..SerdConfig::fast()
         };
-        let syn = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).unwrap();
-        let out = syn.synthesize(&mut rng).unwrap();
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).unwrap();
+        let out = SerdSynthesizer::from_model(model).synthesize(&mut rng).unwrap();
         assert_eq!(out.er.a().len(), 10);
         assert_eq!(out.er.b().len(), 15);
     }
@@ -563,5 +592,23 @@ mod tests {
         assert_eq!(back.pi(), syn.o_real().pi());
         let x = vec![0.5; syn.o_real().dim()];
         assert_eq!(back.posterior_match(&x), syn.o_real().posterior_match(&x));
+    }
+
+    #[test]
+    fn zero_retries_never_rejects() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let cfg = SerdConfig {
+            max_retries: 0,
+            ..SerdConfig::fast()
+        };
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).unwrap();
+        let out = SerdSynthesizer::from_model(model).synthesize(&mut rng).unwrap();
+        // With retries disabled, every candidate is accepted first try and
+        // none counts as forced.
+        assert_eq!(out.stats.rejected_discriminator, 0);
+        assert_eq!(out.stats.rejected_distribution, 0);
+        assert_eq!(out.stats.forced_accepts, 0);
+        assert_eq!(out.er.a().len(), sim.er.a().len());
     }
 }

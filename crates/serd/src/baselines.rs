@@ -14,8 +14,8 @@ pub fn serd_minus<R: Rng>(
     cfg: SerdConfig,
     rng: &mut R,
 ) -> Result<SynthesizedEr> {
-    let synthesizer = SerdSynthesizer::fit(real, background, cfg.without_rejection(), rng)?;
-    synthesizer.synthesize(rng)
+    let model = SerdSynthesizer::fit(real, background, cfg.without_rejection(), rng)?;
+    SerdSynthesizer::from_model(model).synthesize(rng)
 }
 
 /// EMBench-style synthesis: every synthesized entity is a rule-perturbed

@@ -25,17 +25,29 @@
 //! The `SERD-` ablation (rejection off) and the EMBench-style perturbation
 //! baseline (paper Section VII "Comparisons") live in [`baselines`].
 //!
+//! The pipeline is split into an **offline** phase (`fit`, hours) and an
+//! **online** phase (`synthesize`, minutes) that meet at the versioned
+//! [`SerdModel`] artifact (`serd-model-v1`): `fit` returns a model, the
+//! model can be saved/loaded as a line-oriented text artifact, and
+//! [`SerdSynthesizer::from_model`] turns it back into a runnable
+//! synthesizer. Synthesis is bit-identical whether the model came from `fit`
+//! in the same process or from disk.
+//!
 //! ```no_run
-//! use serd::{SerdConfig, SerdSynthesizer};
+//! use serd::{SerdConfig, SerdModel, SerdSynthesizer};
 //! use rand::SeedableRng;
 //! # let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! # let sim = datagen::generate(datagen::DatasetKind::Restaurant, 0.02, &mut rng);
-//! let synthesizer = SerdSynthesizer::fit(
+//! // Offline: fit once, save the artifact.
+//! let model = SerdSynthesizer::fit(
 //!     &sim.er,
 //!     &sim.background,
 //!     SerdConfig::fast(),
 //!     &mut rng,
 //! ).unwrap();
+//! model.save_to("model.serd").unwrap();
+//! // Online: load and synthesize (possibly elsewhere, later).
+//! let synthesizer = SerdSynthesizer::from_model(SerdModel::load_from("model.serd").unwrap());
 //! let out = synthesizer.synthesize(&mut rng).unwrap();
 //! println!("synthesized {} x {} entities, {} matches",
 //!          out.er.a().len(), out.er.b().len(), out.er.num_matches());
@@ -45,13 +57,18 @@ mod algorithm;
 pub mod baselines;
 mod config;
 pub mod decision;
+mod model;
 mod rejection;
 mod synthesis;
 
 pub use algorithm::{SerdSynthesizer, SynthesisStats, SynthesizedEr};
 pub use config::SerdConfig;
+pub use model::{OnlineConfig, SerdModel};
 pub use rejection::OSynState;
 pub use synthesis::{ColumnSynthesizer, Side};
+// Re-exported so downstream users (CLI, tests) can call `Persist` methods on
+// artifacts without depending on the persist crate directly.
+pub use persist::{Persist, PersistError};
 
 /// Errors from the SERD pipeline.
 #[derive(Debug)]
@@ -62,6 +79,9 @@ pub enum SerdError {
     Gmm(gmm::GmmError),
     /// The data model rejected a synthesized row (internal invariant).
     Er(er_core::ErError),
+    /// Saving or loading a model artifact failed (IO, corruption, version
+    /// skew — see [`PersistError`]).
+    Persist(PersistError),
 }
 
 impl std::fmt::Display for SerdError {
@@ -70,6 +90,7 @@ impl std::fmt::Display for SerdError {
             SerdError::NoMatches => write!(f, "real dataset has no matching pairs"),
             SerdError::Gmm(e) => write!(f, "distribution learning failed: {e}"),
             SerdError::Er(e) => write!(f, "data model error: {e}"),
+            SerdError::Persist(e) => write!(f, "model artifact error: {e}"),
         }
     }
 }
@@ -85,6 +106,12 @@ impl From<gmm::GmmError> for SerdError {
 impl From<er_core::ErError> for SerdError {
     fn from(e: er_core::ErError) -> Self {
         SerdError::Er(e)
+    }
+}
+
+impl From<PersistError> for SerdError {
+    fn from(e: PersistError) -> Self {
+        SerdError::Persist(e)
     }
 }
 

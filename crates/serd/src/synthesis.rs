@@ -3,6 +3,7 @@
 //! `f_i(e[C_i], e'[C_i]) = x[i]` for every column.
 
 use er_core::{ColumnType, Entity, Schema, Value};
+use persist::{Persist, Reader, Writer};
 use rand::Rng;
 use similarity::numeric_inverse;
 use std::collections::HashMap;
@@ -212,6 +213,143 @@ impl ColumnSynthesizer {
     }
 }
 
+/// Upper bound on persisted categorical-domain sizes — far above any real
+/// dataset, low enough that corrupt counts cannot trigger huge allocations.
+const MAX_PERSISTED_DOMAIN: usize = 1 << 20;
+
+/// Writes one side's categorical domains sorted by column index so the
+/// artifact bytes do not depend on `HashMap` iteration order.
+fn write_domains(w: &mut Writer, key: &str, domains: &HashMap<usize, Vec<String>>) {
+    let mut cols: Vec<usize> = domains.keys().copied().collect();
+    cols.sort_unstable();
+    w.kv(key, cols.len());
+    for col in cols {
+        let values = &domains[&col];
+        w.kv("col", col);
+        w.kv("values", values.len());
+        for v in values {
+            w.kv_str("d", v);
+        }
+    }
+}
+
+/// Reads one side's categorical domains, validating column indices against
+/// the schema (strictly increasing, in range, categorical columns only).
+fn read_domains(
+    r: &mut Reader<'_>,
+    key: &str,
+    schema: &Schema,
+) -> persist::Result<HashMap<usize, Vec<String>>> {
+    let k = r.kv_usize(key)?;
+    if k > schema.len() {
+        return Err(r.invalid(format!("{key}: {k} domains for {} columns", schema.len())));
+    }
+    let mut out = HashMap::new();
+    let mut prev: Option<usize> = None;
+    for _ in 0..k {
+        let col = r.kv_usize("col")?;
+        if col >= schema.len() {
+            return Err(r.invalid(format!("{key}: column {col} out of range")));
+        }
+        if prev.is_some_and(|p| col <= p) {
+            return Err(r.invalid(format!("{key}: column indices not strictly increasing")));
+        }
+        prev = Some(col);
+        if schema.columns()[col].ctype != ColumnType::Categorical {
+            return Err(r.invalid(format!("{key}: column {col} is not categorical")));
+        }
+        let m = r.kv_usize("values")?;
+        if m > MAX_PERSISTED_DOMAIN {
+            return Err(r.invalid(format!("{key}: implausible domain size {m}")));
+        }
+        let mut values = Vec::with_capacity(m);
+        for _ in 0..m {
+            values.push(r.kv_str("d")?);
+        }
+        out.insert(col, values);
+    }
+    Ok(out)
+}
+
+impl Persist for ColumnSynthesizer {
+    const MAGIC: &'static str = "serd-columns-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.child(&self.schema);
+        w.kv("bounds", self.bounds.len());
+        for &(lo, hi) in &self.bounds {
+            let mut line = String::from("b ");
+            line.push_str(&persist::f64_to_hex(lo));
+            line.push(' ');
+            line.push_str(&persist::f64_to_hex(hi));
+            w.line(&line);
+        }
+        let flags: Vec<String> = self.integral.iter().map(|b| b.to_string()).collect();
+        w.kv("integral", flags.join(" "));
+        write_domains(w, "domains_a", &self.domains_a);
+        write_domains(w, "domains_b", &self.domains_b);
+        let mut text_cols: Vec<usize> = self.text_models.keys().copied().collect();
+        text_cols.sort_unstable();
+        w.kv("text_models", text_cols.len());
+        for col in text_cols {
+            w.kv("col", col);
+            w.child(&self.text_models[&col]);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let schema: Schema = r.child()?;
+        let n = r.kv_usize("bounds")?;
+        // `synthesize_entity` indexes bounds by column, so the lengths must
+        // agree exactly — a shorter vector would panic at synthesis time.
+        if n != schema.len() {
+            return Err(r.invalid(format!("{n} bounds for {} columns", schema.len())));
+        }
+        let mut bounds = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pair = r.kv_finite_f64s("b", 2)?;
+            bounds.push((pair[0], pair[1]));
+        }
+        let raw = r.kv_str("integral")?;
+        let mut integral = Vec::with_capacity(n);
+        for tok in raw.split_whitespace() {
+            match tok {
+                "true" => integral.push(true),
+                "false" => integral.push(false),
+                other => {
+                    return Err(r.invalid(format!("integral: bad flag {other:?}")));
+                }
+            }
+        }
+        if integral.len() != n {
+            return Err(r.invalid(format!("{} integral flags for {n} columns", integral.len())));
+        }
+        let domains_a = read_domains(r, "domains_a", &schema)?;
+        let domains_b = read_domains(r, "domains_b", &schema)?;
+        let k = r.kv_usize("text_models")?;
+        if k > schema.len() {
+            return Err(r.invalid(format!("{k} text models for {} columns", schema.len())));
+        }
+        let mut text_models = HashMap::new();
+        let mut prev: Option<usize> = None;
+        for _ in 0..k {
+            let col = r.kv_usize("col")?;
+            if col >= schema.len() {
+                return Err(r.invalid(format!("text_models: column {col} out of range")));
+            }
+            if prev.is_some_and(|p| col <= p) {
+                return Err(r.invalid("text_models: column indices not strictly increasing"));
+            }
+            prev = Some(col);
+            if schema.columns()[col].ctype != ColumnType::Text {
+                return Err(r.invalid(format!("text_models: column {col} is not text")));
+            }
+            text_models.insert(col, r.child()?);
+        }
+        Ok(ColumnSynthesizer { schema, domains_a, domains_b, text_models, bounds, integral })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +504,42 @@ mod tests {
                 "target {target} achieved {achieved}"
             );
         }
+    }
+
+    #[test]
+    fn persist_roundtrip_is_bit_identical() {
+        let s = synthesizer(true);
+        let text = s.to_persist_string();
+        let back = ColumnSynthesizer::from_persist_str(&text).unwrap();
+        // Same artifact bytes on re-serialization (sorted map iteration).
+        assert_eq!(back.to_persist_string(), text);
+        // Same synthesis behavior under the same rng stream.
+        let e = entity();
+        for target in [0.1, 0.6, 1.0] {
+            let x = [target, target, target, target];
+            let mut r1 = StdRng::seed_from_u64(42);
+            let mut r2 = StdRng::seed_from_u64(42);
+            let v1 = s.synthesize_entity(&e, &x, Side::B, &mut r1);
+            let v2 = back.synthesize_entity(&e, &x, Side::B, &mut r2);
+            for i in 0..4 {
+                assert_eq!(v1.value(i), v2.value(i), "column {i} target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn persist_rejects_bounds_count_mismatch() {
+        let s = synthesizer(false);
+        let text = s.to_persist_string().replacen("bounds 4", "bounds 3", 1);
+        assert!(ColumnSynthesizer::from_persist_str(&text).is_err());
+    }
+
+    #[test]
+    fn persist_rejects_domain_on_noncategorical_column() {
+        let s = synthesizer(false);
+        // Point the (only) domain at column 0, which is a text column.
+        let text = s.to_persist_string().replacen("col 1", "col 0", 1);
+        assert!(ColumnSynthesizer::from_persist_str(&text).is_err());
     }
 
     #[test]

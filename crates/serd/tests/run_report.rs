@@ -16,8 +16,9 @@ use serd::{SerdConfig, SerdSynthesizer};
 fn run_pipeline(seed: u64) -> (SerdSynthesizer, serd::SynthesizedEr) {
     let mut rng = StdRng::seed_from_u64(seed);
     let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
-    let syn = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
         .expect("fit");
+    let syn = SerdSynthesizer::from_model(model);
     let out = syn.synthesize(&mut rng).expect("synthesize");
     (syn, out)
 }

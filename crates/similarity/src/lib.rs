@@ -70,6 +70,35 @@ impl SimilarityKind {
             SimilarityKind::NumericMinMax => None,
         }
     }
+
+    /// Stable textual token for this kind, used by model-artifact
+    /// persistence (e.g. `qgram-jaccard:3`). Inverse of [`Self::from_token`].
+    pub fn token(&self) -> String {
+        match *self {
+            SimilarityKind::QgramJaccard { q } => format!("qgram-jaccard:{q}"),
+            SimilarityKind::TokenJaccard => "token-jaccard".to_string(),
+            SimilarityKind::EditSimilarity => "edit-similarity".to_string(),
+            SimilarityKind::JaroWinkler => "jaro-winkler".to_string(),
+            SimilarityKind::CosineTf => "cosine-tf".to_string(),
+            SimilarityKind::NumericMinMax => "numeric-min-max".to_string(),
+        }
+    }
+
+    /// Parses a token produced by [`Self::token`]. Returns `None` for
+    /// anything unrecognized.
+    pub fn from_token(s: &str) -> Option<SimilarityKind> {
+        match s {
+            "token-jaccard" => Some(SimilarityKind::TokenJaccard),
+            "edit-similarity" => Some(SimilarityKind::EditSimilarity),
+            "jaro-winkler" => Some(SimilarityKind::JaroWinkler),
+            "cosine-tf" => Some(SimilarityKind::CosineTf),
+            "numeric-min-max" => Some(SimilarityKind::NumericMinMax),
+            other => {
+                let q = other.strip_prefix("qgram-jaccard:")?;
+                q.parse().ok().map(|q| SimilarityKind::QgramJaccard { q })
+            }
+        }
+    }
 }
 
 /// Min–max normalized numeric similarity used by the paper for numeric and

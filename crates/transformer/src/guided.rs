@@ -18,6 +18,7 @@
 //! case-sensitive, and a lowercased copy of a mixed-case source would cap
 //! the reachable similarity well below 1.
 
+use persist::{Persist, Reader, Writer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use similarity::{qgram_jaccard, tokenize};
@@ -87,6 +88,51 @@ impl TokenPool {
             return 0.0;
         }
         tokens.iter().filter(|t| self.lower.contains(*t)).count() as f64 / tokens.len() as f64
+    }
+
+    /// The distinct tokens in harvest order (original case).
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+}
+
+/// Upper bound on persisted pool size.
+const MAX_PERSISTED_TOKENS: usize = 1 << 22;
+
+impl Persist for TokenPool {
+    const MAGIC: &'static str = "serd-pool-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("tokens", self.tokens.len());
+        for t in &self.tokens {
+            w.kv_str("t", t);
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("tokens")?;
+        if n == 0 || n > MAX_PERSISTED_TOKENS {
+            return Err(r.invalid(format!("implausible token count {n}")));
+        }
+        let mut tokens = Vec::with_capacity(n);
+        let mut lower = BTreeSet::new();
+        for _ in 0..n {
+            let t = r.kv_str("t")?;
+            // `from_corpus` invariants: whitespace-free, contains an
+            // alphanumeric, unique case-insensitively.
+            if t.is_empty() || t.chars().any(char::is_whitespace) {
+                return Err(r.invalid(format!("malformed pool token {t:?}")));
+            }
+            let key = t.to_lowercase();
+            if !key.chars().any(char::is_alphanumeric) {
+                return Err(r.invalid(format!("non-alphanumeric pool token {t:?}")));
+            }
+            if !lower.insert(key) {
+                return Err(r.invalid(format!("duplicate pool token {t:?}")));
+            }
+            tokens.push(t);
+        }
+        Ok(TokenPool { tokens, lower })
     }
 }
 

@@ -1,9 +1,12 @@
 //! The Vaswani-style encoder–decoder transformer, built on `neural`.
 
 use crate::vocab::{BOS, EOS, PAD};
+use neural::io::{read_tensor, write_tensor};
 use neural::layers::{Embedding, Linear, Module};
 use neural::{Tensor, Var};
-use rand::Rng;
+use persist::{Persist, Reader, Writer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Transformer hyperparameters.
 #[derive(Debug, Clone)]
@@ -401,6 +404,90 @@ impl Module for Seq2SeqTransformer {
         p.extend(self.ln_final.parameters());
         p.extend(self.out_proj.parameters());
         p
+    }
+}
+
+/// Caps on persisted architecture hyperparameters: a config outside these
+/// bounds cannot come from this workspace and would drive absurd allocations.
+const MAX_ARCH_DIM: usize = 1 << 16;
+const MAX_ARCH_LAYERS: usize = 64;
+
+impl Persist for Seq2SeqTransformer {
+    const MAGIC: &'static str = "serd-transformer-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("vocab", self.cfg.vocab);
+        w.kv("d_model", self.cfg.d_model);
+        w.kv("n_heads", self.cfg.n_heads);
+        w.kv("n_enc_layers", self.cfg.n_enc_layers);
+        w.kv("n_dec_layers", self.cfg.n_dec_layers);
+        w.kv("d_ff", self.cfg.d_ff);
+        w.kv("max_len", self.cfg.max_len);
+        let params = self.parameters();
+        w.kv("params", params.len());
+        for p in &params {
+            write_tensor(w, "p", &p.value());
+        }
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let cfg = TransformerConfig {
+            vocab: r.kv_usize("vocab")?,
+            d_model: r.kv_usize("d_model")?,
+            n_heads: r.kv_usize("n_heads")?,
+            n_enc_layers: r.kv_usize("n_enc_layers")?,
+            n_dec_layers: r.kv_usize("n_dec_layers")?,
+            d_ff: r.kv_usize("d_ff")?,
+            max_len: r.kv_usize("max_len")?,
+        };
+        // Pre-validate everything `Seq2SeqTransformer::new` (and the layers
+        // underneath it) would otherwise assert on.
+        if cfg.vocab < 4 || cfg.vocab > MAX_ARCH_DIM {
+            return Err(r.invalid(format!("implausible vocab size {}", cfg.vocab)));
+        }
+        if cfg.d_model == 0 || cfg.d_model > MAX_ARCH_DIM {
+            return Err(r.invalid(format!("implausible d_model {}", cfg.d_model)));
+        }
+        if cfg.n_heads == 0 || cfg.d_model % cfg.n_heads != 0 {
+            return Err(r.invalid(format!(
+                "d_model {} not divisible by n_heads {}",
+                cfg.d_model, cfg.n_heads
+            )));
+        }
+        if cfg.n_enc_layers > MAX_ARCH_LAYERS || cfg.n_dec_layers > MAX_ARCH_LAYERS {
+            return Err(r.invalid("implausible layer count"));
+        }
+        if cfg.d_ff == 0 || cfg.d_ff > MAX_ARCH_DIM {
+            return Err(r.invalid(format!("implausible d_ff {}", cfg.d_ff)));
+        }
+        if cfg.max_len < 2 || cfg.max_len > MAX_ARCH_DIM {
+            return Err(r.invalid(format!("implausible max_len {}", cfg.max_len)));
+        }
+        let declared = r.kv_usize("params")?;
+        // The architecture is rebuilt with a throwaway RNG, then every
+        // parameter tensor is overwritten from the artifact.
+        // `Module::parameters` returns leaves in a stable order, so the file
+        // order matches the model order.
+        let model = Seq2SeqTransformer::new(cfg, &mut StdRng::seed_from_u64(0));
+        let params = model.parameters();
+        if declared != params.len() {
+            return Err(r.invalid(format!(
+                "declared {declared} parameter tensors, architecture has {}",
+                params.len()
+            )));
+        }
+        for (i, p) in params.iter().enumerate() {
+            let t = read_tensor(r, "p")?;
+            if t.shape() != p.shape() {
+                return Err(r.invalid(format!(
+                    "parameter {i}: shape {:?} does not match architecture {:?}",
+                    t.shape(),
+                    p.shape()
+                )));
+            }
+            p.set_value(t);
+        }
+        Ok(model)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Character vocabulary with special tokens.
 
+use persist::{Persist, Reader, Writer};
 use std::collections::HashMap;
 
 /// Special token ids.
@@ -80,6 +81,45 @@ impl CharVocab {
     }
 }
 
+/// Upper bound on persisted vocabulary size (Unicode has ~1.1M scalars).
+const MAX_PERSISTED_CHARS: usize = 1 << 21;
+
+impl Persist for CharVocab {
+    const MAGIC: &'static str = "serd-vocab-v1";
+
+    fn write_body(&self, w: &mut Writer) {
+        w.kv("chars", self.to_char.len());
+        let joined: String = self.to_char.iter().collect();
+        w.kv_str("data", &joined);
+    }
+
+    fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
+        let n = r.kv_usize("chars")?;
+        if n > MAX_PERSISTED_CHARS {
+            return Err(r.invalid(format!("implausible char count {n}")));
+        }
+        let data = r.kv_str("data")?;
+        let to_char: Vec<char> = data.chars().collect();
+        if to_char.len() != n {
+            return Err(r.invalid(format!(
+                "declared {n} chars, found {}",
+                to_char.len()
+            )));
+        }
+        // `build` emits a sorted, deduplicated alphabet; anything else means
+        // the file was edited or corrupted and ids would shift.
+        if to_char.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(r.invalid("vocabulary characters not strictly increasing"));
+        }
+        let to_id = to_char
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i + SPECIALS))
+            .collect();
+        Ok(CharVocab { to_id, to_char })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +146,24 @@ mod tests {
         let v = CharVocab::build(["ab"]);
         assert_eq!(v.len(), 6);
         assert!(v.id_of('a').unwrap() >= 4);
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_ids() {
+        let v = CharVocab::build(["hello wörld", "tab\there"]);
+        let back = CharVocab::from_persist_str(&v.to_persist_string()).unwrap();
+        assert_eq!(back.len(), v.len());
+        for c in "helo wörd\t".chars() {
+            assert_eq!(back.id_of(c), v.id_of(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn persist_rejects_unsorted_alphabet() {
+        let text = "serd-vocab-v1\nchars 2\ndata ba\n";
+        assert!(CharVocab::from_persist_str(text).is_err());
+        let text = "serd-vocab-v1\nchars 3\ndata ab\n";
+        assert!(CharVocab::from_persist_str(text).is_err());
     }
 
     #[test]

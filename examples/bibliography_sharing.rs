@@ -27,9 +27,10 @@ fn main() {
     );
 
     // --- Provider runs SERD and publishes E_syn.
-    let synthesizer =
+    let synthesizer = SerdSynthesizer::from_model(
         SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-            .expect("fit");
+            .expect("fit"),
+    );
     let published = synthesizer.synthesize(&mut rng).expect("synthesize");
     println!(
         "published surrogate: |A|={} |B|={} matches={}",

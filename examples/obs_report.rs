@@ -33,9 +33,10 @@ fn main() {
         sim.er.b().len()
     );
 
-    let synthesizer =
+    let synthesizer = SerdSynthesizer::from_model(
         SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-            .expect("fit");
+            .expect("fit"),
+    );
     let out = synthesizer.synthesize(&mut rng).expect("synthesize");
     eprintln!(
         "synthesized |A|={} |B|={} matches={} (accepted {}, rejected {}+{})",

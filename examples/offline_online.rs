@@ -5,11 +5,13 @@
 //! cargo run --release --example offline_online
 //! ```
 //!
-//! Offline (inside the data owner's perimeter): fit SERD, then persist the
-//! only artifacts that ever leave — the learned O-distribution (pure
-//! parameters) and the synthesized CSVs. Online (anywhere): reload the
-//! distribution, label arbitrary new pairs with its posterior, and verify it
-//! matches the in-memory model bit-for-bit.
+//! Offline (inside the data owner's perimeter): fit SERD once and persist
+//! the artifacts that leave the building — the full `serd-model-v1` bundle
+//! (learned distribution parameters, DP transformer + GAN weights, public
+//! corpus slices — never a real row) plus the standalone O-distribution.
+//! Online (anywhere, later): reload the model, synthesize, and verify the
+//! output is byte-identical to what the in-memory model produces at the same
+//! seed; label fresh pairs with the reloaded posterior bit-for-bit.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,36 +27,49 @@ fn main() {
     // ---------- offline: data owner's side ----------
     let sim = generate(DatasetKind::Restaurant, 0.05, &mut rng);
     let t_fit = std::time::Instant::now();
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-            .expect("fit");
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        .expect("fit");
     let offline_secs = t_fit.elapsed().as_secs_f64();
-    let out = synthesizer.synthesize(&mut rng).expect("synthesize");
 
-    // The shareable artifacts.
+    // The shareable artifacts: the whole model, and the O-distribution alone.
+    let model_path = dir.join("model.serd");
+    model.save_to(&model_path).expect("write model");
+    let synthesizer = SerdSynthesizer::from_model(model);
     let dist_path = dir.join("o_real.gmm");
     std::fs::write(&dist_path, synthesizer.export_o_real()).expect("write distribution");
-    let a_path = dir.join("A_syn.csv");
-    std::fs::write(&a_path, csv::relation_to_csv(out.er.a())).expect("write A_syn");
     println!("offline phase done ({offline_secs:.1}s):");
+    println!("  shipped {}", model_path.display());
     println!("  shipped {}", dist_path.display());
-    println!("  shipped {}", a_path.display());
-    println!("  (no real entity ever leaves; only distribution parameters + fakes)");
+    println!("  (no real entity ever leaves; only learned parameters + public corpora)");
+
+    // Reference output from the in-memory model.
+    let mut syn_rng = StdRng::seed_from_u64(99);
+    let out = synthesizer.synthesize(&mut syn_rng).expect("synthesize");
+    let a_csv = csv::relation_to_csv(out.er.a());
 
     // ---------- online: consumer's side ----------
+    let loaded = SerdModel::load_from(&model_path).expect("load model");
+    println!(
+        "\nreloaded model: targets |A|={} |B|={}, DP eps {:.3}",
+        loaded.n_a, loaded.n_b, loaded.epsilon
+    );
+    let online = SerdSynthesizer::from_model(loaded);
+    let t_syn = std::time::Instant::now();
+    let mut syn_rng = StdRng::seed_from_u64(99);
+    let out2 = online.synthesize(&mut syn_rng).expect("synthesize from artifact");
+    println!(
+        "online phase done ({:.1}s): |A|={} |B|={} matches={}",
+        t_syn.elapsed().as_secs_f64(),
+        out2.er.a().len(),
+        out2.er.b().len(),
+        out2.er.num_matches()
+    );
+    assert_eq!(csv::relation_to_csv(out2.er.a()), a_csv);
+    println!("artifact-loaded synthesis is byte-identical to the in-memory run");
+
+    // The standalone O-distribution labels pairs with the identical posterior.
     let text = std::fs::read_to_string(&dist_path).expect("read distribution");
     let o = gmm::io::omixture_from_str(&text).expect("parse distribution");
-    println!("\nreloaded O-distribution: pi = {:.3}, dim = {}", o.pi(), o.dim());
-
-    // Label a few fresh pairs by posterior — identical to the in-memory model.
-    let reloaded_a = csv::relation_from_csv(
-        "A_syn",
-        out.er.a().schema().clone(),
-        &std::fs::read_to_string(&a_path).expect("read A_syn"),
-    )
-    .expect("parse A_syn");
-    println!("reloaded {} synthesized entities from CSV", reloaded_a.len());
-
     let mut agree = 0;
     let total = 200;
     for _ in 0..total {

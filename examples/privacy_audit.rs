@@ -35,8 +35,9 @@ fn main() {
             },
             ..SerdConfig::fast()
         };
-        let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
-            .expect("fit");
+        let synthesizer = SerdSynthesizer::from_model(
+            SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("fit"),
+        );
         let out = synthesizer.synthesize(&mut rng).expect("synthesize");
         println!(
             "{sigma:>6.1} {:>10.3} {:>14.3} {:>8.3}",

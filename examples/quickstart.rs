@@ -25,8 +25,10 @@ fn main() {
     );
 
     // 2. Fit SERD: learn the M-/N-distributions, train DP text models + GAN.
-    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-        .expect("fit");
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+            .expect("fit"),
+    );
     println!(
         "offline training done, DP epsilon at delta=1e-5: {:.3}",
         synthesizer.epsilon()

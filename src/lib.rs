@@ -38,6 +38,6 @@ pub mod prelude {
     pub use gmm::{Gmm, GmmConfig, OMixture};
     pub use matchers::{Classifier, MatcherKind};
     pub use serd::baselines::{embench, serd_minus};
-    pub use serd::{SerdConfig, SerdSynthesizer, SynthesizedEr};
+    pub use serd::{Persist, SerdConfig, SerdModel, SerdSynthesizer, SynthesizedEr};
     pub use similarity::SimilarityKind;
 }

@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! serd-repro generate   --dataset restaurant --scale 0.05 --out data/
+//! serd-repro fit        --dataset restaurant --scale 0.05 --out model.serd [--seed N]
 //! serd-repro synthesize --dataset restaurant --scale 0.05 --out syn/ [--no-rejection] [--seed N]
+//! serd-repro synthesize --model model.serd --out syn/ [--seed N]
 //! serd-repro evaluate   --dataset restaurant --scale 0.05 [--seed N]
 //! ```
 //!
-//! `generate` writes the simulated real dataset as CSV; `synthesize` runs the
-//! full SERD pipeline and writes `A_syn.csv` / `B_syn.csv` / `matches.csv`;
-//! `evaluate` reports matcher-quality and privacy metrics for a fresh
-//! synthesis run.
+//! `generate` writes the simulated real dataset as CSV; `fit` runs the
+//! offline phase only and saves the fitted model as a versioned
+//! `serd-model-v1` artifact; `synthesize` runs the online phase — against a
+//! freshly fitted model, or against a `--model` artifact — and writes
+//! `A_syn.csv` / `B_syn.csv` / `matches_syn.csv`; `evaluate` reports
+//! matcher-quality and privacy metrics for a fresh synthesis run.
+//!
+//! The online phase draws from an RNG derived from `--seed` (independent of
+//! the offline phase's stream), so `fit` + `synthesize --model` produces
+//! byte-identical CSVs to a direct `synthesize` at the same seed.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +42,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "generate" => cmd_generate(&opts),
+        "fit" => cmd_fit(&opts),
         "synthesize" => cmd_synthesize(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "profile" => cmd_profile(&opts),
@@ -59,22 +68,37 @@ USAGE:
 
 COMMANDS:
     generate     simulate a real ER benchmark and write it as CSV
-    synthesize   run SERD end-to-end and write the synthesized dataset
+    fit          run the offline phase and save a serd-model-v1 artifact
+    synthesize   run the online phase (fresh fit, or --model) and write the
+                 synthesized dataset
     evaluate     report matcher-quality and privacy metrics for one run
     profile      print per-column statistics of real vs synthesized data
 
 OPTIONS:
     --dataset <dblp-acm|restaurant|walmart-amazon|itunes-amazon>   (default restaurant)
     --scale <f64>          fraction of the paper's Table II sizes (default 0.05)
-    --out <dir>            output directory for CSVs (default .)
+    --out <dir>            output directory for CSVs (default .); for `fit`,
+                           the model artifact path (default model.serd)
+    --model <file>         synthesize from a saved model artifact instead of
+                           fitting (skips the offline phase entirely)
     --seed <u64>           RNG seed (default 42)
     --no-rejection         disable entity rejection (the SERD- ablation)
     --min-matches <usize>  floor on planted matches (default 16)";
+
+/// The online phase's RNG is derived from the user seed, not continued from
+/// the offline stream, so a `synthesize --model` run reproduces a direct
+/// `synthesize` run byte for byte at the same seed.
+const ONLINE_SEED_SALT: u64 = 0x5345_5244_4F4E_4C4E; // "SERDONLN"
+
+fn online_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ ONLINE_SEED_SALT)
+}
 
 struct Opts {
     dataset: DatasetKind,
     scale: f64,
     out: String,
+    model: Option<String>,
     seed: u64,
     no_rejection: bool,
     min_matches: usize,
@@ -116,6 +140,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         dataset,
         scale: parse_num("--scale", 0.05)?,
         out: map.get("--out").cloned().unwrap_or_else(|| ".".into()),
+        model: map.get("--model").cloned(),
         seed: parse_num("--seed", 42.0)? as u64,
         no_rejection: flags.iter().any(|f| f == "--no-rejection"),
         min_matches: parse_num("--min-matches", 16.0)? as usize,
@@ -170,7 +195,18 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_synthesize(opts: &Opts) -> Result<(), String> {
+/// `fit`'s `--out` names the model artifact itself; pointing it at a
+/// directory drops `model.serd` inside it.
+fn model_out_path(out: &str) -> std::path::PathBuf {
+    let p = Path::new(out);
+    if out == "." || p.is_dir() {
+        p.join("model.serd")
+    } else {
+        p.to_path_buf()
+    }
+}
+
+fn cmd_fit(opts: &Opts) -> Result<(), String> {
     let (sim, mut rng) = simulate(opts);
     let mut cfg = SerdConfig::fast();
     if opts.no_rejection {
@@ -178,13 +214,54 @@ fn cmd_synthesize(opts: &Opts) -> Result<(), String> {
     }
     println!("fitting SERD on {} ...", opts.dataset.name());
     let t_fit = std::time::Instant::now();
-    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
         .map_err(|e| e.to_string())?;
+    let path = model_out_path(&opts.out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    model.save_to(&path).map_err(|e| e.to_string())?;
     println!(
-        "offline done in {:.1}s (DP eps at 1e-5: {:.3}); synthesizing ...",
+        "offline done in {:.1}s (DP eps at 1e-5: {:.3})",
         t_fit.elapsed().as_secs_f64(),
-        synthesizer.epsilon()
+        model.epsilon
     );
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn cmd_synthesize(opts: &Opts) -> Result<(), String> {
+    let model = match &opts.model {
+        Some(path) => {
+            let model = SerdModel::load_from(path).map_err(|e| e.to_string())?;
+            println!(
+                "loaded model {path} (DP eps at 1e-5: {:.3}); synthesizing ...",
+                model.epsilon
+            );
+            model
+        }
+        None => {
+            let (sim, mut rng) = simulate(opts);
+            let mut cfg = SerdConfig::fast();
+            if opts.no_rejection {
+                cfg = cfg.without_rejection();
+            }
+            println!("fitting SERD on {} ...", opts.dataset.name());
+            let t_fit = std::time::Instant::now();
+            let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "offline done in {:.1}s (DP eps at 1e-5: {:.3}); synthesizing ...",
+                t_fit.elapsed().as_secs_f64(),
+                model.epsilon
+            );
+            model
+        }
+    };
+    let synthesizer = SerdSynthesizer::from_model(model);
+    let mut rng = online_rng(opts.seed);
     let t_syn = std::time::Instant::now();
     let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
     println!(
@@ -211,8 +288,9 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     if opts.no_rejection {
         cfg = cfg.without_rejection();
     }
-    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
         .map_err(|e| e.to_string())?;
+    let synthesizer = SerdSynthesizer::from_model(model);
     let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
 
     println!("== model evaluation (train on Real vs SERD, test on real T) ==");
@@ -245,8 +323,9 @@ fn cmd_profile(opts: &Opts) -> Result<(), String> {
     if opts.no_rejection {
         cfg = cfg.without_rejection();
     }
-    let synthesizer = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
         .map_err(|e| e.to_string())?;
+    let synthesizer = SerdSynthesizer::from_model(model);
     let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
     println!("\n== {} (synthesized, relation A) ==", opts.dataset.name());
     print!("{}", render_table(&profile(out.er.a())));

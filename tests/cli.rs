@@ -74,6 +74,79 @@ fn generate_writes_csv_artifacts() {
 }
 
 #[test]
+fn fit_then_synthesize_model_matches_direct_run() {
+    let base = std::env::temp_dir().join(format!("serd_cli_offline_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let model_path = base.join("model.serd");
+    let fit_dir = base.join("from-model");
+    let direct_dir = base.join("direct");
+    let common = [
+        "--dataset",
+        "restaurant",
+        "--scale",
+        "0.02",
+        "--min-matches",
+        "4",
+        "--seed",
+        "11",
+    ];
+
+    // Offline phase: fit and persist the model artifact (`--out` is the
+    // model path for `fit`).
+    let out = bin()
+        .arg("fit")
+        .args(common)
+        .args(["--out", model_path.to_str().unwrap()])
+        .output()
+        .expect("run fit");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model_path.exists(), "fit did not write {}", model_path.display());
+
+    // Online phase from the artifact.
+    let out = bin()
+        .arg("synthesize")
+        .args(common)
+        .args(["--model", model_path.to_str().unwrap()])
+        .args(["--out", fit_dir.to_str().unwrap()])
+        .output()
+        .expect("run synthesize --model");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Direct run (fit + synthesize in one process) at the same seed.
+    let out = bin()
+        .arg("synthesize")
+        .args(common)
+        .args(["--out", direct_dir.to_str().unwrap()])
+        .output()
+        .expect("run synthesize");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    for file in ["A_syn.csv", "B_syn.csv", "matches_syn.csv"] {
+        let from_model = std::fs::read_to_string(fit_dir.join(file)).unwrap();
+        let direct = std::fs::read_to_string(direct_dir.join(file)).unwrap();
+        assert_eq!(from_model, direct, "{file} differs between --model and direct runs");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn synthesize_rejects_corrupt_model() {
+    let dir = std::env::temp_dir().join(format!("serd_cli_badmodel_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.serd");
+    std::fs::write(&path, "not-a-model\n").unwrap();
+    let out = bin()
+        .args(["synthesize", "--model", path.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("model"), "unexpected stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn generate_is_deterministic_per_seed() {
     let run = |dir: &std::path::Path| {
         let out = bin()

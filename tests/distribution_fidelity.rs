@@ -9,8 +9,9 @@ use serd_repro::prelude::*;
 fn osyn_tracks_oreal_in_jsd() {
     let mut rng = StdRng::seed_from_u64(0);
     let sim = datagen::generate_with_min_matches(DatasetKind::DblpAcm, 0.03, 20, &mut rng);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     // Learn O distributions from both datasets with the same recipe and
@@ -71,8 +72,9 @@ fn posterior_labeling_matches_planted_labels_on_real_data() {
 fn synthesized_match_vectors_live_in_match_region() {
     let mut rng = StdRng::seed_from_u64(2);
     let sim = datagen::generate_with_min_matches(DatasetKind::Restaurant, 0.08, 16, &mut rng);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     let o_real = synthesizer.o_real();

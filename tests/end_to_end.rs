@@ -16,8 +16,9 @@ fn full_pipeline_performance_preservation() {
     // is in the same quality regime as the matcher trained on E_real.
     let sim = restaurant(1);
     let mut rng = StdRng::seed_from_u64(2);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     let eval = model_evaluation(
@@ -41,8 +42,9 @@ fn full_pipeline_performance_preservation() {
 fn full_pipeline_privacy_preservation() {
     let sim = restaurant(3);
     let mut rng = StdRng::seed_from_u64(4);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
     let emb = embench(&sim.er, &mut rng).unwrap();
 
@@ -67,8 +69,9 @@ fn full_pipeline_privacy_preservation() {
 fn synthesized_dataset_has_paper_shape() {
     let sim = restaurant(5);
     let mut rng = StdRng::seed_from_u64(6);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     // Sizes default to the real sizes (paper problem statement).
@@ -95,9 +98,10 @@ fn serd_minus_drifts_further_than_serd() {
     for seed in [7u64] {
         let sim = restaurant(seed);
         let mut rng = StdRng::seed_from_u64(seed + 100);
-        let synthesizer =
+        let synthesizer = SerdSynthesizer::from_model(
             SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-                .unwrap();
+                .unwrap(),
+        );
         let out = synthesizer.synthesize(&mut rng).unwrap();
         let minus = serd_minus(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
         let eval = model_evaluation(
@@ -124,8 +128,9 @@ fn csv_roundtrip_of_synthesized_output() {
     // A downstream consumer exports E_syn as CSV and reloads it.
     let sim = restaurant(9);
     let mut rng = StdRng::seed_from_u64(10);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     let text = er_core::csv::relation_to_csv(out.er.a());
@@ -141,8 +146,9 @@ fn csv_roundtrip_of_synthesized_output() {
 fn crowd_study_on_synthesized_entities() {
     let sim = restaurant(11);
     let mut rng = StdRng::seed_from_u64(12);
-    let synthesizer =
-        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+    let synthesizer = SerdSynthesizer::from_model(
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap(),
+    );
     let out = synthesizer.synthesize(&mut rng).unwrap();
 
     let crowd = eval::crowd::Crowd::calibrate_domain(&sim.er, &sim.background);

@@ -1,0 +1,90 @@
+//! Offline/online equivalence: a model that goes through the
+//! `serd-model-v1` artifact (fit → save → load) must synthesize the exact
+//! same dataset as the in-memory model at the same seed — byte-identical
+//! CSVs — on multiple benchmark families.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::er_core::csv;
+use serd_repro::prelude::*;
+
+fn matches_csv(er: &ErDataset) -> String {
+    let mut pairs: Vec<_> = er.matches().iter().copied().collect();
+    pairs.sort_unstable();
+    let mut out = String::from("a_index,b_index\n");
+    for (i, j) in pairs {
+        out.push_str(&format!("{i},{j}\n"));
+    }
+    out
+}
+
+fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = datagen::generate_with_min_matches(kind, scale, 8, &mut rng);
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+        .expect("fit succeeds");
+
+    // Artifact round trip through a real file.
+    let text = model.to_persist_string();
+    let path = std::env::temp_dir().join(format!(
+        "serd_model_roundtrip_{}_{}_{}.serd",
+        kind.name(),
+        seed,
+        std::process::id()
+    ));
+    model.save_to(&path).expect("save model");
+    let loaded = SerdModel::load_from(&path).expect("load model");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        loaded.to_persist_string(),
+        text,
+        "artifact is not byte-stable across save/load"
+    );
+
+    // Same online seed, both paths.
+    let online_seed = seed ^ 0x0FF1_CE;
+    let mut rng_mem = StdRng::seed_from_u64(online_seed);
+    let out_mem = SerdSynthesizer::from_model(model)
+        .synthesize(&mut rng_mem)
+        .expect("in-memory synthesize");
+    let mut rng_disk = StdRng::seed_from_u64(online_seed);
+    let out_disk = SerdSynthesizer::from_model(loaded)
+        .synthesize(&mut rng_disk)
+        .expect("artifact synthesize");
+
+    assert_eq!(
+        csv::relation_to_csv(out_mem.er.a()),
+        csv::relation_to_csv(out_disk.er.a()),
+        "A_syn.csv differs between in-memory and artifact paths"
+    );
+    assert_eq!(
+        csv::relation_to_csv(out_mem.er.b()),
+        csv::relation_to_csv(out_disk.er.b()),
+        "B_syn.csv differs between in-memory and artifact paths"
+    );
+    assert_eq!(
+        matches_csv(&out_mem.er),
+        matches_csv(&out_disk.er),
+        "matches.csv differs between in-memory and artifact paths"
+    );
+    assert_eq!(out_mem.stats.accepted, out_disk.stats.accepted);
+    assert_eq!(
+        out_mem.stats.rejected_discriminator,
+        out_disk.stats.rejected_discriminator
+    );
+    assert_eq!(
+        out_mem.stats.rejected_distribution,
+        out_disk.stats.rejected_distribution
+    );
+    assert_eq!(out_mem.stats.forced_accepts, out_disk.stats.forced_accepts);
+}
+
+#[test]
+fn restaurant_roundtrip_is_byte_identical() {
+    assert_roundtrip_equivalence(DatasetKind::Restaurant, 0.03, 21);
+}
+
+#[test]
+fn dblp_acm_roundtrip_is_byte_identical() {
+    assert_roundtrip_equivalence(DatasetKind::DblpAcm, 0.02, 22);
+}
