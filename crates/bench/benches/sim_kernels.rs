@@ -1,0 +1,108 @@
+//! Similarity-kernel benchmarks: scalar (`&str` in, rebuild everything per
+//! pair) vs profile-backed (build per-record profiles once, merge per pair).
+//!
+//! Bench ids embed the pair count as a trailing `/n<count>` segment so
+//! `scripts/bench_sim.sh` can turn the per-iteration medians into
+//! pairs-per-second and write the before/after table to
+//! `BENCH_simkernel.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::{generate, DatasetKind};
+use serd_repro::er_core::{pair_similarity, ErDataset, ProfileCache};
+use serd_repro::similarity::{
+    levenshtein, prof_levenshtein, prof_qgram_jaccard, qgram_jaccard, ProfileSpec, SimContext,
+};
+use std::time::Duration;
+
+/// The X+ / X- extraction pair list of a dataset: every match plus the
+/// deterministic blocked + uniform non-match sample.
+fn extraction_pairs(er: &ErDataset, neg: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut pairs: Vec<(usize, usize)> = er.matches().iter().copied().collect();
+    pairs.sort_unstable();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.extend(er.sample_nonmatch_pairs(neg, &mut rng));
+    pairs
+}
+
+fn bench_extraction(c: &mut Criterion, label: &str, kind: DatasetKind, scale: f64) {
+    let mut g = c.benchmark_group("sim_kernels");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let sim = generate(kind, scale, &mut rng);
+    let er = &sim.er;
+    let pairs = extraction_pairs(er, 400, 1);
+    let n = pairs.len();
+    let schema = er.a().schema();
+
+    // Before: the scalar kernels, re-deriving q-grams/tokens/chars per pair.
+    g.bench_function(&format!("scalar_pairs/{label}/n{n}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &pairs {
+                let v = pair_similarity(schema, er.a().entity(i), er.b().entity(j));
+                acc += v[0];
+            }
+            black_box(acc)
+        })
+    });
+
+    // After: profile-backed kernels over a prebuilt cache.
+    let cache = ProfileCache::build(er.a(), er.b(), 3);
+    g.bench_function(&format!("profile_pairs/{label}/n{n}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(i, j) in &pairs {
+                let v = cache.pair_similarity(schema, er.a().entity(i), i, er.b().entity(j), j);
+                acc += v[0];
+            }
+            black_box(acc)
+        })
+    });
+
+    // The amortized one-off cost the profile path pays up front.
+    g.bench_function(&format!("profile_build/{label}/n{n}"), |b| {
+        b.iter(|| black_box(ProfileCache::build(er.a(), er.b(), 3)))
+    });
+    g.finish();
+}
+
+fn bench_micro_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_kernels");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(300));
+
+    let a = "adaptable query optimization in dynamic environments";
+    let b = "adaptive query processing for dynamic stream environments";
+    g.bench_function("micro/qgram_jaccard_scalar/n1", |bch| {
+        bch.iter(|| black_box(qgram_jaccard(black_box(a), black_box(b), 3)))
+    });
+    let mut ctx = SimContext::new();
+    let spec = ProfileSpec::full(3);
+    let pa = ctx.profile(a, &spec);
+    let pb = ctx.profile(b, &spec);
+    g.bench_function("micro/qgram_jaccard_profile/n1", |bch| {
+        bch.iter(|| black_box(prof_qgram_jaccard(black_box(&pa), black_box(&pb))))
+    });
+    g.bench_function("micro/levenshtein_scalar/n1", |bch| {
+        bch.iter(|| black_box(levenshtein(black_box(a), black_box(b))))
+    });
+    g.bench_function("micro/levenshtein_myers/n1", |bch| {
+        bch.iter(|| black_box(prof_levenshtein(black_box(&pa), black_box(&pb))))
+    });
+    g.finish();
+}
+
+fn bench_sim_kernels(c: &mut Criterion) {
+    bench_extraction(c, "restaurant", DatasetKind::Restaurant, 0.05);
+    bench_extraction(c, "dblp_acm", DatasetKind::DblpAcm, 0.05);
+    bench_micro_kernels(c);
+}
+
+criterion_group!(benches, bench_sim_kernels);
+criterion_main!(benches);

@@ -5,8 +5,15 @@
 //! column and only pairs entities that share at least one gram, capping the
 //! bucket fan-out so stop-gram buckets ("the", "and") don't explode.
 
-use crate::{ColumnType, Relation};
-use std::collections::HashMap;
+use crate::simcache::{ProfileCache, RecordProfile};
+use crate::{ColumnType, Relation, Schema};
+use similarity::block_gram_hashes;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Gram length the pipeline blocks at (and profile caches precompute
+/// blocking keys for).
+pub const DEFAULT_BLOCK_Q: usize = 3;
 
 /// A blocking strategy: how candidate pairs are generated without the full
 /// cross product. All strategies are recall-oriented (they may emit false
@@ -55,6 +62,35 @@ impl BlockingStrategy {
                 sorted_neighborhood(a, b, window)
             }
         };
+        self.report(a, b, &out);
+        out
+    }
+
+    /// [`Self::candidates`] over a dataset's [`ProfileCache`] — identical
+    /// output, computed from the cached per-record profiles.
+    pub fn candidates_cached(
+        &self,
+        a: &Relation,
+        b: &Relation,
+        cache: &ProfileCache,
+    ) -> Vec<(usize, usize)> {
+        let _span = obs::span("blocking");
+        let out = match *self {
+            BlockingStrategy::Qgram { q, max_bucket } => {
+                candidate_pairs_cached(a, b, cache, q, max_bucket)
+            }
+            BlockingStrategy::Token { max_bucket } => {
+                token_candidates_cached(a, cache, max_bucket)
+            }
+            BlockingStrategy::SortedNeighborhood { window } => {
+                sorted_neighborhood_cached(a, cache, window)
+            }
+        };
+        self.report(a, b, &out);
+        out
+    }
+
+    fn report(&self, a: &Relation, b: &Relation, out: &[(usize, usize)]) {
         if obs::enabled() {
             let key = self.key();
             obs::counter(&format!("candidates.{key}"), out.len() as u64);
@@ -67,8 +103,28 @@ impl BlockingStrategy {
                 );
             }
         }
-        out
     }
+}
+
+/// Joins two single-side blocking indexes into sorted, deduplicated pairs
+/// (sorted so candidate order doesn't leak hash-iteration order).
+fn join_indexes<K: Eq + Hash>(
+    ia: &HashMap<K, Vec<usize>>,
+    ib: &HashMap<K, Vec<usize>>,
+) -> Vec<(usize, usize)> {
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for (k, ids_a) in ia {
+        if let Some(ids_b) = ib.get(k) {
+            for &i in ids_a {
+                for &j in ids_b {
+                    seen.insert((i, j));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Token blocking: pair entities sharing at least one lowercase token on the
@@ -96,22 +152,32 @@ pub fn token_candidates(a: &Relation, b: &Relation, max_bucket: usize) -> Vec<(u
         }
         idx
     };
-    let ia = index(a);
-    let ib = index(b);
-    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
-    for (t, ids_a) in &ia {
-        if let Some(ids_b) = ib.get(t) {
-            for &i in ids_a {
-                for &j in ids_b {
-                    seen.entry((i, j)).or_insert(());
+    join_indexes(&index(a), &index(b))
+}
+
+/// [`token_candidates`] over cached profiles: the per-record sorted-unique
+/// token sets are already interned, so the index keys on token ids (exact —
+/// interned ids are bijective with token strings).
+pub fn token_candidates_cached(
+    a: &Relation,
+    cache: &ProfileCache,
+    max_bucket: usize,
+) -> Vec<(usize, usize)> {
+    let col = blocking_column(a);
+    let index = |profs: &[RecordProfile]| {
+        let mut idx: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (id, rp) in profs.iter().enumerate() {
+            let Some(p) = rp.col(col) else { continue };
+            for &t in p.token_set() {
+                let bucket = idx.entry(t).or_default();
+                if bucket.len() < max_bucket {
+                    bucket.push(id);
                 }
             }
         }
-    }
-    // Sorted so the candidate order doesn't leak hash-iteration order.
-    let mut out: Vec<(usize, usize)> = seen.into_keys().collect();
-    out.sort_unstable();
-    out
+        idx
+    };
+    join_indexes(&index(cache.a()), &index(cache.b()))
 }
 
 /// Sorted-neighborhood blocking: merge-sort both relations on the lowercase
@@ -127,15 +193,41 @@ pub fn sorted_neighborhood(a: &Relation, b: &Relation, window: usize) -> Vec<(us
         ks.sort();
         ks
     };
-    let ka = keys(a);
-    let kb = keys(b);
+    window_pairs(&keys(a), &keys(b), window)
+}
+
+/// [`sorted_neighborhood`] over cached profiles (the lowercase blocking keys
+/// are already computed on each profile).
+pub fn sorted_neighborhood_cached(
+    a: &Relation,
+    cache: &ProfileCache,
+    window: usize,
+) -> Vec<(usize, usize)> {
+    let col = blocking_column(a);
+    fn keys(profs: &[RecordProfile], col: usize) -> Vec<(&str, usize)> {
+        let mut ks: Vec<(&str, usize)> = profs
+            .iter()
+            .enumerate()
+            .map(|(id, rp)| (rp.col(col).map_or("", |p| p.lower()), id))
+            .collect();
+        ks.sort();
+        ks
+    }
+    window_pairs(&keys(cache.a(), col), &keys(cache.b(), col), window)
+}
+
+fn window_pairs<S: Ord>(
+    ka: &[(S, usize)],
+    kb: &[(S, usize)],
+    window: usize,
+) -> Vec<(usize, usize)> {
     if kb.is_empty() {
         return Vec::new();
     }
     let mut out = Vec::new();
     // For each sorted A key, locate its insertion point in sorted B keys and
     // take the window around it.
-    for (key, i) in &ka {
+    for (key, i) in ka {
         let pos = kb.partition_point(|(kb_key, _)| kb_key < key);
         let lo = pos.saturating_sub(window / 2 + window % 2);
         let hi = (lo + window).min(kb.len());
@@ -166,20 +258,51 @@ pub fn candidate_pairs(
     let col = blocking_column(a);
     let index_a = gram_index(a, col, q, max_bucket);
     let index_b = gram_index(b, col, q, max_bucket);
+    let out = join_indexes(&index_a, &index_b);
+    report_qgram(a, b, &out);
+    out
+}
 
-    let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
-    for (gram, ids_a) in &index_a {
-        if let Some(ids_b) = index_b.get(gram) {
-            for &i in ids_a {
-                for &j in ids_b {
-                    seen.entry((i, j)).or_insert(());
-                }
-            }
-        }
-    }
-    // Sorted so the candidate order doesn't leak hash-iteration order.
-    let mut out: Vec<(usize, usize)> = seen.into_keys().collect();
-    out.sort_unstable();
+/// [`candidate_pairs`] over a dataset's [`ProfileCache`]: the cache's
+/// precomputed blocking keys (or, at a non-default `q`, the cached lowercase
+/// strings) replace the per-record tokenization.
+pub fn candidate_pairs_cached(
+    a: &Relation,
+    b: &Relation,
+    cache: &ProfileCache,
+    q: usize,
+    max_bucket: usize,
+) -> Vec<(usize, usize)> {
+    let _span = obs::span("blocking");
+    let col = blocking_column(a);
+    let index_a = gram_index_profiled(cache.a(), col, q, max_bucket);
+    let index_b = gram_index_profiled(cache.b(), col, q, max_bucket);
+    let out = join_indexes(&index_a, &index_b);
+    report_qgram(a, b, &out);
+    out
+}
+
+/// [`candidate_pairs`] over already-profiled record slices (the synthesis
+/// loop's S3 labeling pass, where the records were profiled one by one as
+/// they were accepted).
+pub fn candidate_pairs_profiled(
+    a: &Relation,
+    b: &Relation,
+    aprofs: &[RecordProfile],
+    bprofs: &[RecordProfile],
+    q: usize,
+    max_bucket: usize,
+) -> Vec<(usize, usize)> {
+    let _span = obs::span("blocking");
+    let col = blocking_column(a);
+    let index_a = gram_index_profiled(aprofs, col, q, max_bucket);
+    let index_b = gram_index_profiled(bprofs, col, q, max_bucket);
+    let out = join_indexes(&index_a, &index_b);
+    report_qgram(a, b, &out);
+    out
+}
+
+fn report_qgram(a: &Relation, b: &Relation, out: &[(usize, usize)]) {
     if obs::enabled() {
         obs::counter("candidates.qgram", out.len() as u64);
         let cross = (a.len() as f64) * (b.len() as f64);
@@ -187,49 +310,72 @@ pub fn candidate_pairs(
             obs::gauge("reduction_ratio.qgram", 1.0 - out.len() as f64 / cross);
         }
     }
-    out
 }
 
 /// The index of the column used for blocking.
 pub fn blocking_column(r: &Relation) -> usize {
-    r.schema()
+    blocking_column_of(r.schema())
+}
+
+/// [`blocking_column`] from a schema alone.
+pub fn blocking_column_of(schema: &Schema) -> usize {
+    schema
         .columns()
         .iter()
         .position(|c| c.ctype == ColumnType::Text)
         .unwrap_or(0)
 }
 
+/// One side's q-gram blocking index: sorted-unique FNV-1a gram hashes per
+/// record mapped to the record ids carrying them. Keying on `u64` hashes
+/// instead of owned gram `String`s removes the per-gram allocations; the
+/// candidate set is unchanged unless two distinct grams collide in 64 bits
+/// (probability ~ g²/2⁶⁵ corpus-wide, see DESIGN.md §10).
 fn gram_index(
     r: &Relation,
     col: usize,
     q: usize,
     max_bucket: usize,
-) -> HashMap<String, Vec<usize>> {
-    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+) -> HashMap<u64, Vec<usize>> {
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
     for (id, e) in r.iter() {
         let Some(s) = e.value(col).as_str() else {
             continue;
         };
-        let lower = s.to_lowercase();
-        let chars: Vec<char> = lower.chars().collect();
-        if chars.len() < q {
-            let bucket = index.entry(lower).or_default();
-            if bucket.len() < max_bucket {
-                bucket.push(id);
-            }
-            continue;
-        }
-        let mut grams_here: Vec<String> = chars.windows(q).map(|w| w.iter().collect()).collect();
-        grams_here.sort();
-        grams_here.dedup();
-        for g in grams_here {
-            let bucket = index.entry(g).or_default();
-            if bucket.len() < max_bucket && bucket.last() != Some(&id) {
-                bucket.push(id);
-            }
+        push_grams(&mut index, &block_gram_hashes(&s.to_lowercase(), q), id, max_bucket);
+    }
+    index
+}
+
+/// [`gram_index`] over profiled records: reuses each profile's precomputed
+/// blocking keys when they were built at this `q`, and its cached lowercase
+/// string otherwise.
+fn gram_index_profiled(
+    profs: &[RecordProfile],
+    col: usize,
+    q: usize,
+    max_bucket: usize,
+) -> HashMap<u64, Vec<usize>> {
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (id, rp) in profs.iter().enumerate() {
+        let Some(p) = rp.col(col) else { continue };
+        match p.block_grams_at(q) {
+            Some(grams) => push_grams(&mut index, grams, id, max_bucket),
+            None => push_grams(&mut index, &block_gram_hashes(p.lower(), q), id, max_bucket),
         }
     }
     index
+}
+
+fn push_grams(index: &mut HashMap<u64, Vec<usize>>, grams: &[u64], id: usize, max_bucket: usize) {
+    for &g in grams {
+        let bucket = index.entry(g).or_default();
+        // `grams` is deduplicated per record and ids arrive in increasing
+        // order, so the `last != id` guard only defends against misuse.
+        if bucket.len() < max_bucket && bucket.last() != Some(&id) {
+            bucket.push(id);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +480,42 @@ mod tests {
         let a = rel(&["alpha"]);
         let b = rel(&[]);
         assert!(sorted_neighborhood(&a, &b, 3).is_empty());
+    }
+
+    #[test]
+    fn cached_blocking_matches_uncached() {
+        let a = rel(&["adaptable query optimization", "zzzz completely unrelated", "ab"]);
+        let b = rel(&["adaptable query evaluation", "query processing things", "ab"]);
+        let cache = crate::simcache::ProfileCache::build(&a, &b, 3);
+        assert_eq!(
+            candidate_pairs(&a, &b, 3, 10),
+            candidate_pairs_cached(&a, &b, &cache, 3, 10)
+        );
+        // A q the cache didn't precompute falls back to the cached
+        // lowercase strings — still the same candidates.
+        assert_eq!(
+            candidate_pairs(&a, &b, 2, 10),
+            candidate_pairs_cached(&a, &b, &cache, 2, 10)
+        );
+        assert_eq!(
+            token_candidates(&a, &b, 10),
+            token_candidates_cached(&a, &cache, 10)
+        );
+        assert_eq!(
+            sorted_neighborhood(&a, &b, 2),
+            sorted_neighborhood_cached(&a, &cache, 2)
+        );
+        for strat in [
+            BlockingStrategy::Qgram { q: 3, max_bucket: 10 },
+            BlockingStrategy::Token { max_bucket: 10 },
+            BlockingStrategy::SortedNeighborhood { window: 2 },
+        ] {
+            assert_eq!(
+                strat.candidates(&a, &b),
+                strat.candidates_cached(&a, &b, &cache),
+                "{strat:?}"
+            );
+        }
     }
 
     #[test]

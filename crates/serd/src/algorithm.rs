@@ -9,7 +9,9 @@ use crate::model::SerdModel;
 use crate::rejection::OSynState;
 use crate::synthesis::ColumnSynthesizer;
 use crate::{OnlineConfig, Result, SerdConfig, SerdError};
-use er_core::{blocking, pair_similarity, ColumnType, Entity, ErDataset, Relation, Value};
+use er_core::{
+    blocking, ColumnType, Entity, ErDataset, IncrementalProfiler, RecordProfile, Relation, Value,
+};
 use gan::TabularGan;
 use gmm::OMixture;
 use rand::Rng;
@@ -261,8 +263,17 @@ impl SerdSynthesizer {
         let mut matches: Vec<(usize, usize)> = Vec::new();
         let mut osyn = OSynState::new(online.osyn_warmup);
 
+        // Every synthesized record is profiled exactly once, when it is
+        // created; all later comparisons (ΔX_syn against every candidate,
+        // S3 blocking + labeling) reuse the profile instead of re-deriving
+        // q-grams/tokens/char buffers per comparison.
+        let mut profiler = IncrementalProfiler::new(&schema, blocking::DEFAULT_BLOCK_Q);
+        let mut aprofs: Vec<RecordProfile> = Vec::new();
+        let mut bprofs: Vec<RecordProfile> = Vec::new();
+
         // Bootstrap: one GAN-generated fake A-entity (Section IV-B2).
         let first = Entity::new(model.gan.generate_entity(&model.text_corpora, rng));
+        aprofs.push(profiler.profile_entity(&first));
         a.push_entity(first)?;
         stats.accepted += 1;
 
@@ -307,7 +318,8 @@ impl SerdSynthesizer {
                 crate::Side::A
             };
             let source_table = if e_in_a { &a } else { &b };
-            let mut chosen: Option<(Entity, Vec<Vec<f64>>)> = None;
+            let source_profs = if e_in_a { &aprofs } else { &bprofs };
+            let mut chosen: Option<(Entity, RecordProfile, Vec<Vec<f64>>)> = None;
             for _attempt in 0..online.max_retries {
                 let candidate = model.columns.synthesize_entity(&e, &x, target_side, rng);
 
@@ -319,7 +331,19 @@ impl SerdSynthesizer {
                 }
 
                 // ΔX_syn: candidate vs (a sample of) the table e lives in.
-                let delta = delta_vectors(&candidate, source_table, online.t_sample, rng);
+                // The candidate is profiled once, here, and the profile is
+                // reused across every ΔX_syn comparison (and kept if the
+                // candidate is accepted).
+                let cand_prof = profiler.profile_entity(&candidate);
+                let delta = delta_vectors(
+                    &candidate,
+                    &cand_prof,
+                    source_table,
+                    source_profs,
+                    &profiler,
+                    online.t_sample,
+                    rng,
+                );
                 if online.reject_by_distribution
                     && osyn.would_reject(
                         &delta,
@@ -332,30 +356,40 @@ impl SerdSynthesizer {
                     stats.rejected_distribution += 1;
                     continue;
                 }
-                chosen = Some((candidate, delta));
+                chosen = Some((candidate, cand_prof, delta));
                 break;
             }
-            let (e_prime, delta) = match chosen {
+            let (e_prime, e_prime_prof, delta) = match chosen {
                 Some(picked) => picked,
                 None => {
                     // Every retry was rejected (or retries are disabled):
                     // synthesize one last candidate and accept it as-is.
                     let candidate =
                         model.columns.synthesize_entity(&e, &x, target_side, rng);
-                    let delta =
-                        delta_vectors(&candidate, source_table, online.t_sample, rng);
+                    let cand_prof = profiler.profile_entity(&candidate);
+                    let delta = delta_vectors(
+                        &candidate,
+                        &cand_prof,
+                        source_table,
+                        source_profs,
+                        &profiler,
+                        online.t_sample,
+                        rng,
+                    );
                     if online.max_retries > 0 {
                         stats.forced_accepts += 1;
                     }
-                    (candidate, delta)
+                    (candidate, cand_prof, delta)
                 }
             };
 
             // S2-4: add e' to the opposite table and record the pair label.
             let (ai, bi) = if e_in_a {
+                bprofs.push(e_prime_prof);
                 let j = b.push_entity(e_prime)?;
                 (e_idx, j)
             } else {
+                aprofs.push(e_prime_prof);
                 let i = a.push_entity(e_prime)?;
                 (i, e_idx)
             };
@@ -376,11 +410,25 @@ impl SerdSynthesizer {
             let _s3 = obs::span("s3.label");
             let known: std::collections::HashSet<(usize, usize)> =
                 matches.iter().copied().collect();
-            for (i, j) in blocking::candidate_pairs(&a, &b, 3, 50) {
+            let pairs = blocking::candidate_pairs_profiled(
+                &a,
+                &b,
+                &aprofs,
+                &bprofs,
+                blocking::DEFAULT_BLOCK_Q,
+                50,
+            );
+            for (i, j) in pairs {
                 if known.contains(&(i, j)) {
                     continue;
                 }
-                let v = pair_similarity(a.schema(), a.entity(i), b.entity(j));
+                let v = profiler.pair_similarity(
+                    a.schema(),
+                    a.entity(i),
+                    &aprofs[i],
+                    b.entity(j),
+                    &bprofs[j],
+                );
                 if model.o_real.is_match(&v) {
                     matches.push((i, j));
                     stats.s3_matches += 1;
@@ -434,10 +482,16 @@ impl SerdSynthesizer {
 }
 
 /// Similarity vectors between `candidate` and up to `t` random entities of
-/// `table` (paper Section V Remark 1).
+/// `table` (paper Section V Remark 1). `table_profs` holds the table rows'
+/// cached profiles (index-aligned) and `cand_prof` the candidate's; every
+/// comparison goes through the profile kernels — score-identical to
+/// `er_core::pair_similarity` on the raw entities.
 fn delta_vectors<R: Rng + ?Sized>(
     candidate: &Entity,
+    cand_prof: &RecordProfile,
     table: &Relation,
+    table_profs: &[RecordProfile],
+    profiler: &IncrementalProfiler,
     t: usize,
     rng: &mut R,
 ) -> Vec<Vec<f64>> {
@@ -447,14 +501,21 @@ fn delta_vectors<R: Rng + ?Sized>(
     let n = table.len();
     let take = t.min(n);
     let mut out = Vec::with_capacity(take);
+    let schema = table.schema();
     if take == n {
-        for (_, e) in table.iter() {
-            out.push(pair_similarity(table.schema(), e, candidate));
+        for (i, e) in table.iter() {
+            out.push(profiler.pair_similarity(schema, e, &table_profs[i], candidate, cand_prof));
         }
     } else {
         for _ in 0..take {
-            let e = table.entity(rng.gen_range(0..n));
-            out.push(pair_similarity(table.schema(), e, candidate));
+            let i = rng.gen_range(0..n);
+            out.push(profiler.pair_similarity(
+                schema,
+                table.entity(i),
+                &table_profs[i],
+                candidate,
+                cand_prof,
+            ));
         }
     }
     out

@@ -1,7 +1,16 @@
 //! TF and TF-IDF cosine similarity over token vectors — the long-text
 //! measure Magellan-style feature generators use for description columns.
+//!
+//! Term vectors are kept as `(token, weight)` lists sorted lexicographically
+//! by token, and every dot product / norm is accumulated in that canonical
+//! order. This makes the scalar kernels deterministic across runs (a
+//! `HashMap`-iteration dot product sums in randomized order, so float
+//! rounding could differ run-to-run) and lets the profile-based kernels in
+//! [`crate::profile`] reproduce the exact same floating-point operation
+//! sequence over interned ids.
 
-use crate::tokenize;
+use crate::token::for_each_token;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// Cosine similarity of the term-frequency vectors of two strings.
@@ -17,24 +26,41 @@ pub fn cosine_tf(a: &str, b: &str) -> f64 {
     cosine_of(&ta, &tb)
 }
 
-fn term_frequencies(s: &str) -> HashMap<String, f64> {
-    let mut tf = HashMap::new();
-    for t in tokenize(s) {
-        *tf.entry(t).or_insert(0.0) += 1.0;
+/// Term frequencies as a token-sorted vector (the canonical accumulation
+/// order shared with the profile kernels).
+fn term_frequencies(s: &str) -> Vec<(String, f64)> {
+    let mut toks: Vec<String> = Vec::new();
+    for_each_token(s, |t| toks.push(t.to_owned()));
+    toks.sort_unstable();
+    let mut tf: Vec<(String, f64)> = Vec::new();
+    for t in toks {
+        match tf.last_mut() {
+            Some((last, c)) if *last == t => *c += 1.0,
+            _ => tf.push((t, 1.0)),
+        }
     }
     tf
 }
 
-fn cosine_of(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+fn cosine_of(a: &[(String, f64)], b: &[(String, f64)]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let dot: f64 = a
-        .iter()
-        .filter_map(|(t, &wa)| b.get(t).map(|&wb| wa * wb))
-        .sum();
-    let na: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
-    let nb: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut dot = 0.0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                dot += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let na: f64 = a.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
@@ -56,10 +82,11 @@ impl TfIdf {
         let mut n_docs = 0usize;
         for doc in corpus {
             n_docs += 1;
+            let lower = doc.to_lowercase();
             let mut seen = std::collections::HashSet::new();
-            for t in tokenize(doc) {
-                if seen.insert(t.clone()) {
-                    *df.entry(t).or_insert(0) += 1;
+            for t in lower.split(|c: char| !c.is_alphanumeric()) {
+                if !t.is_empty() && seen.insert(t) {
+                    *df.entry(t.to_owned()).or_insert(0) += 1;
                 }
             }
         }
@@ -75,6 +102,16 @@ impl TfIdf {
     /// IDF weight of a token.
     pub fn idf(&self, token: &str) -> f64 {
         self.idf.get(token).copied().unwrap_or(self.max_idf)
+    }
+
+    /// The maximum IDF in the fitted vocabulary (the unknown-token weight).
+    pub fn max_idf(&self) -> f64 {
+        self.max_idf
+    }
+
+    /// The fitted vocabulary (arbitrary order).
+    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
+        self.idf.keys().map(String::as_str)
     }
 
     /// TF-IDF-weighted cosine similarity of two strings.
@@ -112,6 +149,14 @@ mod tests {
     fn tf_cosine_empty_cases() {
         assert_eq!(cosine_tf("", ""), 1.0);
         assert_eq!(cosine_tf("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn tf_counts_repeats() {
+        // "a a b" -> tf {a: 2, b: 1}; "a b b" -> {a: 1, b: 2}.
+        // dot = 2*1 + 1*2 = 4; norms = sqrt(5) each -> 0.8.
+        let s = cosine_tf("a a b", "a b b");
+        assert!((s - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -1,17 +1,9 @@
 //! Levenshtein distance and the derived normalized edit similarity.
 
-/// Levenshtein (edit) distance between two strings, over Unicode scalar
-/// values. Classic two-row dynamic program: `O(|a| * |b|)` time, `O(|b|)`
-/// space.
-///
-/// ```
-/// use similarity::levenshtein;
-/// assert_eq!(levenshtein("kitten", "sitting"), 3);
-/// assert_eq!(levenshtein("", "abc"), 3);
-/// ```
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+/// Two-row Levenshtein DP over any symbol slice: `O(|a| * |b|)` time,
+/// `O(|b|)` space. Shared by the scalar entry point (over bytes for ASCII,
+/// chars otherwise) and the >64-char fallback of the profile kernels.
+pub(crate) fn levenshtein_slices<T: PartialEq + Copy>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -29,6 +21,24 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         std::mem::swap(&mut prev, &mut cur);
     }
     prev[b.len()]
+}
+
+/// Levenshtein (edit) distance between two strings, over Unicode scalar
+/// values. Pure-ASCII inputs run directly on the byte slices (one byte is
+/// one scalar value there), skipping the two `Vec<char>` allocations.
+///
+/// ```
+/// use similarity::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return levenshtein_slices(a.as_bytes(), b.as_bytes());
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_slices(&a, &b)
 }
 
 /// Normalized edit similarity: `1 - lev(a, b) / max(|a|, |b|)`.
@@ -83,5 +93,20 @@ mod tests {
     #[test]
     fn unicode_counts_chars_not_bytes() {
         assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn byte_and_char_paths_agree() {
+        // Same ASCII inputs through both DP instantiations.
+        for (a, b) in [("kitten", "sitting"), ("", "xyz"), ("abc", "abc")] {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            assert_eq!(
+                levenshtein_slices(a.as_bytes(), b.as_bytes()),
+                levenshtein_slices(&ac, &bc)
+            );
+        }
+        // Mixed ASCII / non-ASCII takes the char path and stays correct.
+        assert_eq!(levenshtein("héllo", "hxllo"), 1);
     }
 }

@@ -1,0 +1,126 @@
+//! Corpus-level token interning.
+//!
+//! A [`TokenInterner`] maps each distinct (already lowercased) token string to
+//! a dense `u32` id, assigned in first-seen order so that interning is
+//! deterministic for a deterministic insertion sequence. Alongside the id it
+//! caches everything the profile kernels need to compare two tokens without
+//! touching the string again: the char buffer, an ASCII flag, and a Myers
+//! [`PatternEq`] table for tokens of at most 64 chars (used by Monge-Elkan's
+//! inner edit-distance loop).
+//!
+//! Ids are *corpus-local*: two interners assign different ids to the same
+//! token, so profiles from different interners must never be compared. The
+//! caller (er-core's `ProfileCache`, serd's incremental profiler) owns exactly
+//! one interner per comparison context.
+
+use crate::myers::PatternEq;
+use std::collections::HashMap;
+
+/// Cached per-token state shared by every profile that contains the token.
+#[derive(Debug, Clone)]
+pub struct TokenEntry {
+    text: String,
+    chars: Vec<char>,
+    peq: Option<PatternEq>,
+}
+
+impl TokenEntry {
+    fn new(text: String) -> TokenEntry {
+        let chars: Vec<char> = text.chars().collect();
+        let peq = PatternEq::build(&chars);
+        TokenEntry { text, chars, peq }
+    }
+
+    /// The token text (lowercased at intern time).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The token's characters.
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+
+    /// Bit-parallel pattern table; `None` for tokens longer than 64 chars.
+    pub fn peq(&self) -> Option<&PatternEq> {
+        self.peq.as_ref()
+    }
+}
+
+/// Dense string-to-id table with first-seen id assignment.
+#[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    map: HashMap<String, u32>,
+    entries: Vec<TokenEntry>,
+}
+
+impl TokenInterner {
+    pub fn new() -> TokenInterner {
+        TokenInterner::default()
+    }
+
+    /// Returns the id for `token`, inserting it if unseen.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.map.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.entries.len()).expect("token vocabulary exceeds u32");
+        self.map.insert(token.to_owned(), id);
+        self.entries.push(TokenEntry::new(token.to_owned()));
+        id
+    }
+
+    /// Looks up an id without inserting.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.map.get(token).copied()
+    }
+
+    /// The token text behind `id`.
+    pub fn text(&self, id: u32) -> &str {
+        &self.entries[id as usize].text
+    }
+
+    /// The cached entry behind `id`.
+    pub fn entry(&self, id: u32) -> &TokenEntry {
+        &self.entries[id as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_seen_ids_are_dense_and_stable() {
+        let mut it = TokenInterner::new();
+        assert_eq!(it.intern("alpha"), 0);
+        assert_eq!(it.intern("beta"), 1);
+        assert_eq!(it.intern("alpha"), 0);
+        assert_eq!(it.intern("gamma"), 2);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.text(1), "beta");
+        assert_eq!(it.get("gamma"), Some(2));
+        assert_eq!(it.get("delta"), None);
+    }
+
+    #[test]
+    fn entries_cache_chars_and_peq() {
+        let mut it = TokenInterner::new();
+        let id = it.intern("café");
+        let e = it.entry(id);
+        assert_eq!(e.chars(), &['c', 'a', 'f', 'é']);
+        assert!(e.peq().is_some());
+        let long: String = std::iter::repeat('x').take(65).collect();
+        let id = it.intern(&long);
+        assert!(it.entry(id).peq().is_none());
+    }
+}

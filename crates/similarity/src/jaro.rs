@@ -1,6 +1,83 @@
 //! Jaro and Jaro–Winkler similarities — classic record-linkage measures for
 //! short strings (names), used by Magellan-style feature generators.
 
+use std::cell::RefCell;
+
+#[derive(Default)]
+struct JaroScratch {
+    b_taken: Vec<bool>,
+    matches_a: Vec<char>,
+    matches_b_idx: Vec<usize>,
+    order: Vec<usize>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<JaroScratch> = RefCell::new(JaroScratch::default());
+}
+
+/// Jaro similarity over pre-split char slices. Reuses thread-local scratch
+/// buffers so repeated calls (the profile kernels' hot path) never allocate.
+pub(crate) fn jaro_slices(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+        let b_taken = &mut scratch.b_taken;
+        b_taken.clear();
+        b_taken.resize(b.len(), false);
+        let matches_a = &mut scratch.matches_a;
+        matches_a.clear();
+        let matches_b_idx = &mut scratch.matches_b_idx;
+        matches_b_idx.clear();
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            for j in lo..hi {
+                if !b_taken[j] && b[j] == ca {
+                    b_taken[j] = true;
+                    matches_a.push(ca);
+                    matches_b_idx.push(j);
+                    break;
+                }
+            }
+        }
+        let m = matches_a.len();
+        if m == 0 {
+            return 0.0;
+        }
+        // Transpositions: matched characters of b in order of their b-index.
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend_from_slice(matches_b_idx);
+        order.sort_unstable();
+        let t = matches_a
+            .iter()
+            .zip(order.iter().map(|&j| b[j]))
+            .filter(|&(&x, y)| x != y)
+            .count() as f64
+            / 2.0;
+        let m = m as f64;
+        (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    })
+}
+
+/// Jaro–Winkler over pre-split char slices (see [`jaro_winkler`]).
+pub(crate) fn jaro_winkler_slices(a: &[char], b: &[char]) -> f64 {
+    let j = jaro_slices(a, b);
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
 /// Jaro similarity of two strings over Unicode scalar values.
 ///
 /// `(m/|a| + m/|b| + (m - t)/m) / 3` where `m` is the number of matching
@@ -16,44 +93,7 @@
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_taken = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
-    let mut matches_b_idx: Vec<usize> = Vec::new();
-    for (i, &ca) in a.iter().enumerate() {
-        let lo = i.saturating_sub(window);
-        let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_taken[j] && b[j] == ca {
-                b_taken[j] = true;
-                matches_a.push(ca);
-                matches_b_idx.push(j);
-                break;
-            }
-        }
-    }
-    let m = matches_a.len();
-    if m == 0 {
-        return 0.0;
-    }
-    // Transpositions: matched characters of b in order of their b-index.
-    let mut order = matches_b_idx.clone();
-    order.sort_unstable();
-    let b_in_order: Vec<char> = order.iter().map(|&j| b[j]).collect();
-    let t = matches_a
-        .iter()
-        .zip(&b_in_order)
-        .filter(|(x, y)| x != y)
-        .count() as f64
-        / 2.0;
-    let m = m as f64;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    jaro_slices(&a, &b)
 }
 
 /// Jaro–Winkler similarity: Jaro boosted by a shared prefix of up to 4
@@ -65,14 +105,9 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// assert_eq!(jaro_winkler("same", "same"), 1.0);
 /// ```
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
-    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_slices(&a, &b)
 }
 
 #[cfg(test)]
@@ -108,5 +143,15 @@ mod tests {
     fn symmetric() {
         assert_eq!(jaro("crate", "trace"), jaro("trace", "crate"));
         assert_eq!(jaro_winkler("crate", "trace"), jaro_winkler("trace", "crate"));
+    }
+
+    #[test]
+    fn scratch_reuse_is_inert() {
+        // Back-to-back calls with different lengths must not leak state
+        // through the thread-local scratch buffers.
+        let first = jaro("martha", "marhta");
+        let _ = jaro("a much longer string than before", "short");
+        let _ = jaro("x", "");
+        assert_eq!(jaro("martha", "marhta"), first);
     }
 }

@@ -19,15 +19,26 @@
 
 mod cosine;
 mod edit;
+mod intern;
 mod jaro;
+mod myers;
+mod profile;
 mod qgram;
 mod token;
 
 pub use cosine::{cosine_tf, TfIdf};
 pub use edit::{edit_similarity, levenshtein};
+pub use intern::{TokenEntry, TokenInterner};
 pub use jaro::{jaro, jaro_winkler};
+pub use myers::{myers_distance, PatternEq};
+pub use profile::{
+    block_gram_hashes, hash_gram_bytes, hash_gram_chars, prof_cosine_tf, prof_cosine_tfidf,
+    prof_edit_similarity, prof_jaro, prof_jaro_winkler, prof_levenshtein, prof_monge_elkan,
+    prof_qgram_dice, prof_qgram_jaccard, prof_qgram_overlap, prof_token_dice, prof_token_jaccard,
+    InternedIdf, ProfileSpec, RawProfile, SimContext, StringProfile,
+};
 pub use qgram::{qgram_dice, qgram_jaccard, qgram_overlap, qgram_profile, QgramProfile};
-pub use token::{monge_elkan, token_dice, token_jaccard, tokenize};
+pub use token::{for_each_token, monge_elkan, token_dice, token_jaccard, tokenize};
 
 /// The similarity-function family a column is configured with.
 ///
@@ -81,6 +92,52 @@ impl SimilarityKind {
             SimilarityKind::JaroWinkler => "jaro-winkler".to_string(),
             SimilarityKind::CosineTf => "cosine-tf".to_string(),
             SimilarityKind::NumericMinMax => "numeric-min-max".to_string(),
+        }
+    }
+
+    /// Evaluates this similarity kind on two precomputed [`StringProfile`]s
+    /// built through `interner`. Returns the same score as [`Self::eval_str`]
+    /// on the profiles' raw strings (see the equivalence property tests);
+    /// [`SimilarityKind::NumericMinMax`] returns `None` as in `eval_str`.
+    ///
+    /// Profiles built at a different gram length than a `QgramJaccard { q }`
+    /// kind asks for fall back to the scalar kernel on the raw strings.
+    pub fn eval_profiles(
+        &self,
+        a: &StringProfile,
+        b: &StringProfile,
+        interner: &TokenInterner,
+    ) -> Option<f64> {
+        match *self {
+            SimilarityKind::QgramJaccard { q } => {
+                if a.q() == q.max(1) && b.q() == q.max(1) {
+                    Some(prof_qgram_jaccard(a, b))
+                } else {
+                    Some(qgram_jaccard(a.raw(), b.raw(), q))
+                }
+            }
+            SimilarityKind::TokenJaccard => Some(prof_token_jaccard(a, b)),
+            SimilarityKind::EditSimilarity => Some(prof_edit_similarity(a, b)),
+            SimilarityKind::JaroWinkler => Some(prof_jaro_winkler(a, b)),
+            SimilarityKind::CosineTf => Some(prof_cosine_tf(a, b, interner)),
+            SimilarityKind::NumericMinMax => None,
+        }
+    }
+
+    /// What a per-record profile must precompute to serve this kind, or
+    /// `None` for numeric columns (no string profile needed).
+    pub fn profile_spec(&self) -> Option<ProfileSpec> {
+        match *self {
+            SimilarityKind::QgramJaccard { q } => {
+                Some(ProfileSpec { q, peq: false, block_q: None })
+            }
+            SimilarityKind::EditSimilarity => {
+                Some(ProfileSpec { q: 3, peq: true, block_q: None })
+            }
+            SimilarityKind::TokenJaccard
+            | SimilarityKind::JaroWinkler
+            | SimilarityKind::CosineTf => Some(ProfileSpec { q: 3, peq: false, block_q: None }),
+            SimilarityKind::NumericMinMax => None,
         }
     }
 

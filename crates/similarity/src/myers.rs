@@ -1,0 +1,213 @@
+//! Myers' bit-parallel Levenshtein distance (Hyyrö's formulation).
+//!
+//! For a pattern of at most 64 characters, the whole dynamic-programming
+//! column fits in two `u64` words (`pv`/`mv`, the positive and negative
+//! vertical deltas), and one text character is processed with a dozen word
+//! operations instead of a row of the classic DP. The distance returned is
+//! *exactly* the Levenshtein distance — bit-parallelism changes the cost
+//! model, never the value — so the kernel can replace the scalar DP without
+//! perturbing any downstream similarity score.
+//!
+//! Patterns longer than 64 characters fall back to the classic DP in
+//! [`crate::edit`]; entity-resolution attribute values almost never exceed
+//! that bound, and the fallback keeps the function total.
+
+/// Precomputed pattern bitmasks (`Peq`) for one string of 1..=64 chars.
+///
+/// `mask(c)` has bit `i` set iff the pattern's `i`-th character equals `c`.
+/// Pure-ASCII patterns use a direct-indexed table (one cache line of lookups,
+/// no comparisons); general Unicode patterns use a sorted list with binary
+/// search over the pattern's distinct characters.
+#[derive(Debug, Clone)]
+pub struct PatternEq {
+    len: usize,
+    ascii: Option<Box<[u64; 128]>>,
+    general: Vec<(char, u64)>,
+}
+
+impl PatternEq {
+    /// Builds the mask table for `chars`. Returns `None` when the pattern is
+    /// empty (distance is trivially the text length) or longer than 64 chars
+    /// (a single `u64` block cannot hold the DP column).
+    pub fn build(chars: &[char]) -> Option<PatternEq> {
+        if chars.is_empty() || chars.len() > 64 {
+            return None;
+        }
+        if chars.iter().all(|c| c.is_ascii()) {
+            let mut table = Box::new([0u64; 128]);
+            for (i, &c) in chars.iter().enumerate() {
+                table[c as usize] |= 1u64 << i;
+            }
+            Some(PatternEq {
+                len: chars.len(),
+                ascii: Some(table),
+                general: Vec::new(),
+            })
+        } else {
+            let mut general: Vec<(char, u64)> = Vec::with_capacity(chars.len());
+            for (i, &c) in chars.iter().enumerate() {
+                match general.binary_search_by_key(&c, |&(g, _)| g) {
+                    Ok(pos) => general[pos].1 |= 1u64 << i,
+                    Err(pos) => general.insert(pos, (c, 1u64 << i)),
+                }
+            }
+            Some(PatternEq {
+                len: chars.len(),
+                ascii: None,
+                general,
+            })
+        }
+    }
+
+    /// Pattern length in characters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pattern is empty (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The match bitmask of character `c` against the pattern.
+    #[inline]
+    pub fn mask(&self, c: char) -> u64 {
+        if let Some(table) = &self.ascii {
+            let u = c as u32;
+            if u < 128 {
+                table[u as usize]
+            } else {
+                0
+            }
+        } else {
+            match self.general.binary_search_by_key(&c, |&(g, _)| g) {
+                Ok(i) => self.general[i].1,
+                Err(_) => 0,
+            }
+        }
+    }
+}
+
+/// Levenshtein distance between the pattern behind `peq` and `text`.
+///
+/// Exact — identical to the classic DP — for any pattern of 1..=64 chars.
+pub fn myers_distance(peq: &PatternEq, text: &[char]) -> usize {
+    let m = peq.len;
+    debug_assert!((1..=64).contains(&m));
+    if text.is_empty() {
+        return m;
+    }
+    let mut pv: u64 = if m == 64 { !0 } else { (1u64 << m) - 1 };
+    let mut mv: u64 = 0;
+    let mut score = m;
+    let last = 1u64 << (m - 1);
+    for &c in text {
+        let eq = peq.mask(c);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        }
+        if mh & last != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein;
+
+    fn myers_str(a: &str, b: &str) -> usize {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let peq = PatternEq::build(&ac).expect("non-empty pattern <= 64 chars");
+        myers_distance(&peq, &bc)
+    }
+
+    #[test]
+    fn matches_dp_on_known_cases() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("abc", "abc"),
+            ("abc", "xyz"),
+            ("saturday", "sunday"),
+            ("a", "aaaaaaaaaa"),
+            ("paper", "piper"),
+        ] {
+            assert_eq!(myers_str(a, b), levenshtein(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn matches_dp_on_unicode() {
+        for (a, b) in [("héllo", "hello"), ("日本語", "日本人"), ("ß", "ss"), ("日本", "")] {
+            assert_eq!(myers_str(a, b), levenshtein(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_alphabet() {
+        // Every pair of strings over {a, b} up to length 5: bit-parallel and
+        // classic DP must agree everywhere (this covers all carry paths).
+        let mut words = vec![String::new()];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for w in &words {
+                for c in ['a', 'b'] {
+                    let mut x = w.clone();
+                    x.push(c);
+                    next.push(x);
+                }
+            }
+            words.extend(next);
+        }
+        for a in &words {
+            if a.is_empty() {
+                continue;
+            }
+            for b in &words {
+                assert_eq!(myers_str(a, b), levenshtein(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_of_64_chars_uses_top_bit() {
+        let a: String = std::iter::repeat('x').take(64).collect();
+        let b: String = std::iter::repeat('x').take(63).chain(['y']).collect();
+        assert_eq!(myers_str(&a, &b), 1);
+        assert_eq!(myers_str(&a, &a), 0);
+    }
+
+    #[test]
+    fn build_rejects_empty_and_oversized() {
+        assert!(PatternEq::build(&[]).is_none());
+        let long: Vec<char> = std::iter::repeat('a').take(65).collect();
+        assert!(PatternEq::build(&long).is_none());
+        let ok: Vec<char> = std::iter::repeat('a').take(64).collect();
+        assert!(PatternEq::build(&ok).is_some());
+    }
+
+    #[test]
+    fn mask_lookup_ascii_and_unicode() {
+        let ascii = PatternEq::build(&['a', 'b', 'a']).unwrap();
+        assert_eq!(ascii.mask('a'), 0b101);
+        assert_eq!(ascii.mask('b'), 0b010);
+        assert_eq!(ascii.mask('z'), 0);
+        assert_eq!(ascii.mask('é'), 0);
+        let uni = PatternEq::build(&['é', 'b']).unwrap();
+        assert_eq!(uni.mask('é'), 0b01);
+        assert_eq!(uni.mask('b'), 0b10);
+        assert_eq!(uni.mask('q'), 0);
+    }
+}

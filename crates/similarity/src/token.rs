@@ -3,6 +3,19 @@
 use crate::edit_similarity;
 use std::collections::HashSet;
 
+/// Lower-cases `s` once and calls `f` with each non-empty token (maximal run
+/// of alphanumeric characters), as borrowed slices — no per-token allocation.
+/// This is the single tokenization routine behind [`tokenize`], the scalar
+/// token/cosine kernels, and profile building.
+pub fn for_each_token<F: FnMut(&str)>(s: &str, mut f: F) {
+    let lower = s.to_lowercase();
+    for t in lower.split(|c: char| !c.is_alphanumeric()) {
+        if !t.is_empty() {
+            f(t);
+        }
+    }
+}
+
 /// Lower-cases and splits on non-alphanumeric characters, dropping empties.
 ///
 /// ```
@@ -10,10 +23,15 @@ use std::collections::HashSet;
 /// assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
 /// ```
 pub fn tokenize(s: &str) -> Vec<String> {
-    s.to_lowercase()
+    let mut out = Vec::new();
+    for_each_token(s, |t| out.push(t.to_owned()));
+    out
+}
+
+fn token_set(lower: &str) -> HashSet<&str> {
+    lower
         .split(|c: char| !c.is_alphanumeric())
         .filter(|t| !t.is_empty())
-        .map(str::to_owned)
         .collect()
 }
 
@@ -25,8 +43,10 @@ pub fn tokenize(s: &str) -> Vec<String> {
 /// assert_eq!(token_jaccard("alpha beta", "gamma delta"), 0.0);
 /// ```
 pub fn token_jaccard(a: &str, b: &str) -> f64 {
-    let sa: HashSet<String> = tokenize(a).into_iter().collect();
-    let sb: HashSet<String> = tokenize(b).into_iter().collect();
+    let la = a.to_lowercase();
+    let lb = b.to_lowercase();
+    let sa = token_set(&la);
+    let sb = token_set(&lb);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -41,8 +61,10 @@ pub fn token_jaccard(a: &str, b: &str) -> f64 {
 
 /// Set-based token Dice coefficient.
 pub fn token_dice(a: &str, b: &str) -> f64 {
-    let sa: HashSet<String> = tokenize(a).into_iter().collect();
-    let sb: HashSet<String> = tokenize(b).into_iter().collect();
+    let la = a.to_lowercase();
+    let lb = b.to_lowercase();
+    let sa = token_set(&la);
+    let sb = token_set(&lb);
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }
@@ -91,6 +113,16 @@ mod tests {
             tokenize("Kossmann, Alfons-Kemper; C. Wiesner"),
             vec!["kossmann", "alfons", "kemper", "c", "wiesner"]
         );
+    }
+
+    #[test]
+    fn for_each_token_lowercases_whole_string_first() {
+        // Context-sensitive lowercasing (Greek final sigma) must match the
+        // lowercase-then-split order `tokenize` has always used: 'Σ' at word
+        // end maps to 'ς' only when the whole string is lowercased at once.
+        let mut seen = Vec::new();
+        for_each_token("ΟΔΟΣ ΟΔΟΣb", |t| seen.push(t.to_owned()));
+        assert_eq!(seen, tokenize("ΟΔΟΣ ΟΔΟΣb"));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Before/after throughput for the zero-rebuild similarity kernel layer.
+#
+# Runs the sim_kernels bench suite twice — pinned to SERD_THREADS=1 (the
+# headline number: single-thread pairs-per-second, no parallel speedup mixed
+# in) and at the machine default — and merges the machine-readable samples
+# emitted by the vendored criterion harness (CRITERION_JSON) into
+# BENCH_simkernel.json at the repo root. Bench ids carry their pair count as
+# a trailing "/n<count>" segment; this script converts each median into
+# pairs-per-second and tabulates the scalar-vs-profile speedup per dataset.
+#
+# Usage: scripts/bench_sim.sh [extra cargo-bench filter]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+OUT="BENCH_simkernel.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run_pass() {
+    local json_file="$1"
+    shift
+    CRITERION_JSON="$json_file" "$@" \
+        cargo bench --offline -q -p bench --bench sim_kernels -- $FILTER \
+        || echo "warning: sim_kernels bench failed" >&2
+}
+
+echo "== single-thread pass (SERD_THREADS=1) =="
+run_pass "$TMP" env SERD_THREADS=1
+
+echo "== default-thread pass (SERD_THREADS unset) =="
+run_pass "$TMP" env -u SERD_THREADS
+
+awk -v cores="$CORES" '
+BEGIN { n = 0 }
+{
+    # Criterion JSON lines quote keys and string values only, so splitting on
+    # double quotes puts the id at f[4], the median at f[7] (":<num>,") and
+    # the thread tag at f[14].
+    split($0, f, "\"")
+    id[n] = f[4]
+    med = f[7]; gsub(/[:,]/, "", med)
+    median[n] = med + 0
+    thr[n] = f[14]
+    line[n] = $0
+    n++
+}
+END {
+    print "{"
+    printf "  \"runner_cores\": %d,\n", cores
+    print "  \"samples\": ["
+    for (i = 0; i < n; i++)
+        printf "    %s%s\n", line[i], (i < n - 1 ? "," : "")
+    print "  ],"
+    print "  \"pairs_per_sec\": ["
+    first = 1
+    for (i = 0; i < n; i++) {
+        m = split(id[i], seg, "/")
+        if (m < 4 || substr(seg[m], 1, 1) != "n") continue
+        np = substr(seg[m], 2) + 0
+        if (np <= 0 || median[i] <= 0) continue
+        pps = np * 1e9 / median[i]
+        pv[seg[3] "@" thr[i] "@" seg[2]] = pps
+        ds[seg[3] "@" thr[i]] = 1
+        if (!first) printf ",\n"
+        printf "    {\"id\":\"%s\",\"threads\":\"%s\",\"pairs\":%d,\"pairs_per_sec\":%.1f}", \
+            id[i], thr[i], np, pps
+        first = 0
+    }
+    print ""
+    print "  ],"
+    print "  \"speedup\": ["
+    first = 1
+    for (k in ds) {
+        split(k, p, "@")
+        s = pv[p[1] "@" p[2] "@scalar_pairs"]
+        pr = pv[p[1] "@" p[2] "@profile_pairs"]
+        if (s > 0 && pr > 0) {
+            if (!first) printf ",\n"
+            printf "    {\"dataset\":\"%s\",\"threads\":\"%s\",\"scalar_pairs_per_sec\":%.1f,\"profile_pairs_per_sec\":%.1f,\"speedup\":%.2f}", \
+                p[1], p[2], s, pr, pr / s
+            first = 0
+        }
+    }
+    print ""
+    print "  ]"
+    print "}"
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT (runner has ${CORES} core(s))"
