@@ -1,0 +1,137 @@
+//! A growable row-major matrix buffer.
+//!
+//! Incremental decoding (transformer KV caches) appends one row per step to
+//! a matrix whose row count is unknown up front. [`RowArena`] is that
+//! append-only buffer: a fixed column width, rows pushed at the end, and a
+//! contiguous row-major view of everything pushed so far. It is generic over
+//! the element type so both the `f32` neural stack and the `f64` statistics
+//! stack can use it.
+
+/// An append-only row-major matrix with a fixed column count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowArena<T> {
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> RowArena<T> {
+    /// An empty arena whose rows will be `cols` wide.
+    pub fn new(cols: usize) -> Self {
+        RowArena { cols, data: Vec::new() }
+    }
+
+    /// An empty arena with capacity reserved for `rows` rows.
+    pub fn with_row_capacity(cols: usize, rows: usize) -> Self {
+        RowArena {
+            cols,
+            data: Vec::with_capacity(cols * rows),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        if self.cols == 0 {
+            0
+        } else {
+            self.data.len() / self.cols
+        }
+    }
+
+    /// Row width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contiguous row-major buffer of all rows pushed so far.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrows row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows(), "row {r} out of {}", self.rows());
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Drops all rows, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Keeps only the first `rows` rows (no-op if already shorter).
+    pub fn truncate_rows(&mut self, rows: usize) {
+        self.data.truncate(rows * self.cols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut a = RowArena::new(3);
+        assert!(a.is_empty());
+        a.push_row(&[1.0f32, 2.0, 3.0]);
+        a.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut a = RowArena::new(2);
+        a.push_row(&[1.0f64]);
+    }
+
+    #[test]
+    fn clear_and_truncate() {
+        let mut a = RowArena::with_row_capacity(2, 4);
+        for i in 0..4 {
+            a.push_row(&[i as f64, i as f64]);
+        }
+        a.truncate_rows(2);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.row(1), &[1.0, 1.0]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.rows(), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = RowArena::new(1);
+        a.push_row(&[7i64]);
+        let mut b = a.clone();
+        b.push_row(&[8]);
+        assert_eq!(a.rows(), 1);
+        assert_eq!(b.rows(), 2);
+    }
+
+    #[test]
+    fn zero_width_arena_has_no_rows() {
+        let a: RowArena<f32> = RowArena::new(0);
+        assert_eq!(a.rows(), 0);
+    }
+}

@@ -11,9 +11,11 @@
 //! The central type is [`Matrix`], a row-major dense matrix. SPD-specific
 //! operations live on [`Cholesky`].
 
+mod arena;
 mod cholesky;
 mod matrix;
 
+pub use arena::RowArena;
 pub use cholesky::Cholesky;
 pub use matrix::Matrix;
 

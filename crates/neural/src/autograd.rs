@@ -288,11 +288,12 @@ impl Var {
         )
     }
 
-    /// GELU activation (tanh approximation).
+    /// GELU activation (tanh approximation). The forward scalar lives in
+    /// [`crate::funcs::gelu_scalar`] so the inference path matches bit-for-bit.
     pub fn gelu(&self) -> Var {
         const C: f32 = 0.7978845608; // sqrt(2/pi)
         let x = self.value();
-        let out = x.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh()));
+        let out = x.map(crate::funcs::gelu_scalar);
         let a = self.clone();
         Var::make(
             out,
@@ -419,30 +420,11 @@ impl Var {
     /// Row-wise layer normalization with learnable `gain` and `bias`
     /// (`(1, cols)` parameters).
     pub fn layer_norm(&self, gain: &Var, bias: &Var, eps: f32) -> Var {
+        // Forward kernel shared with the raw-tensor inference path
+        // (`funcs::layer_norm_forward`) so the two are bit-identical.
         let x = self.value();
-        let (rows, cols) = x.shape();
-        let mut xhat = Tensor::zeros(rows, cols);
-        let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = x.row(r);
-            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for (c, &v) in row.iter().enumerate() {
-                xhat.set(r, c, (v - mean) * istd);
-            }
-        }
-        let mut out = Tensor::zeros(rows, cols);
-        {
-            let gd = gain.data();
-            let bd = bias.data();
-            for r in 0..rows {
-                for c in 0..cols {
-                    out.set(r, c, xhat.get(r, c) * gd.get(0, c) + bd.get(0, c));
-                }
-            }
-        }
+        let (out, xhat, inv_std) =
+            crate::funcs::layer_norm_forward(&x, &gain.data(), &bias.data(), eps);
         let a = self.clone();
         let gv = gain.clone();
         let bv = bias.clone();

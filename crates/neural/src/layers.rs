@@ -50,6 +50,12 @@ impl Linear {
     pub fn forward(&self, x: &Var) -> Var {
         x.matmul(&self.w).add_row_broadcast(&self.b)
     }
+
+    /// Graph-free forward on a raw tensor (inference path). Uses the same
+    /// `Tensor` kernels as [`Linear::forward`], so results are bit-identical.
+    pub fn forward_tensor(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w.data()).add_row_broadcast(&self.b.data())
+    }
 }
 
 impl Module for Linear {
@@ -116,6 +122,13 @@ impl LayerNorm {
     /// Normalizes each row of `x`.
     pub fn forward(&self, x: &Var) -> Var {
         x.layer_norm(&self.gain, &self.bias, self.eps)
+    }
+
+    /// Graph-free forward on a raw tensor (inference path); bit-identical to
+    /// [`LayerNorm::forward`] because both run
+    /// [`crate::funcs::layer_norm_forward`].
+    pub fn forward_tensor(&self, x: &Tensor) -> Tensor {
+        crate::funcs::layer_norm_forward(x, &self.gain.data(), &self.bias.data(), self.eps).0
     }
 }
 

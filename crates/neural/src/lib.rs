@@ -19,6 +19,7 @@
 //! so this keeps the implementation honest and simple; minibatches are loops.
 
 mod autograd;
+pub mod funcs;
 pub mod io;
 pub mod layers;
 pub mod optim;

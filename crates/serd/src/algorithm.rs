@@ -319,9 +319,13 @@ impl SerdSynthesizer {
             };
             let source_table = if e_in_a { &a } else { &b };
             let source_profs = if e_in_a { &aprofs } else { &bprofs };
+            // Everything about (e, x, side) that doesn't consume randomness
+            // — bucket-model selection, source encoding, encoder memory for
+            // text columns — is prepared once and shared by every attempt.
+            let prepared = model.columns.prepare_entity(&e, &x, target_side);
             let mut chosen: Option<(Entity, RecordProfile, Vec<Vec<f64>>)> = None;
             for _attempt in 0..online.max_retries {
-                let candidate = model.columns.synthesize_entity(&e, &x, target_side, rng);
+                let candidate = prepared.synthesize(rng);
 
                 if online.reject_by_discriminator
                     && model.gan.discriminator_prob(&candidate) < online.beta
@@ -364,8 +368,7 @@ impl SerdSynthesizer {
                 None => {
                     // Every retry was rejected (or retries are disabled):
                     // synthesize one last candidate and accept it as-is.
-                    let candidate =
-                        model.columns.synthesize_entity(&e, &x, target_side, rng);
+                    let candidate = prepared.synthesize(rng);
                     let cand_prof = profiler.profile_entity(&candidate);
                     let delta = delta_vectors(
                         &candidate,

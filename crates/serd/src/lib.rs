@@ -65,7 +65,7 @@ pub use algorithm::{SerdSynthesizer, SynthesisStats, SynthesizedEr};
 pub use config::SerdConfig;
 pub use model::{OnlineConfig, SerdModel};
 pub use rejection::OSynState;
-pub use synthesis::{ColumnSynthesizer, Side};
+pub use synthesis::{ColumnSynthesizer, PreparedEntity, Side};
 // Re-exported so downstream users (CLI, tests) can call `Persist` methods on
 // artifacts without depending on the persist crate directly.
 pub use persist::{Persist, PersistError};

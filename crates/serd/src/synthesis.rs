@@ -78,6 +78,11 @@ impl ColumnSynthesizer {
     /// Synthesizes `e'` from `e` and the sampled similarity vector `x`
     /// (paper step S2-3). `side` is the relation `e'` will be added to;
     /// categorical values are drawn from that side's real domain.
+    ///
+    /// Equivalent to `self.prepare_entity(e, x, side).synthesize(rng)`;
+    /// callers that retry the same `(e, x, side)` — the S2 rejection loop —
+    /// should hold a [`PreparedEntity`] so text columns reuse their encoder
+    /// memory across attempts.
     pub fn synthesize_entity<R: Rng + ?Sized>(
         &self,
         e: &Entity,
@@ -85,27 +90,23 @@ impl ColumnSynthesizer {
         side: Side,
         rng: &mut R,
     ) -> Entity {
+        self.prepare_entity(e, x, side).synthesize(rng)
+    }
+
+    /// Hoists the per-`(e, x)` work of text columns — bucket-model selection,
+    /// source encoding, encoder memory — out of the sampling loop.
+    pub fn prepare_entity<'a>(&'a self, e: &'a Entity, x: &'a [f64], side: Side) -> PreparedEntity<'a> {
         debug_assert_eq!(x.len(), self.schema.len());
-        let values = self
-            .schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(i, col)| {
-                let target = x[i].clamp(0.0, 1.0);
-                match col.ctype {
-                    ColumnType::Numeric => {
-                        self.synth_numeric(i, e.value(i), target, col.range, rng)
-                    }
-                    ColumnType::Date => self.synth_date(i, e.value(i), target, col.range, rng),
-                    ColumnType::Categorical => {
-                        self.synth_categorical(i, e.value(i), target, col, side)
-                    }
-                    ColumnType::Text => self.synth_text(i, e.value(i), target, rng),
+        let mut text = HashMap::new();
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if col.ctype == ColumnType::Text {
+                if let Some(model) = self.text_models.get(&i) {
+                    let base = e.value(i).as_str().unwrap_or("");
+                    text.insert(i, model.prepare(base, x[i].clamp(0.0, 1.0)));
                 }
-            })
-            .collect();
-        Entity::new(values)
+            }
+        }
+        PreparedEntity { syn: self, e, x, side, text }
     }
 
     fn synth_numeric<R: Rng + ?Sized>(
@@ -190,26 +191,56 @@ impl ColumnSynthesizer {
         Value::Categorical(best)
     }
 
-    fn synth_text<R: Rng + ?Sized>(
-        &self,
-        col: usize,
-        v: &Value,
-        target: f64,
-        rng: &mut R,
-    ) -> Value {
-        let base = v.as_str().unwrap_or("");
-        match self.text_models.get(&col) {
-            Some(model) => Value::Text(model.synthesize(base, target, rng)),
-            None => Value::Text(base.to_string()),
-        }
-    }
-
     fn round_if_integral(&self, col: usize, v: f64) -> f64 {
         if self.integral.get(col).copied().unwrap_or(false) {
             v.round()
         } else {
             v
         }
+    }
+}
+
+/// An entity-synthesis context for one `(e, x, side)` triple with all
+/// randomness-free preparation done up front. The S2 rejection loop calls
+/// [`PreparedEntity::synthesize`] up to `max_retries + 1` times; only the
+/// sampling itself re-runs per attempt.
+pub struct PreparedEntity<'a> {
+    syn: &'a ColumnSynthesizer,
+    e: &'a Entity,
+    x: &'a [f64],
+    side: Side,
+    /// Prepared text synthesis per text column that has a bucket model.
+    text: HashMap<usize, transformer::PreparedSynthesis<'a>>,
+}
+
+impl PreparedEntity<'_> {
+    /// Draws one candidate entity. Consumes `rng` exactly like
+    /// [`ColumnSynthesizer::synthesize_entity`] (same column order).
+    pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> Entity {
+        let syn = self.syn;
+        let values = syn
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| {
+                let target = self.x[i].clamp(0.0, 1.0);
+                match col.ctype {
+                    ColumnType::Numeric => {
+                        syn.synth_numeric(i, self.e.value(i), target, col.range, rng)
+                    }
+                    ColumnType::Date => syn.synth_date(i, self.e.value(i), target, col.range, rng),
+                    ColumnType::Categorical => {
+                        syn.synth_categorical(i, self.e.value(i), target, col, self.side)
+                    }
+                    ColumnType::Text => match self.text.get(&i) {
+                        Some(prep) => Value::Text(prep.synthesize(rng)),
+                        None => Value::Text(self.e.value(i).as_str().unwrap_or("").to_string()),
+                    },
+                }
+            })
+            .collect();
+        Entity::new(values)
     }
 }
 

@@ -25,16 +25,22 @@ fn run_pipeline(seed: u64) -> (SerdSynthesizer, serd::SynthesizedEr) {
 
 #[test]
 fn json_run_report_covers_every_stage_and_recording_is_inert() {
+    // Seed note: the serd-text-v2 sampling-stream bump (per-candidate RNG
+    // lanes, DESIGN.md §11.1) shifted every downstream draw; at the old seed
+    // 11 the O_syn tracker no longer collects the ≥2 posterior-positive
+    // vectors it needs to leave warm-up, so the JSD metrics are never
+    // recorded. Seed 12 exercises the full rejection path; the metric
+    // checklist below is unchanged.
     // Baseline run with obs off: capture the exact synthesized output.
     obs::set_mode(obs::Mode::Off);
-    let (_, baseline) = run_pipeline(11);
+    let (_, baseline) = run_pipeline(12);
     let baseline_a = csv::relation_to_csv(baseline.er.a());
     let baseline_b = csv::relation_to_csv(baseline.er.b());
 
     // Instrumented run, same seed.
     obs::set_mode(obs::Mode::Json);
     obs::reset();
-    let (syn, out) = run_pipeline(11);
+    let (syn, out) = run_pipeline(12);
     let report = syn.run_report();
     obs::set_mode(obs::Mode::Off);
 

@@ -1,6 +1,7 @@
 //! The bucketed model family `M_1..M_k` with DP-SGD training and
 //! candidate-reranking inference (paper Section VI, Algorithm 1, Figure 4).
 
+use crate::decode::EncodedSource;
 use crate::guided::{perturb_toward, TokenPool};
 use crate::model::{Seq2SeqTransformer, TransformerConfig};
 use crate::vocab::CharVocab;
@@ -144,20 +145,74 @@ impl BucketedSynthesizer {
     /// candidate closest to the target; falls back to guided perturbation
     /// when the model is missing or the best candidate misses by more than
     /// `repair_tol`.
+    ///
+    /// Equivalent to `self.prepare(s, sim).synthesize(rng)`; callers that
+    /// retry the same `(s, sim)` should hold a [`PreparedSynthesis`] instead
+    /// so the encoder memory and source tokenization are reused.
     pub fn synthesize<R: Rng + ?Sized>(&self, s: &str, sim: f64, rng: &mut R) -> String {
-        let sim = sim.clamp(0.0, 1.0);
-        if sim >= 0.999 {
-            return s.to_string();
+        self.prepare(s, sim).synthesize(rng)
+    }
+
+    /// Precomputes everything about `(s, sim)` that candidate sampling
+    /// reuses: bucket-model selection, source encoding, encoder memory
+    /// (including per-layer cross-attention projections), and the source
+    /// token set for the plausibility gate.
+    pub fn prepare<'a>(&'a self, s: &str, sim: f64) -> PreparedSynthesis<'a> {
+        let target = sim.clamp(0.0, 1.0);
+        let exact = target >= 0.999;
+        let model = if exact {
+            None
+        } else {
+            self.models[self.bucket_of(target)].as_ref().map(|model| {
+                let src = self.vocab.encode(s, false);
+                PreparedModel {
+                    model,
+                    enc: model.encode_source(&src),
+                    src_tokens: similarity::tokenize(s).into_iter().collect(),
+                }
+            })
+        };
+        PreparedSynthesis { syn: self, source: s.to_string(), target, exact, model }
+    }
+}
+
+/// Bucket-model state shared by every candidate and retry for one source.
+struct PreparedModel<'a> {
+    model: &'a Seq2SeqTransformer,
+    enc: EncodedSource,
+    src_tokens: std::collections::HashSet<String>,
+}
+
+/// A `(source, target-similarity)` synthesis context with the per-source
+/// work hoisted out of the sampling loop. Each [`PreparedSynthesis::synthesize`]
+/// call decodes all candidates in one lockstep batch ([`Seq2SeqTransformer::generate_batch`])
+/// against the shared encoder memory.
+pub struct PreparedSynthesis<'a> {
+    syn: &'a BucketedSynthesizer,
+    source: String,
+    target: f64,
+    exact: bool,
+    model: Option<PreparedModel<'a>>,
+}
+
+impl PreparedSynthesis<'_> {
+    /// Samples candidates and returns the one whose similarity to the source
+    /// lands closest to the target (with the plausibility gate and guided
+    /// repair of [`BucketedSynthesizer::synthesize`]).
+    pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        if self.exact {
+            return self.source.clone();
         }
-        let bucket = self.bucket_of(sim);
+        let syn = self.syn;
+        let s = &self.source;
+        let sim = self.target;
         let mut best: Option<(String, f64)> = None;
-        if let Some(model) = &self.models[bucket] {
-            let src_tokens: std::collections::HashSet<String> =
-                similarity::tokenize(s).into_iter().collect();
-            let src = self.vocab.encode(s, false);
-            for _ in 0..self.cfg.candidates {
-                let ids = model.generate(&src, self.cfg.max_out, self.cfg.temperature, rng);
-                let out = self.vocab.decode(&ids);
+        if let Some(pm) = &self.model {
+            let candidates =
+                pm.model
+                    .generate_batch(&pm.enc, syn.cfg.candidates, syn.cfg.max_out, syn.cfg.temperature, rng);
+            for ids in &candidates {
+                let out = syn.vocab.decode(ids);
                 if out.is_empty() {
                     continue;
                 }
@@ -170,7 +225,7 @@ impl BucketedSynthesizer {
                 let plausible = !tokens.is_empty()
                     && tokens
                         .iter()
-                        .filter(|t| self.pool.contains(t) || src_tokens.contains(*t))
+                        .filter(|t| syn.pool.contains(t) || pm.src_tokens.contains(*t))
                         .count() as f64
                         / tokens.len() as f64
                         >= 0.8;
@@ -187,9 +242,9 @@ impl BucketedSynthesizer {
             }
         }
         match best {
-            Some((out, achieved)) if (achieved - sim).abs() <= self.cfg.repair_tol => out,
+            Some((out, achieved)) if (achieved - sim).abs() <= syn.cfg.repair_tol => out,
             _ => {
-                let (out, _) = perturb_toward(s, sim, &self.pool, 0.03, 300, rng);
+                let (out, _) = perturb_toward(s, sim, &syn.pool, 0.03, 300, rng);
                 out
             }
         }
@@ -200,7 +255,11 @@ impl BucketedSynthesizer {
 const MAX_PERSISTED_BUCKETS: usize = 4096;
 
 impl Persist for BucketedSynthesizer {
-    const MAGIC: &'static str = "serd-text-v1";
+    // v2: candidate sampling moved to lockstep batched decoding with
+    // per-candidate RNG lanes, which changes how the caller's RNG stream is
+    // consumed. Weights and semantics are unchanged, but same-seed outputs
+    // differ from v1, so the artifact version marks the sampling stream.
+    const MAGIC: &'static str = "serd-text-v2";
 
     fn write_body(&self, w: &mut Writer) {
         // `cfg.arch` is a training-time template (a fn pointer) and is not

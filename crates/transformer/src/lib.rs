@@ -15,6 +15,9 @@
 //! * [`vocab`] — character vocabulary with `PAD`/`BOS`/`EOS` specials.
 //! * [`model`] — the Vaswani-style encoder–decoder (multi-head attention,
 //!   sinusoidal positions, residual + LayerNorm) built on `neural`.
+//! * [`decode`] — the graph-free inference path: per-lane KV caches,
+//!   batched lockstep candidate decoding, shared encoder memory. Logits are
+//!   bit-identical to [`model`]'s full re-decode (DESIGN.md §11).
 //! * [`bucket`] — the bucketed model family: corpus pairing, DP-SGD
 //!   training, and candidate-reranking inference.
 //! * [`guided`] — a deterministic corpus-guided string perturbation used to
@@ -24,10 +27,12 @@
 //!   DESIGN.md §3.4.
 
 pub mod bucket;
+pub mod decode;
 pub mod guided;
 pub mod model;
 pub mod vocab;
 
-pub use bucket::{BucketedSynthesizer, BucketedSynthesizerConfig};
+pub use bucket::{BucketedSynthesizer, BucketedSynthesizerConfig, PreparedSynthesis};
+pub use decode::{BatchDecoder, EncodedSource};
 pub use model::{Seq2SeqTransformer, TransformerConfig};
 pub use vocab::CharVocab;

@@ -1,5 +1,6 @@
 //! The Vaswani-style encoder–decoder transformer, built on `neural`.
 
+use crate::decode::{BatchDecoder, EncodedSource};
 use crate::vocab::{BOS, EOS, PAD};
 use neural::io::{read_tensor, write_tensor};
 use neural::layers::{Embedding, Linear, Module};
@@ -7,6 +8,8 @@ use neural::{Tensor, Var};
 use persist::{Persist, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Transformer hyperparameters.
 #[derive(Debug, Clone)]
@@ -57,13 +60,16 @@ impl TransformerConfig {
 }
 
 /// Multi-head scaled dot-product attention.
-struct MultiHeadAttention {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    n_heads: usize,
-    d_head: usize,
+///
+/// Fields are crate-visible so the KV-cached inference path
+/// (`crate::decode`) can run the same projections graph-free.
+pub(crate) struct MultiHeadAttention {
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) n_heads: usize,
+    pub(crate) d_head: usize,
 }
 
 impl MultiHeadAttention {
@@ -112,9 +118,9 @@ impl Module for MultiHeadAttention {
     }
 }
 
-struct FeedForward {
-    l1: Linear,
-    l2: Linear,
+pub(crate) struct FeedForward {
+    pub(crate) l1: Linear,
+    pub(crate) l2: Linear,
 }
 
 impl FeedForward {
@@ -174,13 +180,13 @@ impl Module for EncoderLayer {
     }
 }
 
-struct DecoderLayer {
-    self_attn: MultiHeadAttention,
-    cross_attn: MultiHeadAttention,
-    ff: FeedForward,
-    ln1: neural::layers::LayerNorm,
-    ln2: neural::layers::LayerNorm,
-    ln3: neural::layers::LayerNorm,
+pub(crate) struct DecoderLayer {
+    pub(crate) self_attn: MultiHeadAttention,
+    pub(crate) cross_attn: MultiHeadAttention,
+    pub(crate) ff: FeedForward,
+    pub(crate) ln1: neural::layers::LayerNorm,
+    pub(crate) ln2: neural::layers::LayerNorm,
+    pub(crate) ln3: neural::layers::LayerNorm,
 }
 
 impl DecoderLayer {
@@ -222,14 +228,14 @@ impl Module for DecoderLayer {
 
 /// The encoder–decoder transformer for character string synthesis.
 pub struct Seq2SeqTransformer {
-    cfg: TransformerConfig,
+    pub(crate) cfg: TransformerConfig,
     embed_src: Embedding,
-    embed_tgt: Embedding,
-    pos: Tensor,
+    pub(crate) embed_tgt: Embedding,
+    pub(crate) pos: Tensor,
     enc_layers: Vec<EncoderLayer>,
-    dec_layers: Vec<DecoderLayer>,
-    ln_final: neural::layers::LayerNorm,
-    out_proj: Linear,
+    pub(crate) dec_layers: Vec<DecoderLayer>,
+    pub(crate) ln_final: neural::layers::LayerNorm,
+    pub(crate) out_proj: Linear,
 }
 
 impl Seq2SeqTransformer {
@@ -305,30 +311,55 @@ impl Seq2SeqTransformer {
         logits.cross_entropy_logits(&targets[..l], Some(PAD))
     }
 
+    /// Encodes an *unframed* source once for reuse across candidates,
+    /// retries, and beams (frames it internally, like the generators do).
+    pub fn encode_source(&self, src: &[usize]) -> EncodedSource {
+        EncodedSource::from_framed(self, &frame(src))
+    }
+
     /// Deterministic beam-search decoding: keeps the `beam_width` highest
     /// log-probability partial sequences, returns the best finished one
-    /// (normalized by length so shorter outputs aren't unfairly favored).
-    /// Complements [`Seq2SeqTransformer::generate`]'s temperature sampling
-    /// when a single high-likelihood output is wanted.
+    /// (normalized by generated length so shorter outputs aren't unfairly
+    /// favored). Complements [`Seq2SeqTransformer::generate`]'s temperature
+    /// sampling when a single high-likelihood output is wanted.
+    ///
+    /// Beams advance in lockstep through one KV-cached [`BatchDecoder`];
+    /// surviving beams keep their caches across pruning via lane fork/retain.
     pub fn generate_beam(&self, src: &[usize], max_out: usize, beam_width: usize) -> Vec<usize> {
-        let memory = self.encode(&frame(src));
+        struct Beam {
+            /// Sequence including the leading BOS.
+            seq: Vec<usize>,
+            /// Total log-probability.
+            score: f32,
+            done: bool,
+            /// Cache lane holding all but the newest token; None once done.
+            lane: Option<usize>,
+        }
+        let enc = self.encode_source(src);
         let width = beam_width.max(1);
-        // (sequence including leading BOS, total log-prob, finished)
-        let mut beams: Vec<(Vec<usize>, f32, bool)> = vec![(vec![BOS], 0.0, false)];
+        let mut dec = BatchDecoder::new(self, &enc, 1);
+        let mut beams = vec![Beam { seq: vec![BOS], score: 0.0, done: false, lane: Some(0) }];
         let limit = max_out.min(self.cfg.max_len - 1);
         for _ in 0..limit {
-            if beams.iter().all(|(_, _, done)| *done) {
+            if beams.iter().all(|b| b.done) {
                 break;
             }
-            let mut next: Vec<(Vec<usize>, f32, bool)> = Vec::new();
-            for (seq, score, done) in &beams {
-                if *done {
-                    next.push((seq.clone(), *score, true));
+            // Feed every unfinished beam's newest token in one batched step.
+            let feeds: Vec<(usize, usize)> = beams
+                .iter()
+                .filter(|b| !b.done)
+                .map(|b| (b.lane.expect("live beam has a lane"), *b.seq.last().unwrap()))
+                .collect();
+            let logits = dec.step(&feeds);
+            let mut next: Vec<Beam> = Vec::new();
+            let mut row = 0;
+            for b in &beams {
+                if b.done {
+                    next.push(Beam { seq: b.seq.clone(), score: b.score, done: true, lane: None });
                     continue;
                 }
-                let logits = self.decode(seq, &memory);
-                let data = logits.value();
-                let last = data.row(data.rows() - 1);
+                let last = logits.row(row);
+                row += 1;
                 // Log-softmax over the row.
                 let m = last.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 let z: f32 = last.iter().map(|&v| (v - m).exp()).sum();
@@ -341,31 +372,52 @@ impl Seq2SeqTransformer {
                     .map(|(i, &v)| (i, v - log_z))
                     .collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                // The first live continuation inherits the parent's lane;
+                // further ones fork it.
+                let mut parent_lane_taken = false;
                 for &(id, lp) in scored.iter().take(width) {
-                    let mut s = seq.clone();
                     let finished = id == EOS;
+                    let mut s = b.seq.clone();
                     if !finished {
                         s.push(id);
                     }
-                    next.push((s, score + lp, finished));
+                    let lane = if finished {
+                        None
+                    } else if !parent_lane_taken {
+                        parent_lane_taken = true;
+                        b.lane
+                    } else {
+                        Some(dec.fork_lane(b.lane.expect("live beam has a lane")))
+                    };
+                    next.push(Beam { seq: s, score: b.score + lp, done: finished, lane });
                 }
             }
             // Prune to the global beam width by length-normalized score.
             next.sort_by(|a, b| {
-                let na = a.1 / a.0.len().max(1) as f32;
-                let nb = b.1 / b.0.len().max(1) as f32;
+                let na = length_normalized(a.score, a.seq.len());
+                let nb = length_normalized(b.score, b.seq.len());
                 nb.partial_cmp(&na).unwrap_or(std::cmp::Ordering::Equal)
             });
             next.truncate(width);
+            // Drop pruned beams' caches and renumber survivors' lanes.
+            let keep: Vec<usize> = next.iter().filter_map(|b| b.lane).collect();
+            dec.retain_lanes(&keep);
+            let mut li = 0;
+            for b in &mut next {
+                if b.lane.is_some() {
+                    b.lane = Some(li);
+                    li += 1;
+                }
+            }
             beams = next;
         }
-        let mut best = beams.remove(0).0;
+        let mut best = beams.remove(0).seq;
         best.remove(0); // strip BOS
         best
     }
 
-    /// Samples an output id sequence (without specials) for a framed source,
-    /// using temperature sampling. Stops at EOS or `max_out` tokens.
+    /// Samples an output id sequence (without specials) for an unframed
+    /// source, using temperature sampling. Stops at EOS or `max_out` tokens.
     pub fn generate<R: Rng + ?Sized>(
         &self,
         src: &[usize],
@@ -373,22 +425,109 @@ impl Seq2SeqTransformer {
         temperature: f32,
         rng: &mut R,
     ) -> Vec<usize> {
-        let memory = self.encode(&frame(src));
-        let mut out: Vec<usize> = vec![BOS];
+        let enc = self.encode_source(src);
+        self.generate_from(&enc, max_out, temperature, rng)
+    }
+
+    /// [`Seq2SeqTransformer::generate`] against an already-encoded source.
+    /// Consumes the same RNG stream and emits the same tokens as the old
+    /// full-redecode loop (the KV-cached logits are bit-identical).
+    pub fn generate_from<R: Rng + ?Sized>(
+        &self,
+        enc: &EncodedSource,
+        max_out: usize,
+        temperature: f32,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        let mut dec = BatchDecoder::new(self, enc, 1);
+        let mut out: Vec<usize> = Vec::new();
+        let mut last = BOS;
         let limit = max_out.min(self.cfg.max_len - 1);
         for _ in 0..limit {
-            let logits = self.decode(&out, &memory);
-            let data = logits.value();
-            let last = data.row(data.rows() - 1);
-            let id = sample_from_logits(last, temperature, rng);
+            let logits = dec.step(&[(0, last)]);
+            let id = sample_from_logits(logits.row(0), temperature, rng);
             if id == EOS {
                 break;
             }
             out.push(id);
+            last = id;
         }
-        out.remove(0);
         out
     }
+
+    /// Decodes `n` independent temperature-sampled candidates in lockstep
+    /// against one encoded source. Each candidate draws from its own RNG
+    /// lane seeded up front from `rng`, so the batch is reproducible and
+    /// identical to running [`Seq2SeqTransformer::generate_from`] serially
+    /// with the same per-lane seeds (see `generate_lanes`).
+    pub fn generate_batch<R: Rng + ?Sized>(
+        &self,
+        enc: &EncodedSource,
+        n: usize,
+        max_out: usize,
+        temperature: f32,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
+        let seeds: Vec<u64> = (0..n).map(|_| rng.gen::<u64>()).collect();
+        self.generate_lanes(enc, &seeds, max_out, temperature)
+    }
+
+    /// Lockstep batched decoding with one explicit RNG seed per lane.
+    /// Lane `i` produces exactly what `generate_from` produces with
+    /// `StdRng::seed_from_u64(seeds[i])`.
+    pub fn generate_lanes(
+        &self,
+        enc: &EncodedSource,
+        seeds: &[u64],
+        max_out: usize,
+        temperature: f32,
+    ) -> Vec<Vec<usize>> {
+        let n = seeds.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let timer = obs::enabled().then(std::time::Instant::now);
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        let mut dec = BatchDecoder::new(self, enc, n);
+        let mut outs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last: Vec<usize> = vec![BOS; n];
+        let mut alive: Vec<usize> = (0..n).collect();
+        let limit = max_out.min(self.cfg.max_len - 1);
+        let mut tokens = 0u64;
+        for _ in 0..limit {
+            if alive.is_empty() {
+                break;
+            }
+            let feeds: Vec<(usize, usize)> = alive.iter().map(|&l| (l, last[l])).collect();
+            let logits = dec.step(&feeds);
+            let mut still_alive = Vec::with_capacity(alive.len());
+            for (r, &lane) in alive.iter().enumerate() {
+                let id = sample_from_logits(logits.row(r), temperature, &mut rngs[lane]);
+                tokens += 1;
+                if id == EOS {
+                    continue;
+                }
+                outs[lane].push(id);
+                last[lane] = id;
+                still_alive.push(lane);
+            }
+            alive = still_alive;
+        }
+        if let Some(t0) = timer {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obs::gauge("decode.tokens_per_sec", tokens as f64 / secs);
+            }
+        }
+        outs
+    }
+}
+
+/// Length-normalized beam score: total log-probability divided by the number
+/// of *generated* tokens. `seq_len_with_bos` counts the leading BOS, which
+/// carries no probability mass and must not dilute the average.
+fn length_normalized(score: f32, seq_len_with_bos: usize) -> f32 {
+    score / seq_len_with_bos.saturating_sub(1).max(1) as f32
 }
 
 impl Module for Seq2SeqTransformer {
@@ -491,7 +630,9 @@ impl Persist for Seq2SeqTransformer {
     }
 }
 
-fn frame(ids: &[usize]) -> Vec<usize> {
+/// Wraps unframed token ids in `BOS … EOS`, the framing every encoder input
+/// uses (training, generation, and the KV-cached inference path).
+pub fn frame(ids: &[usize]) -> Vec<usize> {
     let mut out = Vec::with_capacity(ids.len() + 2);
     out.push(BOS);
     out.extend_from_slice(ids);
@@ -514,7 +655,30 @@ fn sinusoidal_positions(max_len: usize, d_model: usize) -> Tensor {
 }
 
 /// `(l, l)` additive causal mask: 0 on/below diagonal, -1e9 above.
-fn causal_mask(l: usize) -> Tensor {
+///
+/// Masks are memoized per thread by length — generation used to rebuild the
+/// same O(l²) tensor on every decode call. Lengths above the cache cap fall
+/// back to a fresh build so a single oversized request can't pin memory.
+fn causal_mask(l: usize) -> Rc<Tensor> {
+    const CACHE_MAX_LEN: usize = 512;
+    thread_local! {
+        static MASKS: RefCell<Vec<Option<Rc<Tensor>>>> = RefCell::new(Vec::new());
+    }
+    if l > CACHE_MAX_LEN {
+        return Rc::new(build_causal_mask(l));
+    }
+    MASKS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() <= l {
+            cache.resize(l + 1, None);
+        }
+        cache[l]
+            .get_or_insert_with(|| Rc::new(build_causal_mask(l)))
+            .clone()
+    })
+}
+
+fn build_causal_mask(l: usize) -> Tensor {
     let mut m = Tensor::zeros(l, l);
     for r in 0..l {
         for c in (r + 1)..l {
@@ -623,6 +787,45 @@ mod tests {
         }
         let out = model.generate_beam(&vocab.encode("cd", false), 8, 3);
         assert_eq!(vocab.decode(&out), "cd");
+    }
+
+    #[test]
+    fn length_normalization_excludes_bos() {
+        // One generated token after the BOS divides by 1, not 2.
+        assert_eq!(length_normalized(-3.0, 2), -3.0);
+        // Three generated tokens divide by 3.
+        assert_eq!(length_normalized(-6.0, 4), -2.0);
+        // A bare [BOS] beam must not divide by zero.
+        assert_eq!(length_normalized(-1.0, 1), -1.0);
+    }
+
+    #[test]
+    fn beam_order_is_stable_on_trained_model() {
+        // Pin the beam ranking on a trained toy copy-task model: every
+        // width must agree with greedy decoding on this near-deterministic
+        // distribution, i.e. length normalization must not promote a
+        // shorter spurious beam over the learned copy.
+        let mut rng = StdRng::seed_from_u64(7);
+        let vocab = CharVocab::build(["abcd"]);
+        let model = Seq2SeqTransformer::new(TransformerConfig::tiny(vocab.len()), &mut rng);
+        let pairs: Vec<(Vec<usize>, Vec<usize>)> = ["ab", "cd", "ad", "bc"]
+            .iter()
+            .map(|s| (vocab.encode(s, false), vocab.encode(s, false)))
+            .collect();
+        let mut opt = Adam::new(model.parameters(), 3e-3);
+        for _ in 0..150 {
+            for (src, tgt) in &pairs {
+                model.loss(src, tgt).backward();
+                opt.step();
+            }
+        }
+        let src = vocab.encode("ad", false);
+        let greedy = model.generate(&src, 8, 0.0, &mut rng);
+        assert_eq!(vocab.decode(&greedy), "ad");
+        for width in 1..=4 {
+            let out = model.generate_beam(&src, 8, width);
+            assert_eq!(out, greedy, "beam width {width} disagrees with greedy");
+        }
     }
 
     #[test]
