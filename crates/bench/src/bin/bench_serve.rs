@@ -1,0 +1,212 @@
+//! Serving-layer benchmark: sustained request throughput, per-class latency
+//! percentiles, and hot-swap downtime (expected: zero failed requests).
+//!
+//! Boots an in-process [`serd_repro::serve::Server`] over two freshly fitted
+//! artifact versions, hammers it from client threads with a fixed request
+//! mix (CSV synthesis, JSON-lines synthesis, health, model listing), and
+//! atomically swaps the served artifact between the two versions while the
+//! load runs. Emits one JSON document on stdout — `scripts/bench_serve.sh`
+//! redirects it to `BENCH_serve.json`.
+//!
+//! Knobs (environment): `SERVE_BENCH_SECS` (default 3), `SERVE_BENCH_SCALE`
+//! (default 0.02), `SERVE_BENCH_WORKERS` (default min(cores, 4)).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::prelude::*;
+use serd_repro::serve::{client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CLASSES: [&str; 4] = ["synthesize_csv", "synthesize_jsonl", "healthz", "models"];
+
+fn env_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Request mix per 20-slot round: 14 CSV synthesize, 4 JSON-lines
+/// synthesize, 1 health, 1 model listing.
+fn class_of(slot: u64) -> usize {
+    match slot % 20 {
+        0..=13 => 0,
+        14..=17 => 1,
+        18 => 2,
+        _ => 3,
+    }
+}
+
+fn path_of(class: usize, slot: u64) -> String {
+    match class {
+        0 => {
+            let table = ["a", "b", "matches"][(slot % 3) as usize];
+            format!("/synthesize?model=restaurant&seed={}&format=csv&table={table}", slot % 7)
+        }
+        1 => format!("/synthesize?model=restaurant&seed={}", slot % 7),
+        2 => "/healthz".to_string(),
+        _ => "/models".to_string(),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let secs: f64 = env_num("SERVE_BENCH_SECS", 3.0);
+    let scale: f64 = env_num("SERVE_BENCH_SCALE", 0.02);
+    let workers: usize = env_num(
+        "SERVE_BENCH_WORKERS",
+        serd_repro::parallel::num_threads().min(4),
+    );
+
+    // Offline: fit two artifact versions to swap between.
+    let dir = std::env::temp_dir().join(format!("serd_bench_serve_{}", std::process::id()));
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).expect("create models dir");
+    let mut versions = Vec::new();
+    for seed in [1u64, 2u64] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = serd_repro::datagen::generate_with_min_matches(
+            DatasetKind::Restaurant,
+            scale,
+            8,
+            &mut rng,
+        );
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+            .expect("fit");
+        let path = dir.join(format!("v{seed}.serd"));
+        model.save_to(&path).expect("save artifact");
+        versions.push(path);
+    }
+    std::fs::copy(&versions[0], models.join("restaurant.serd")).expect("install v1");
+
+    // Boot the server on an ephemeral port.
+    let server = Arc::new(
+        Server::bind(&ServeConfig {
+            models_dir: models.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+        })
+        .expect("bind server"),
+    );
+    let addr: SocketAddr = server.local_addr();
+    let runner = Arc::clone(&server);
+    let run_handle = std::thread::spawn(move || runner.run());
+
+    // Online: client threads drive the fixed mix until the deadline; the
+    // main thread swaps artifact versions underneath them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let failed = Arc::new(AtomicU64::new(0));
+    let slot_counter = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Vec<Mutex<Vec<f64>>>> =
+        Arc::new(CLASSES.iter().map(|_| Mutex::new(Vec::new())).collect());
+
+    let t0 = Instant::now();
+    let mut clients = Vec::new();
+    for _ in 0..workers {
+        let stop = Arc::clone(&stop);
+        let failed = Arc::clone(&failed);
+        let slots = Arc::clone(&slot_counter);
+        let latencies = Arc::clone(&latencies);
+        clients.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let slot = slots.fetch_add(1, Ordering::Relaxed);
+                let class = class_of(slot);
+                let t = Instant::now();
+                match client::get(addr, &path_of(class, slot)) {
+                    Ok(resp) if resp.status == 200 => {
+                        latencies[class]
+                            .lock()
+                            .unwrap()
+                            .push(t.elapsed().as_secs_f64() * 1e3);
+                    }
+                    _ => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut swaps = 0u64;
+    let mut next_version = 1usize;
+    while t0.elapsed().as_secs_f64() < secs {
+        std::thread::sleep(Duration::from_millis(500));
+        // Write-then-rename, the publisher protocol from DESIGN.md §12.
+        let staging = models.join("incoming.tmp");
+        if std::fs::copy(&versions[next_version], &staging).is_ok()
+            && std::fs::rename(&staging, models.join("restaurant.serd")).is_ok()
+        {
+            swaps += 1;
+            next_version = 1 - next_version;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // One post-load scrape proves /metrics stays coherent under load.
+    let metrics_ok = client::get(addr, "/metrics")
+        .map(|r| r.status == 200 && r.body.contains("\"p99_ms\":"))
+        .unwrap_or(false);
+    let observed_swaps = server.cache().swaps();
+    server.shutdown();
+    run_handle.join().expect("server thread");
+
+    let total: u64 = latencies
+        .iter()
+        .map(|m| m.lock().unwrap().len() as u64)
+        .sum::<u64>()
+        + failed.load(Ordering::Relaxed);
+
+    let mut classes_json = Vec::new();
+    for (i, name) in CLASSES.iter().enumerate() {
+        let mut samples = latencies[i].lock().unwrap().clone();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        classes_json.push(format!(
+            "    {{\"class\":\"{name}\",\"count\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+            samples.len(),
+            serd_repro::obs::json_f64(percentile(&samples, 0.50)),
+            serd_repro::obs::json_f64(percentile(&samples, 0.99)),
+        ));
+    }
+
+    println!("{{");
+    println!("  \"runner_cores\": {},", serd_repro::parallel::num_threads());
+    println!("  \"workers\": {workers},");
+    println!("  \"scale\": {},", serd_repro::obs::json_f64(scale));
+    println!("  \"duration_secs\": {},", serd_repro::obs::json_f64(elapsed));
+    println!("  \"requests\": {total},");
+    println!(
+        "  \"sustained_rps\": {},",
+        serd_repro::obs::json_f64(total as f64 / elapsed)
+    );
+    println!("  \"failed_requests\": {},", failed.load(Ordering::Relaxed));
+    println!("  \"swaps_performed\": {swaps},");
+    println!("  \"swaps_observed\": {observed_swaps},");
+    println!("  \"metrics_endpoint_ok\": {metrics_ok},");
+    println!("  \"latency\": [");
+    println!("{}", classes_json.join(",\n"));
+    println!("  ]");
+    println!("}}");
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Zero-downtime is the headline claim: every request during the swap
+    // window must have succeeded.
+    if failed.load(Ordering::Relaxed) > 0 {
+        eprintln!("error: requests failed during the run");
+        std::process::exit(1);
+    }
+}

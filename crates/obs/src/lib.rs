@@ -244,6 +244,19 @@ pub fn report() -> String {
     }
 }
 
+/// Escapes `s` for inclusion inside JSON double quotes. Shared with the
+/// other hand-rolled JSON writers in the workspace (`serd::api`, `serve`) so
+/// every layer escapes identically.
+pub fn json_escape(s: &str) -> String {
+    json::escape(s)
+}
+
+/// Formats an f64 as a JSON value (`null` for non-finite inputs); the same
+/// rendering the run-report uses.
+pub fn json_f64(v: f64) -> String {
+    json::fmt_f64(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,21 @@ pub struct SerdSynthesizer {
     model: SerdModel,
 }
 
+/// One synthesis run's resolved parameters: target sizes plus the online
+/// knobs. [`SerdSynthesizer::plan`] copies them out of the model;
+/// `serd::api` layers per-request overrides on top before calling
+/// [`SerdSynthesizer::synthesize_with`]. A plan equal to the model's own
+/// values reproduces [`SerdSynthesizer::synthesize`] bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisPlan {
+    /// Target `|A_syn|`.
+    pub n_a: usize,
+    /// Target `|B_syn|`.
+    pub n_b: usize,
+    /// Online-phase knobs (rejection thresholds, retries, GMM refit config).
+    pub online: OnlineConfig,
+}
+
 impl SerdSynthesizer {
     /// **S1 + offline training.** Learns the M-/N-distributions from
     /// `real`'s similarity vectors, trains per-text-column bucketed DP
@@ -247,12 +262,33 @@ impl SerdSynthesizer {
         gmm::io::omixture_to_string(&self.model.o_real)
     }
 
+    /// The model's own synthesis parameters as a mutable [`SynthesisPlan`].
+    pub fn plan(&self) -> SynthesisPlan {
+        SynthesisPlan {
+            n_a: self.model.n_a,
+            n_b: self.model.n_b,
+            online: self.model.online.clone(),
+        }
+    }
+
     /// **S2 + S3.** Runs the iterative synthesis loop with entity rejection,
     /// then labels all remaining (blocked) pairs by GMM posterior.
     pub fn synthesize<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SynthesizedEr> {
+        self.synthesize_with(&self.plan(), rng)
+    }
+
+    /// [`SerdSynthesizer::synthesize`] with explicit run parameters. The
+    /// model's learned components are untouched; only target sizes and
+    /// online knobs come from `plan`, so a plan equal to [`Self::plan`] is
+    /// RNG-stream-identical to `synthesize`.
+    pub fn synthesize_with<R: Rng + ?Sized>(
+        &self,
+        plan: &SynthesisPlan,
+        rng: &mut R,
+    ) -> Result<SynthesizedEr> {
         let _span = obs::span("synthesize");
         let model = &self.model;
-        let online = &model.online;
+        let online = &plan.online;
         let mut stats = SynthesisStats {
             epsilon: model.epsilon,
             ..Default::default()
@@ -277,15 +313,15 @@ impl SerdSynthesizer {
         a.push_entity(first)?;
         stats.accepted += 1;
 
-        while a.len() < model.n_a || b.len() < model.n_b {
+        while a.len() < plan.n_a || b.len() < plan.n_b {
             // S2-1: sample an existing synthesized entity. Once a table is
             // full, `e` is drawn only from it so `e'` fills the other one
             // (paper Section III Remark 1).
-            let e_in_a = if a.len() >= model.n_a {
+            let e_in_a = if a.len() >= plan.n_a {
                 true // A full: e from A, e' into B
             } else if b.is_empty() {
                 true // only A has entities yet
-            } else if b.len() >= model.n_b {
+            } else if b.len() >= plan.n_b {
                 false // B full: e from B, e' into A
             } else {
                 rng.gen_range(0..a.len() + b.len()) < a.len()

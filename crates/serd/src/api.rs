@@ -1,0 +1,673 @@
+//! The typed request/response surface of the online phase.
+//!
+//! Every public entry point that *runs* a fitted model — the `serd-repro`
+//! CLI, the HTTP serving layer (`crates/serve`), examples, benches, and the
+//! integration tests — speaks this one vocabulary instead of carrying its
+//! own ad-hoc option plumbing:
+//!
+//! * [`SynthesisRequest`] — which model, which seed, target sizes, and
+//!   per-request [`OnlineOverrides`] of the rejection knobs;
+//! * [`SynthesisResponse`] — the synthesized dataset plus run metadata, with
+//!   canonical renderings ([`SynthesisResponse::csv`],
+//!   [`SynthesisResponse::jsonl`]) that every caller shares byte for byte;
+//! * [`ApiError`] — structured failures that map onto HTTP status codes
+//!   ([`ApiError::http_status`]) and CLI exit codes ([`ApiError::exit_code`]).
+//!
+//! # Determinism contract
+//!
+//! The online phase draws from an RNG derived as `seed ^ ONLINE_SEED_SALT`
+//! ([`online_rng`]), independent of any offline stream. Two calls to
+//! [`synthesize`] with the same artifact and the same request are therefore
+//! byte-identical — whether they run in one process or on different machines,
+//! back to back or interleaved with arbitrary other requests. This is what
+//! lets the serving layer replay and cache responses, and what the
+//! `server == synthesize --model` diff tests pin.
+
+use crate::algorithm::SynthesisPlan;
+use crate::model::MAX_ONLINE_KNOB;
+use crate::{OnlineConfig, SerdError, SerdModel, SerdSynthesizer, SynthesisStats, SynthesizedEr};
+use er_core::{csv, ErDataset};
+use persist::PersistError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+/// The online phase's RNG is derived from the request seed, not continued
+/// from the offline stream, so `fit` + `synthesize --model` (or a server
+/// request against the artifact) reproduces a direct `synthesize` run byte
+/// for byte at the same seed.
+pub const ONLINE_SEED_SALT: u64 = 0x5345_5244_4F4E_4C4E; // "SERDONLN"
+
+/// Upper bound on request-supplied target sizes; a typo'd `n=999999999`
+/// must not pin a serving worker for hours.
+pub const MAX_TARGET: usize = 1 << 20;
+
+/// The derived online-phase RNG for `seed` (see [`ONLINE_SEED_SALT`]).
+pub fn online_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ ONLINE_SEED_SALT)
+}
+
+/// A structured failure of the typed API. Each variant carries a stable
+/// mapping to an HTTP status code and a CLI exit code, so the server handler
+/// and `main.rs` report the same failure the same way.
+#[derive(Debug)]
+pub enum ApiError {
+    /// Malformed input: unknown option, unparsable value, out-of-range knob.
+    BadRequest(String),
+    /// The referenced model (or subcommand target) does not exist.
+    NotFound(String),
+    /// The request is well-formed but conflicts with the artifact — e.g.
+    /// enabling rejection on a model fitted without it.
+    Conflict(String),
+    /// The model artifact is unreadable: corrupt, truncated, or a version
+    /// this build does not understand.
+    Artifact(PersistError),
+    /// The synthesis pipeline itself failed.
+    Pipeline(String),
+    /// Filesystem or network error outside the artifact parser.
+    Io(String),
+}
+
+impl ApiError {
+    /// The HTTP status code the serving layer answers with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::NotFound(_) => 404,
+            ApiError::Conflict(_) => 409,
+            ApiError::Artifact(_) => 422,
+            ApiError::Pipeline(_) => 500,
+            ApiError::Io(_) => 500,
+        }
+    }
+
+    /// The CLI process exit code (0 is success, 1 is reserved for panics).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            ApiError::BadRequest(_) => 2,
+            ApiError::NotFound(_) => 3,
+            ApiError::Conflict(_) => 4,
+            ApiError::Artifact(_) => 5,
+            ApiError::Pipeline(_) => 6,
+            ApiError::Io(_) => 7,
+        }
+    }
+
+    /// Stable machine-readable kind tag (used in the server's JSON error
+    /// bodies).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::BadRequest(_) => "bad_request",
+            ApiError::NotFound(_) => "not_found",
+            ApiError::Conflict(_) => "conflict",
+            ApiError::Artifact(_) => "artifact",
+            ApiError::Pipeline(_) => "pipeline",
+            ApiError::Io(_) => "io",
+        }
+    }
+
+    /// The server's JSON error body for this failure.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"status\":{},\"message\":\"{}\"}}}}",
+            self.kind(),
+            self.http_status(),
+            obs::json_escape(&self.to_string()),
+        )
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::NotFound(m) => write!(f, "not found: {m}"),
+            ApiError::Conflict(m) => write!(f, "conflict: {m}"),
+            ApiError::Artifact(e) => write!(f, "model artifact error: {e}"),
+            ApiError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            ApiError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<PersistError> for ApiError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io { .. } => ApiError::Io(e.to_string()),
+            other => ApiError::Artifact(other),
+        }
+    }
+}
+
+impl From<SerdError> for ApiError {
+    fn from(e: SerdError) -> Self {
+        match e {
+            SerdError::Persist(p) => ApiError::from(p),
+            other => ApiError::Pipeline(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        ApiError::Io(e.to_string())
+    }
+}
+
+/// Which fitted model a request targets: a filesystem path (CLI) or a name
+/// resolved by the serving layer's artifact cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelRef {
+    /// A `.serd` artifact on disk.
+    Path(PathBuf),
+    /// A model name, resolved against the server's `--models` directory.
+    Name(String),
+}
+
+impl std::fmt::Display for ModelRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelRef::Path(p) => write!(f, "{}", p.display()),
+            ModelRef::Name(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Per-request overrides of the online knobs baked into the artifact at fit
+/// time. `None` fields keep the fitted value.
+///
+/// Overrides are validated against the artifact: a model fitted *without*
+/// rejection (the `SERD-` ablation) never calibrated its `α`/`β` thresholds,
+/// so enabling rejection — or retuning its thresholds — on such an artifact
+/// is a structured [`ApiError::Conflict`], not a silent no-op (and not the
+/// pre-API behavior of silently *ignoring* `--no-rejection` with `--model`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineOverrides {
+    /// `Some(false)` disables both rejection cases (the `SERD-` ablation at
+    /// request time); `Some(true)` re-asserts the fitted rejection setup.
+    pub rejection: Option<bool>,
+    /// Distribution-rejection strictness `α` (Eq. 10).
+    pub alpha: Option<f64>,
+    /// Discriminator-rejection threshold `β`.
+    pub beta: Option<f64>,
+    /// Retries before a repeatedly rejected entity is accepted anyway.
+    pub max_retries: Option<usize>,
+}
+
+impl OnlineOverrides {
+    /// True when no field is set (the request runs the artifact as fitted).
+    pub fn is_empty(&self) -> bool {
+        *self == OnlineOverrides::default()
+    }
+
+    /// Applies the overrides to a fitted [`OnlineConfig`], validating each
+    /// knob and the artifact's support for it.
+    pub fn apply(&self, fitted: &OnlineConfig) -> Result<OnlineConfig, ApiError> {
+        let mut out = fitted.clone();
+        let fitted_rejection = fitted.reject_by_discriminator || fitted.reject_by_distribution;
+        if !fitted_rejection && self.rejection != Some(false) {
+            // The artifact is a SERD- fit: α/β were never calibrated, the
+            // O_syn warmup never exercised. Tuning rejection against it is a
+            // semantic conflict unless the request also keeps rejection off.
+            if self.rejection == Some(true) {
+                return Err(ApiError::Conflict(
+                    "artifact was fitted without rejection (SERD-); rejection cannot be \
+                     enabled per-request"
+                        .into(),
+                ));
+            }
+            if self.alpha.is_some() || self.beta.is_some() {
+                return Err(ApiError::Conflict(
+                    "artifact was fitted without rejection (SERD-); alpha/beta overrides \
+                     are unsupported for it"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(a) = self.alpha {
+            if !a.is_finite() || a < 0.0 {
+                return Err(ApiError::BadRequest(format!(
+                    "alpha must be a finite non-negative number, got {a}"
+                )));
+            }
+            out.alpha = a;
+        }
+        if let Some(b) = self.beta {
+            if !b.is_finite() || !(0.0..=1.0).contains(&b) {
+                return Err(ApiError::BadRequest(format!(
+                    "beta must be in [0, 1], got {b}"
+                )));
+            }
+            out.beta = b;
+        }
+        if let Some(r) = self.max_retries {
+            if r > MAX_ONLINE_KNOB {
+                return Err(ApiError::BadRequest(format!(
+                    "max_retries {r} exceeds the cap {MAX_ONLINE_KNOB}"
+                )));
+            }
+            out.max_retries = r;
+        }
+        if self.rejection == Some(false) {
+            out.reject_by_discriminator = false;
+            out.reject_by_distribution = false;
+        }
+        Ok(out)
+    }
+}
+
+/// One synthesis request: the typed surface shared by the CLI
+/// (`synthesize --model`), the HTTP handler (`POST /synthesize`), and tests.
+#[derive(Debug, Clone)]
+pub struct SynthesisRequest {
+    /// Which fitted model to run.
+    pub model: ModelRef,
+    /// Online-phase seed; the effective RNG is [`online_rng`]`(seed)`.
+    pub seed: u64,
+    /// Target `|A_syn|`; `None` keeps the artifact's fitted target.
+    pub n_a: Option<usize>,
+    /// Target `|B_syn|`; `None` keeps the artifact's fitted target.
+    pub n_b: Option<usize>,
+    /// Per-request online-knob overrides.
+    pub overrides: OnlineOverrides,
+}
+
+impl SynthesisRequest {
+    /// A request for `model` with the CLI's historical defaults (seed 42, no
+    /// overrides, artifact target sizes).
+    pub fn new(model: ModelRef) -> Self {
+        SynthesisRequest {
+            model,
+            seed: 42,
+            n_a: None,
+            n_b: None,
+            overrides: OnlineOverrides::default(),
+        }
+    }
+}
+
+/// Which rendering of the synthesized dataset a caller wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table {
+    /// `A_syn.csv` — the synthesized A relation.
+    A,
+    /// `B_syn.csv` — the synthesized B relation.
+    B,
+    /// `matches_syn.csv` — the labeled matching pairs, sorted.
+    Matches,
+}
+
+/// The matches CSV (`a_index,b_index` header, pairs sorted ascending) —
+/// the one canonical rendering used by the CLI's `matches_syn.csv`, the
+/// server's `table=matches` responses, and the diff tests between them.
+pub fn matches_csv(er: &ErDataset) -> String {
+    let mut records = vec![vec!["a_index".to_string(), "b_index".to_string()]];
+    let mut pairs: Vec<_> = er.matches().iter().copied().collect();
+    pairs.sort_unstable();
+    for (i, j) in pairs {
+        records.push(vec![i.to_string(), j.to_string()]);
+    }
+    csv::write(&records)
+}
+
+/// The result of one synthesis request: the dataset plus run metadata, with
+/// the canonical CSV / JSON-lines renderings.
+pub struct SynthesisResponse {
+    /// The synthesized dataset and its run statistics.
+    pub out: SynthesizedEr,
+    /// The request seed (echoed for response metadata).
+    pub seed: u64,
+    /// DP ε (δ = 1e-5) of the model that produced this response.
+    pub epsilon: f64,
+    /// The effective online configuration after overrides.
+    pub online: OnlineConfig,
+}
+
+impl SynthesisResponse {
+    /// The synthesized dataset.
+    pub fn er(&self) -> &ErDataset {
+        &self.out.er
+    }
+
+    /// Run statistics (accept/reject counters, match counts).
+    pub fn stats(&self) -> &SynthesisStats {
+        &self.out.stats
+    }
+
+    /// The canonical CSV rendering of one output table — byte-identical to
+    /// the file `synthesize --model` writes for the same request.
+    pub fn csv(&self, table: Table) -> String {
+        match table {
+            Table::A => csv::relation_to_csv(self.out.er.a()),
+            Table::B => csv::relation_to_csv(self.out.er.b()),
+            Table::Matches => matches_csv(&self.out.er),
+        }
+    }
+
+    /// The canonical JSON-lines rendering: one object per synthesized record
+    /// (`table`/`row`/`fields`), then one per match pair, then a summary
+    /// line. Streamed as-is by the server's `format=jsonl` responses.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, rel) in [("A", self.out.er.a()), ("B", self.out.er.b())] {
+            for (i, e) in rel.entities().iter().enumerate() {
+                out.push_str(&format!("{{\"table\":\"{name}\",\"row\":{i},\"fields\":["));
+                for (k, v) in e.values().iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&obs::json_escape(&v.render()));
+                    out.push('"');
+                }
+                out.push_str("]}\n");
+            }
+        }
+        let mut pairs: Vec<_> = self.out.er.matches().iter().copied().collect();
+        pairs.sort_unstable();
+        for (i, j) in pairs {
+            out.push_str(&format!("{{\"table\":\"matches\",\"a\":{i},\"b\":{j}}}\n"));
+        }
+        out.push_str(&format!(
+            "{{\"summary\":{{\"a\":{},\"b\":{},\"matches\":{},\"seed\":{},\"epsilon\":{}}}}}\n",
+            self.out.er.a().len(),
+            self.out.er.b().len(),
+            self.out.er.num_matches(),
+            self.seed,
+            obs::json_f64(self.epsilon),
+        ));
+        out
+    }
+}
+
+/// Loads a `.serd` model artifact, mapping IO and format failures onto
+/// [`ApiError`] (the facade's replacement for calling
+/// [`SerdModel::load_from`] and stringifying the error at every call site).
+pub fn load_model(path: impl AsRef<Path>) -> Result<SerdModel, ApiError> {
+    let path = path.as_ref();
+    if !path.exists() {
+        return Err(ApiError::NotFound(format!(
+            "model artifact {}",
+            path.display()
+        )));
+    }
+    SerdModel::load_from(path).map_err(ApiError::from)
+}
+
+/// Runs one [`SynthesisRequest`] against an already-resolved synthesizer.
+///
+/// `req.model` is informational here — resolution (path loading, server
+/// cache lookup) happens before this call. The function derives the online
+/// RNG from `req.seed`, layers `req`'s overrides and target sizes onto the
+/// artifact's fitted plan, and synthesizes. Responses are bit-reproducible:
+/// the same `(artifact, request)` always yields the same bytes.
+pub fn synthesize(
+    synth: &SerdSynthesizer,
+    req: &SynthesisRequest,
+) -> Result<SynthesisResponse, ApiError> {
+    let mut plan: SynthesisPlan = synth.plan();
+    plan.online = req.overrides.apply(&synth.model().online)?;
+    for (label, target, slot) in [("n_a", req.n_a, &mut plan.n_a), ("n_b", req.n_b, &mut plan.n_b)]
+    {
+        if let Some(n) = target {
+            if n == 0 || n > MAX_TARGET {
+                return Err(ApiError::BadRequest(format!(
+                    "{label} must be in [1, {MAX_TARGET}], got {n}"
+                )));
+            }
+            *slot = n;
+        }
+    }
+    let mut rng = online_rng(req.seed);
+    let out = synth.synthesize_with(&plan, &mut rng)?;
+    Ok(SynthesisResponse {
+        out,
+        seed: req.seed,
+        epsilon: synth.epsilon(),
+        online: plan.online,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SerdConfig;
+    use datagen::{generate, DatasetKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted_online(rejection: bool) -> OnlineConfig {
+        let cfg = if rejection {
+            SerdConfig::default()
+        } else {
+            SerdConfig::default().without_rejection()
+        };
+        OnlineConfig::from_serd(&cfg)
+    }
+
+    #[test]
+    fn status_and_exit_codes_are_stable() {
+        let cases: Vec<(ApiError, u16, u8)> = vec![
+            (ApiError::BadRequest("x".into()), 400, 2),
+            (ApiError::NotFound("x".into()), 404, 3),
+            (ApiError::Conflict("x".into()), 409, 4),
+            (
+                ApiError::Artifact(PersistError::BadMagic {
+                    expected: "a".into(),
+                    found: "b".into(),
+                }),
+                422,
+                5,
+            ),
+            (ApiError::Pipeline("x".into()), 500, 6),
+            (ApiError::Io("x".into()), 500, 7),
+        ];
+        for (e, status, code) in cases {
+            assert_eq!(e.http_status(), status, "{e}");
+            assert_eq!(e.exit_code(), code, "{e}");
+        }
+    }
+
+    #[test]
+    fn persist_io_maps_to_io_error() {
+        let e = ApiError::from(PersistError::Io {
+            path: "p".into(),
+            msg: "denied".into(),
+        });
+        assert!(matches!(e, ApiError::Io(_)));
+        let e = ApiError::from(PersistError::Truncated {
+            line: 3,
+            expected: "kv".into(),
+        });
+        assert!(matches!(e, ApiError::Artifact(_)));
+    }
+
+    #[test]
+    fn error_json_bodies_are_escaped() {
+        let e = ApiError::BadRequest("quote \" and \n newline".into());
+        let body = e.to_json();
+        assert!(body.contains("\\\""), "{body}");
+        assert!(body.contains("\\n"), "{body}");
+        assert!(body.contains("\"kind\":\"bad_request\""), "{body}");
+    }
+
+    #[test]
+    fn empty_overrides_keep_fitted_config() {
+        let fitted = fitted_online(true);
+        let out = OnlineOverrides::default().apply(&fitted).unwrap();
+        assert_eq!(out, fitted);
+    }
+
+    #[test]
+    fn no_rejection_override_disables_both_cases() {
+        let fitted = fitted_online(true);
+        let out = OnlineOverrides {
+            rejection: Some(false),
+            ..Default::default()
+        }
+        .apply(&fitted)
+        .unwrap();
+        assert!(!out.reject_by_discriminator);
+        assert!(!out.reject_by_distribution);
+    }
+
+    #[test]
+    fn alpha_beta_retry_overrides_apply() {
+        let fitted = fitted_online(true);
+        let out = OnlineOverrides {
+            alpha: Some(0.5),
+            beta: Some(0.7),
+            max_retries: Some(2),
+            ..Default::default()
+        }
+        .apply(&fitted)
+        .unwrap();
+        assert_eq!(out.alpha, 0.5);
+        assert_eq!(out.beta, 0.7);
+        assert_eq!(out.max_retries, 2);
+        // Untouched knobs stay fitted.
+        assert_eq!(out.t_sample, fitted.t_sample);
+    }
+
+    #[test]
+    fn enabling_rejection_on_serd_minus_artifact_conflicts() {
+        let fitted = fitted_online(false);
+        let err = OnlineOverrides {
+            rejection: Some(true),
+            ..Default::default()
+        }
+        .apply(&fitted)
+        .unwrap_err();
+        assert!(matches!(err, ApiError::Conflict(_)), "{err}");
+        let err = OnlineOverrides {
+            alpha: Some(0.5),
+            ..Default::default()
+        }
+        .apply(&fitted)
+        .unwrap_err();
+        assert!(matches!(err, ApiError::Conflict(_)), "{err}");
+        // Keeping rejection off is always fine, even with other overrides.
+        let ok = OnlineOverrides {
+            rejection: Some(false),
+            max_retries: Some(0),
+            ..Default::default()
+        }
+        .apply(&fitted);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn out_of_range_overrides_are_bad_requests() {
+        let fitted = fitted_online(true);
+        for bad in [
+            OnlineOverrides {
+                alpha: Some(-1.0),
+                ..Default::default()
+            },
+            OnlineOverrides {
+                alpha: Some(f64::NAN),
+                ..Default::default()
+            },
+            OnlineOverrides {
+                beta: Some(1.5),
+                ..Default::default()
+            },
+            OnlineOverrides {
+                max_retries: Some(usize::MAX),
+                ..Default::default()
+            },
+        ] {
+            let err = bad.apply(&fitted).unwrap_err();
+            assert!(matches!(err, ApiError::BadRequest(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn load_model_missing_path_is_not_found() {
+        let err = match load_model("/nonexistent/model.serd") {
+            Err(e) => e,
+            Ok(_) => panic!("loading a nonexistent path succeeded"),
+        };
+        assert!(matches!(err, ApiError::NotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn synthesize_is_bit_reproducible_and_honors_overrides() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let model =
+            SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+        let synth = SerdSynthesizer::from_model(model);
+
+        let req = SynthesisRequest {
+            seed: 11,
+            ..SynthesisRequest::new(ModelRef::Name("m".into()))
+        };
+        let r1 = synthesize(&synth, &req).unwrap();
+        let r2 = synthesize(&synth, &req).unwrap();
+        for t in [Table::A, Table::B, Table::Matches] {
+            assert_eq!(r1.csv(t), r2.csv(t), "response not reproducible for {t:?}");
+        }
+        assert_eq!(r1.jsonl(), r2.jsonl());
+
+        // The request path is byte-identical to the pre-API CLI path
+        // (online_rng + synthesize).
+        let mut cli_rng = online_rng(11);
+        let direct = synth.synthesize(&mut cli_rng).unwrap();
+        assert_eq!(r1.csv(Table::A), csv::relation_to_csv(direct.er.a()));
+        assert_eq!(r1.csv(Table::Matches), matches_csv(&direct.er));
+
+        // Overriding target sizes actually changes the output shape.
+        let small = SynthesisRequest {
+            n_a: Some(8),
+            n_b: Some(9),
+            ..req.clone()
+        };
+        let r3 = synthesize(&synth, &small).unwrap();
+        assert_eq!(r3.er().a().len(), 8);
+        assert_eq!(r3.er().b().len(), 9);
+
+        // Disabling rejection per-request takes effect (the --model
+        // --no-rejection bugfix): no rejections can be counted.
+        let norej = SynthesisRequest {
+            overrides: OnlineOverrides {
+                rejection: Some(false),
+                ..Default::default()
+            },
+            ..req
+        };
+        let r4 = synthesize(&synth, &norej).unwrap();
+        assert_eq!(r4.stats().rejected_discriminator, 0);
+        assert_eq!(r4.stats().rejected_distribution, 0);
+    }
+
+    #[test]
+    fn jsonl_shape_is_parseable_line_per_record() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let model =
+            SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng).unwrap();
+        let synth = SerdSynthesizer::from_model(model);
+        let req = SynthesisRequest {
+            seed: 5,
+            n_a: Some(4),
+            n_b: Some(4),
+            ..SynthesisRequest::new(ModelRef::Name("m".into()))
+        };
+        let resp = synthesize(&synth, &req).unwrap();
+        let text = resp.jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            4 + 4 + resp.er().num_matches() + 1,
+            "one line per record + matches + summary"
+        );
+        assert!(lines[0].starts_with("{\"table\":\"A\",\"row\":0,"));
+        assert!(lines.last().unwrap().starts_with("{\"summary\":"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
+        }
+    }
+}

@@ -54,6 +54,7 @@
 //! ```
 
 mod algorithm;
+pub mod api;
 pub mod baselines;
 mod config;
 pub mod decision;
@@ -61,7 +62,7 @@ mod model;
 mod rejection;
 mod synthesis;
 
-pub use algorithm::{SerdSynthesizer, SynthesisStats, SynthesizedEr};
+pub use algorithm::{SerdSynthesizer, SynthesisPlan, SynthesisStats, SynthesizedEr};
 pub use config::SerdConfig;
 pub use model::{OnlineConfig, SerdModel};
 pub use rejection::OSynState;

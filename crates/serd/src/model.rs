@@ -20,8 +20,9 @@ use persist::{Persist, Reader, Writer};
 /// corrupt count must still not trigger an absurd allocation.
 const MAX_PERSISTED_CORPUS: usize = 1 << 22;
 
-/// Upper bound on the knob-style integer fields of [`OnlineConfig`].
-const MAX_ONLINE_KNOB: usize = 1 << 20;
+/// Upper bound on the knob-style integer fields of [`OnlineConfig`] (also
+/// the cap `serd::api` applies to request-supplied overrides).
+pub(crate) const MAX_ONLINE_KNOB: usize = 1 << 20;
 
 /// The subset of [`SerdConfig`] the online phase actually reads. Persisted
 /// with the model so `synthesize` behaves identically whether the model came

@@ -1,0 +1,317 @@
+//! Hot-swappable artifact cache.
+//!
+//! The unit of sharing is the artifact **text**, not the deserialized model:
+//! `SerdModel` holds `Rc`-based autograd state (`neural::Var`) and is
+//! deliberately not `Send`/`Sync`. So the cache keeps each model's raw
+//! `serd-model-v1` text in an [`ArtifactBlob`] behind an `Arc`, and every
+//! worker thread materializes its own private `SerdSynthesizer` replica from
+//! that text on first use ([`with_worker_model`]). The offline/online
+//! byte-fixpoint property (save → load → save is the identity) guarantees
+//! every replica of the same blob behaves bit-identically, so "which worker
+//! answered" can never show through in a response.
+//!
+//! Hot swap: [`ArtifactCache::get`] stats the backing file on every request
+//! and compares a `(mtime, len)` stamp. On change it re-reads and re-parses
+//! *outside* the lock, then publishes the new blob with a single `Arc` swap
+//! and a bumped version counter. In-flight requests keep their old `Arc` and
+//! finish on the model they started with; a reload that fails to parse keeps
+//! serving the previous version (counted in `failed_swaps`). Publishers
+//! should write a fresh file and `rename(2)` it over the old one so readers
+//! never observe a half-written artifact.
+
+use serd::api::{ApiError, SynthesisRequest, SynthesisResponse};
+use serd::{Persist, SerdModel, SerdSynthesizer};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::SystemTime;
+
+/// Change-detection stamp for an artifact file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStamp {
+    /// Modification time reported by the filesystem.
+    pub mtime: SystemTime,
+    /// File length in bytes.
+    pub len: u64,
+}
+
+impl FileStamp {
+    fn of(path: &Path) -> Result<FileStamp, ApiError> {
+        let meta = std::fs::metadata(path)
+            .map_err(|e| ApiError::Io(format!("stat {}: {e}", path.display())))?;
+        Ok(FileStamp {
+            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            len: meta.len(),
+        })
+    }
+}
+
+/// Summary metadata extracted from a parsed artifact, cheap enough to carry
+/// on the shared blob for `/models` listings.
+#[derive(Debug, Clone)]
+pub struct ModelMeta {
+    /// Fitted target sizes `(|A_syn|, |B_syn|)`.
+    pub n_a: usize,
+    /// See [`ModelMeta::n_a`].
+    pub n_b: usize,
+    /// DP ε (δ = 1e-5) of the fit.
+    pub epsilon: f64,
+    /// Whether the artifact was fitted with entity rejection enabled
+    /// (`false` = the SERD- ablation; per-request rejection overrides are
+    /// rejected with 409 for such artifacts).
+    pub rejection: bool,
+    /// Relation names `(A, B)`.
+    pub names: (String, String),
+}
+
+/// One loaded artifact version: the raw text plus metadata. Immutable once
+/// published; hot swaps replace the whole blob.
+pub struct ArtifactBlob {
+    /// Model name (file stem under the models directory).
+    pub name: String,
+    /// Monotonic per-name version, starting at 1 and bumped on every swap.
+    pub version: u64,
+    /// Opaque cache validator exposed as the `X-Model-Etag` response header.
+    pub etag: String,
+    /// The `serd-model-v1` artifact text workers deserialize from.
+    pub text: String,
+    /// Parsed-out summary for `/models`.
+    pub meta: ModelMeta,
+    /// The stamp the text was read under (stale iff the file's differs).
+    pub stamp: FileStamp,
+}
+
+/// The server-wide artifact registry: name → current [`ArtifactBlob`].
+pub struct ArtifactCache {
+    dir: PathBuf,
+    entries: RwLock<HashMap<String, Arc<ArtifactBlob>>>,
+    swaps: AtomicU64,
+    failed_swaps: AtomicU64,
+}
+
+/// A model name is a bare file stem: no separators, no dotfiles, no traversal.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 96
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+fn meta_of(model: &SerdModel) -> ModelMeta {
+    ModelMeta {
+        n_a: model.n_a,
+        n_b: model.n_b,
+        epsilon: model.epsilon,
+        rejection: model.online.reject_by_discriminator || model.online.reject_by_distribution,
+        names: model.names.clone(),
+    }
+}
+
+impl ArtifactCache {
+    /// A cache over `dir`, which must exist and hold `<name>.serd` files.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<ArtifactCache, ApiError> {
+        let dir = dir.into();
+        if !dir.is_dir() {
+            return Err(ApiError::NotFound(format!(
+                "models directory {}",
+                dir.display()
+            )));
+        }
+        Ok(ArtifactCache {
+            dir,
+            entries: RwLock::new(HashMap::new()),
+            swaps: AtomicU64::new(0),
+            failed_swaps: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache resolves names in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Completed hot swaps (version bumps after the initial load).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Reloads that failed and fell back to the previous version.
+    pub fn failed_swaps(&self) -> u64 {
+        self.failed_swaps.load(Ordering::Relaxed)
+    }
+
+    /// Number of model names currently loaded.
+    pub fn loaded(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// Model names available on disk (sorted), loaded or not.
+    pub fn list_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                let stem = path.file_stem()?.to_str()?.to_string();
+                (path.extension()?.to_str()? == "serd" && valid_name(&stem)).then_some(stem)
+            })
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The current blob for `name`, reloading first if the backing file's
+    /// stamp changed. The hot path (no change) is one `stat` plus a read
+    /// lock; the reload path parses outside any lock, so concurrent
+    /// requests keep being served the old version until the new one is
+    /// published atomically.
+    pub fn get(&self, name: &str) -> Result<Arc<ArtifactBlob>, ApiError> {
+        if !valid_name(name) {
+            return Err(ApiError::BadRequest(format!("invalid model name {name:?}")));
+        }
+        let path = self.dir.join(format!("{name}.serd"));
+        let stamp = match FileStamp::of(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                return Err(ApiError::NotFound(format!("model {name:?}")));
+            }
+        };
+        if let Some(blob) = self.entries.read().unwrap().get(name) {
+            if blob.stamp == stamp {
+                return Ok(Arc::clone(blob));
+            }
+        }
+        match self.load_blob(name, &path, stamp) {
+            Ok(blob) => Ok(blob),
+            Err(err) => self.stale_fallback(name, err),
+        }
+    }
+
+    fn load_blob(
+        &self,
+        name: &str,
+        path: &Path,
+        stamp: FileStamp,
+    ) -> Result<Arc<ArtifactBlob>, ApiError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ApiError::Io(format!("read {}: {e}", path.display())))?;
+        // Parse once here to validate and extract metadata; workers parse
+        // their own replicas from the same text later.
+        let model = SerdModel::from_persist_str(&text).map_err(ApiError::from)?;
+        let meta = meta_of(&model);
+        drop(model);
+
+        let mut map = self.entries.write().unwrap();
+        if let Some(existing) = map.get(name) {
+            // Another thread won the reload race while we were parsing.
+            if existing.stamp == stamp {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        let version = map.get(name).map(|b| b.version + 1).unwrap_or(1);
+        let mtime_ns = stamp
+            .mtime
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let blob = Arc::new(ArtifactBlob {
+            name: name.to_string(),
+            version,
+            etag: format!("{name}.v{version}.{}.{mtime_ns}", stamp.len),
+            text,
+            meta,
+            stamp,
+        });
+        if map.insert(name.to_string(), Arc::clone(&blob)).is_some() {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.swaps", 1);
+        }
+        Ok(blob)
+    }
+
+    fn stale_fallback(
+        &self,
+        name: &str,
+        err: ApiError,
+    ) -> Result<Arc<ArtifactBlob>, ApiError> {
+        if let Some(old) = self.entries.read().unwrap().get(name) {
+            self.failed_swaps.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.failed_swaps", 1);
+            obs::diag(&format!(
+                "model {name:?}: reload failed ({err}); still serving version {}",
+                old.version
+            ));
+            return Ok(Arc::clone(old));
+        }
+        Err(err)
+    }
+}
+
+thread_local! {
+    // Per-thread materialized replicas, keyed by model name. The (etag)
+    // tag invalidates a replica when its blob is swapped. Never shared:
+    // SerdSynthesizer is not Send and must not be.
+    static WORKER_MODELS: RefCell<HashMap<String, (String, SerdSynthesizer)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Runs `f` against this thread's private replica of `blob`, materializing
+/// (or re-materializing, after a swap) it first. Replica construction parses
+/// the blob's text; thanks to the artifact byte-fixpoint property the result
+/// is bit-equivalent on every thread.
+pub fn with_worker_model<T>(
+    blob: &ArtifactBlob,
+    f: impl FnOnce(&SerdSynthesizer) -> T,
+) -> Result<T, ApiError> {
+    WORKER_MODELS.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let stale = map
+            .get(&blob.name)
+            .map_or(true, |(etag, _)| *etag != blob.etag);
+        if stale {
+            let _span = obs::span("serve.materialize");
+            let model = SerdModel::from_persist_str(&blob.text).map_err(ApiError::from)?;
+            map.insert(
+                blob.name.clone(),
+                (blob.etag.clone(), SerdSynthesizer::from_model(model)),
+            );
+        }
+        let (_, synth) = map.get(&blob.name).expect("replica just inserted");
+        Ok(f(synth))
+    })
+}
+
+/// Resolves `req` against this thread's replica of `blob` and synthesizes.
+/// The composition the HTTP handler and the bench driver share.
+pub fn synthesize_on_worker(
+    blob: &ArtifactBlob,
+    req: &SynthesisRequest,
+) -> Result<SynthesisResponse, ApiError> {
+    with_worker_model(blob, |synth| serd::api::synthesize(synth, req))?
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation_blocks_traversal() {
+        assert!(valid_name("restaurant"));
+        assert!(valid_name("cora_v2-final"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("../etc/passwd"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a.b"));
+        assert!(!valid_name(&"x".repeat(97)));
+    }
+
+    #[test]
+    fn missing_dir_is_not_found() {
+        let err = ArtifactCache::new("/nonexistent-models-dir").err().unwrap();
+        assert!(matches!(err, ApiError::NotFound(_)), "{err}");
+    }
+}

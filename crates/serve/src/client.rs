@@ -1,0 +1,155 @@
+//! A minimal blocking HTTP/1.1 client — just enough to exercise the server
+//! from integration tests and the serve bench driver without any external
+//! dependency. Understands `Content-Length` and `chunked` bodies; one
+//! request per connection, mirroring the server's `Connection: close`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fully read response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded (de-chunked) body.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn io_err(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Decodes the body given the parsed headers: chunked transfer encoding,
+/// explicit `Content-Length`, or read-to-close.
+fn read_body(
+    headers: &[(String, String)],
+    reader: &mut impl BufRead,
+) -> std::io::Result<Vec<u8>> {
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut body = Vec::new();
+    if header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        loop {
+            let size_line = read_line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| io_err(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section (we send none) ends with an empty line.
+                while !read_line(reader)?.is_empty() {}
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let sep = read_line(reader)?;
+            if !sep.is_empty() {
+                return Err(io_err(format!("missing chunk terminator, got {sep:?}")));
+            }
+        }
+    } else if let Some(len) = header("content-length") {
+        let len: usize = len
+            .trim()
+            .parse()
+            .map_err(|_| io_err(format!("bad content-length {len:?}")))?;
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(body)
+}
+
+/// Performs one request against `addr` and reads the full response.
+/// `path_query` is sent as-is (`/synthesize?model=x&seed=1`).
+pub fn request(addr: SocketAddr, method: &str, path_query: &str) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = &stream;
+    write!(
+        writer,
+        "{method} {path_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(&stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io_err(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let body = read_body(&headers, &mut reader)?;
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// `GET path` against `addr`.
+pub fn get(addr: SocketAddr, path_query: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path_query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn chunked_bodies_reassemble() {
+        let wire = "3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n";
+        let headers = vec![("transfer-encoding".to_string(), "chunked".to_string())];
+        let body = read_body(&headers, &mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(body, b"abcdefg");
+    }
+
+    #[test]
+    fn content_length_bodies_read_exactly() {
+        let headers = vec![("content-length".to_string(), "5".to_string())];
+        let body = read_body(&headers, &mut BufReader::new(&b"hellothere"[..])).unwrap();
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn bad_chunk_size_is_an_error() {
+        let headers = vec![("transfer-encoding".to_string(), "chunked".to_string())];
+        assert!(read_body(&headers, &mut BufReader::new(&b"zz\r\n"[..])).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! A hand-rolled HTTP/1.1 subset: exactly what the synthesis service needs,
+//! on `std::net` alone (workspace no-dependency rule).
+//!
+//! Supported on the way in: `GET`/`POST` request lines with query strings,
+//! percent-decoding, up to [`MAX_HEADERS`] headers, and a `Content-Length`
+//! body (read and discarded — requests are fully expressed in the query
+//! string; a body is tolerated so standard clients can POST). On the way
+//! out: fixed-length responses for errors and small payloads, and chunked
+//! transfer encoding for streamed record bodies. Every response closes the
+//! connection (`Connection: close`) — one request per connection keeps the
+//! worker-pool accounting trivial and is plenty for the bench targets.
+
+use serd::api::ApiError;
+use std::io::{BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+pub const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on header count.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on an accepted (and discarded) request body.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request: method, decoded path, decoded query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` / `POST` / anything else (rejected by the router).
+    pub method: String,
+    /// The path component, percent-decoded (`/synthesize`).
+    pub path: String,
+    /// Query pairs in order of appearance, both sides percent-decoded.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> ApiError {
+    ApiError::BadRequest(msg.into())
+}
+
+/// Reads one line (CRLF or LF terminated) with a length cap.
+fn read_line(reader: &mut impl BufRead) -> Result<String, ApiError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(bad(format!("header line exceeds {MAX_LINE} bytes")));
+                }
+            }
+            Err(e) => return Err(ApiError::Io(format!("read request: {e}"))),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| bad("header line is not UTF-8"))
+}
+
+/// Percent-decodes a query component (`%XX` escapes, `+` as space).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits and decodes `a=b&c=d` query text.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Parses one request off the wire. The body, if any, is read (up to
+/// [`MAX_BODY`]) and discarded.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ApiError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Err(bad("empty request"));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol {version:?}")));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut content_length = 0usize;
+    for n in 0.. {
+        if n > MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("bad content-length {value:?}")))?;
+            if content_length > MAX_BODY {
+                return Err(bad(format!("body exceeds {MAX_BODY} bytes")));
+            }
+        }
+    }
+    // Drain the body so the connection is in a clean state for the response.
+    let mut remaining = content_length;
+    let mut sink = [0u8; 4096];
+    while remaining > 0 {
+        let take = remaining.min(sink.len());
+        match reader.read(&mut sink[..take]) {
+            Ok(0) => break,
+            Ok(n) => remaining -= n,
+            Err(e) => return Err(ApiError::Io(format!("read body: {e}"))),
+        }
+    }
+
+    Ok(Request {
+        method,
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+    })
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(String, String)],
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", status, status_text(status))?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Connection: close\r\n")?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    Ok(())
+}
+
+/// Writes a fixed-length response.
+pub fn write_simple(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(String, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    write_head(w, status, content_type, extra)?;
+    write!(w, "Content-Length: {}\r\n\r\n", body.len())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Writes a chunked-transfer response, one chunk per item of `chunks`.
+/// Empty items are skipped (an empty chunk would terminate the stream).
+pub fn write_chunked<'a>(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(String, String)],
+    chunks: impl Iterator<Item = &'a str>,
+) -> std::io::Result<()> {
+    write_head(w, status, content_type, extra)?;
+    write!(w, "Transfer-Encoding: chunked\r\n\r\n")?;
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        write!(w, "{:x}\r\n", chunk.len())?;
+        w.write_all(chunk.as_bytes())?;
+        write!(w, "\r\n")?;
+    }
+    write!(w, "0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Splits `body` into chunks of at least `target` bytes, cutting only at
+/// line boundaries so a JSON-lines consumer can parse each chunk as it
+/// arrives. The concatenation of the chunks is exactly `body`.
+pub fn chunk_lines(body: &str, target: usize) -> Vec<&str> {
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    let mut cursor = 0;
+    for line_end in body
+        .char_indices()
+        .filter(|&(_, c)| c == '\n')
+        .map(|(i, _)| i + 1)
+    {
+        cursor = line_end;
+        if cursor - start >= target {
+            chunks.push(&body[start..cursor]);
+            start = cursor;
+        }
+    }
+    if start < body.len() {
+        chunks.push(&body[start..]);
+    } else if cursor > start {
+        chunks.push(&body[start..cursor]);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    fn parse(text: &str) -> Result<Request, ApiError> {
+        parse_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let req = parse("GET /synthesize?model=restaurant&seed=11&format=csv HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/synthesize");
+        assert_eq!(req.query_value("model"), Some("restaurant"));
+        assert_eq!(req.query_value("seed"), Some("11"));
+        assert_eq!(req.query_value("missing"), None);
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let req = parse("GET /a%20b?name=x%2By&plus=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a b");
+        assert_eq!(req.query_value("name"), Some("x+y"));
+        assert_eq!(req.query_value("plus"), Some("a b"));
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        assert!(parse("").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nno-colon-header\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn body_is_drained() {
+        let text = "POST /synthesize HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut reader = BufReader::new(text.as_bytes());
+        let req = parse_request(&mut reader).unwrap();
+        assert_eq!(req.method, "POST");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "body not drained: {rest:?}");
+    }
+
+    #[test]
+    fn chunk_lines_reassembles_exactly() {
+        let body: String = (0..100).map(|i| format!("line {i}\n")).collect();
+        for target in [1, 7, 64, 1024, 1 << 20] {
+            let chunks = chunk_lines(&body, target);
+            assert_eq!(chunks.concat(), body, "target {target}");
+            for c in &chunks {
+                assert!(c.ends_with('\n') || !body.ends_with('\n'));
+            }
+        }
+        // No trailing newline: the tail is still emitted.
+        let chunks = chunk_lines("a\nb", 1);
+        assert_eq!(chunks.concat(), "a\nb");
+        assert!(chunk_lines("", 16).is_empty());
+    }
+
+    #[test]
+    fn simple_and_chunked_responses_roundtrip() {
+        let mut out = Vec::new();
+        write_simple(&mut out, 404, "application/json", &[], "{\"e\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"e\":1}"));
+
+        let mut out = Vec::new();
+        let body = "abc\ndef\n";
+        write_chunked(
+            &mut out,
+            200,
+            "text/csv",
+            &[("X-Model-Etag".to_string(), "m-v1".to_string())],
+            chunk_lines(body, 4).into_iter(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Model-Etag: m-v1\r\n"));
+        assert!(text.contains("4\r\nabc\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,464 @@
+//! The SERD online-synthesis service (DESIGN.md §12).
+//!
+//! A long-running, std-only HTTP/1.1 server over a directory of versioned
+//! `.serd` artifacts. The offline phase (`fit`, hours) publishes artifacts
+//! into that directory; this crate is the online phase as a service: load
+//! artifacts into an in-memory [`cache::ArtifactCache`], answer synthesis
+//! requests from a bounded worker pool (`crates/parallel`), and stream
+//! records back as chunked CSV or JSON-lines.
+//!
+//! Endpoints:
+//!
+//! * `GET /healthz` — liveness + model count;
+//! * `GET /models` — the artifact directory's models with fit metadata;
+//! * `GET|POST /synthesize?model=<name>&seed=<u64>&format=csv|jsonl&...` —
+//!   run one [`serd::api::SynthesisRequest`], streamed chunked;
+//! * `GET /metrics` — request counters, per-endpoint latency percentiles
+//!   and histograms, cache swap counters, and the `obs` run report.
+//!
+//! Three properties carry the design:
+//!
+//! 1. **Bit-reproducibility under concurrency.** Every request derives its
+//!    own RNG from `seed ^ ONLINE_SEED_SALT` ([`serd::api::online_rng`]);
+//!    no request shares RNG state with any other, so a response is a pure
+//!    function of `(artifact bytes, request)` — the same bytes whether the
+//!    server is idle or saturated, and the same bytes `serd-repro
+//!    synthesize --model` writes for the same request.
+//! 2. **Hot swap without downtime.** Artifact files are re-stat'ed per
+//!    request; a changed `(mtime, len)` stamp triggers a reload that is
+//!    published as a single `Arc` swap. In-flight requests finish on the
+//!    version they started with ([`cache`] module docs).
+//! 3. **No shared mutable model state.** `SerdModel` is `Rc`-based and not
+//!    `Send`; workers materialize private replicas from the shared artifact
+//!    text, which the artifact byte-fixpoint property makes bit-equivalent.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+
+pub use cache::{ArtifactBlob, ArtifactCache};
+pub use metrics::ServerMetrics;
+
+use serd::api::{ApiError, ModelRef, OnlineOverrides, SynthesisRequest, Table};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Streamed response bodies are chunked at line boundaries around this size.
+const CHUNK_TARGET: usize = 16 * 1024;
+
+/// How the server is bound and sized.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory of `<name>.serd` artifacts.
+    pub models_dir: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Concurrent request workers (the pool is `workers` compute threads).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            models_dir: PathBuf::from("models"),
+            addr: "127.0.0.1:7878".to_string(),
+            workers: parallel::num_threads(),
+        }
+    }
+}
+
+/// The bound server. Share it via `Arc` and call [`Server::run`] on one
+/// thread; [`Server::shutdown`] from any other unblocks and drains it.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    cache: ArtifactCache,
+    metrics: ServerMetrics,
+    workers: usize,
+    shutdown: AtomicBool,
+}
+
+/// Requested wire format for a synthesis response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    Csv(Table),
+    Jsonl,
+}
+
+impl Server {
+    /// Binds the listener and opens the artifact cache. Fails fast on a
+    /// missing models directory or an unbindable address.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, ApiError> {
+        let cache = ArtifactCache::new(&cfg.models_dir)?;
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ApiError::Io(format!("bind {}: {e}", cfg.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ApiError::Io(format!("local_addr: {e}")))?;
+        Ok(Server {
+            listener,
+            local_addr,
+            cache,
+            metrics: ServerMetrics::new(),
+            workers: cfg.workers.max(1),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The artifact cache (exposed for tests and the bench driver).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Request metrics (exposed for tests and the bench driver).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Signals [`Server::run`] to stop accepting and drain. Safe to call
+    /// from any thread, any number of times.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Accepts and serves connections until [`Server::shutdown`]. Each
+    /// connection is handled on the worker pool; the accept loop itself
+    /// occupies the pool's scope-caller slot, so `workers` requests can be
+    /// in flight at once. Returns after in-flight requests drain.
+    pub fn run(&self) {
+        let pool = parallel::ThreadPool::new(self.workers + 1);
+        pool.scope(|s| {
+            for conn in self.listener.incoming() {
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(stream) => stream,
+                    Err(_) => continue,
+                };
+                s.spawn(move || self.handle_connection(stream));
+            }
+        });
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(&stream);
+        let parsed = http::parse_request(&mut reader);
+        let mut writer = BufWriter::new(&stream);
+        match parsed {
+            Ok(req) => self.route(&req, &mut writer),
+            Err(e) => {
+                // The request never reached a route; label it as such.
+                let mut timer = self.metrics.begin("malformed");
+                timer.set_status(e.http_status());
+                let _ = write_error(&mut writer, &e);
+            }
+        }
+    }
+
+    fn route(&self, req: &http::Request, w: &mut impl Write) {
+        let label: &'static str = match req.path.as_str() {
+            "/healthz" => "/healthz",
+            "/models" => "/models",
+            "/metrics" => "/metrics",
+            "/synthesize" => "/synthesize",
+            _ => "other",
+        };
+        let mut timer = self.metrics.begin(label);
+        let result = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.handle_healthz(w),
+            ("GET", "/models") => self.handle_models(w),
+            ("GET", "/metrics") => self.handle_metrics(w),
+            ("GET" | "POST", "/synthesize") => self.handle_synthesize(req, w, &mut timer),
+            ("GET" | "POST", _) => {
+                timer.set_status(404);
+                write_error(
+                    w,
+                    &ApiError::NotFound(format!("no route for {}", req.path)),
+                )
+            }
+            (method, _) => {
+                timer.set_status(405);
+                http::write_simple(
+                    w,
+                    405,
+                    "application/json",
+                    &[],
+                    &format!(
+                        "{{\"error\":{{\"kind\":\"method_not_allowed\",\"status\":405,\
+                         \"message\":\"method {} is not supported\"}}}}",
+                        obs::json_escape(method)
+                    ),
+                )
+            }
+        };
+        // A write failure means the peer hung up; the response bytes are
+        // deterministic regardless, so there is nothing to repair.
+        let _ = result;
+    }
+
+    fn handle_healthz(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let body = format!(
+            "{{\"status\":\"ok\",\"models\":{},\"workers\":{}}}\n",
+            self.cache.list_names().len(),
+            self.workers,
+        );
+        http::write_simple(w, 200, "application/json", &[], &body)
+    }
+
+    fn handle_models(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut entries = Vec::new();
+        for name in self.cache.list_names() {
+            match self.cache.get(&name) {
+                Ok(blob) => entries.push(format!(
+                    "{{\"name\":\"{}\",\"version\":{},\"etag\":\"{}\",\"n_a\":{},\"n_b\":{},\
+                     \"epsilon\":{},\"rejection\":{},\"relations\":[\"{}\",\"{}\"]}}",
+                    obs::json_escape(&blob.name),
+                    blob.version,
+                    obs::json_escape(&blob.etag),
+                    blob.meta.n_a,
+                    blob.meta.n_b,
+                    obs::json_f64(blob.meta.epsilon),
+                    blob.meta.rejection,
+                    obs::json_escape(&blob.meta.names.0),
+                    obs::json_escape(&blob.meta.names.1),
+                )),
+                Err(e) => entries.push(format!(
+                    "{{\"name\":\"{}\",\"error\":\"{}\"}}",
+                    obs::json_escape(&name),
+                    obs::json_escape(&e.to_string()),
+                )),
+            }
+        }
+        let body = format!("{{\"models\":[{}]}}\n", entries.join(","));
+        http::write_simple(w, 200, "application/json", &[], &body)
+    }
+
+    fn handle_metrics(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let body = format!(
+            "{{\"server\":{},\"cache\":{{\"models_loaded\":{},\"swaps_total\":{},\
+             \"failed_swaps_total\":{},\"workers\":{}}},\"obs\":{}}}\n",
+            self.metrics.to_json(),
+            self.cache.loaded(),
+            self.cache.swaps(),
+            self.cache.failed_swaps(),
+            self.workers,
+            obs::report_json(),
+        );
+        http::write_simple(w, 200, "application/json", &[], &body)
+    }
+
+    fn handle_synthesize(
+        &self,
+        req: &http::Request,
+        w: &mut impl Write,
+        timer: &mut metrics::RequestTimer<'_>,
+    ) -> std::io::Result<()> {
+        match self.synthesize_response(req) {
+            Ok((blob, body, content_type, seed)) => {
+                let headers = vec![
+                    ("X-Model-Etag".to_string(), blob.etag.clone()),
+                    ("X-Model-Version".to_string(), blob.version.to_string()),
+                    ("X-Serd-Seed".to_string(), seed.to_string()),
+                ];
+                http::write_chunked(
+                    w,
+                    200,
+                    content_type,
+                    &headers,
+                    http::chunk_lines(&body, CHUNK_TARGET).into_iter(),
+                )
+            }
+            Err(e) => {
+                timer.set_status(e.http_status());
+                write_error(w, &e)
+            }
+        }
+    }
+
+    /// The pure part of `/synthesize`: parse → resolve blob → synthesize on
+    /// this worker's replica → render. Returns the full body; streaming
+    /// happens at the HTTP layer (synthesis must finish before the status
+    /// line, so errors can still map to status codes).
+    fn synthesize_response(
+        &self,
+        req: &http::Request,
+    ) -> Result<(Arc<ArtifactBlob>, String, &'static str, u64), ApiError> {
+        let (name, sreq, wire) = parse_synthesize_query(req)?;
+        let blob = self.cache.get(&name)?;
+        let response = cache::synthesize_on_worker(&blob, &sreq)?;
+        obs::counter("serve.synthesize", 1);
+        let (body, content_type) = match wire {
+            Wire::Csv(table) => (response.csv(table), "text/csv"),
+            Wire::Jsonl => (response.jsonl(), "application/x-ndjson"),
+        };
+        Ok((blob, body, content_type, sreq.seed))
+    }
+}
+
+fn write_error(w: &mut impl Write, e: &ApiError) -> std::io::Result<()> {
+    http::write_simple(w, e.http_status(), "application/json", &[], &e.to_json())
+}
+
+fn bad(msg: String) -> ApiError {
+    ApiError::BadRequest(msg)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ApiError> {
+    value
+        .parse()
+        .map_err(|_| bad(format!("cannot parse {key}={value:?}")))
+}
+
+/// Parses `/synthesize` query parameters into a typed request. Unknown
+/// parameters are rejected outright: a typo'd knob must not silently run
+/// with defaults.
+fn parse_synthesize_query(
+    req: &http::Request,
+) -> Result<(String, SynthesisRequest, Wire), ApiError> {
+    let mut name: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut format: Option<String> = None;
+    let mut table: Option<Table> = None;
+    let mut n_a: Option<usize> = None;
+    let mut n_b: Option<usize> = None;
+    let mut overrides = OnlineOverrides::default();
+
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "model" => name = Some(value.clone()),
+            "seed" => seed = parse_num(key, value)?,
+            "format" => format = Some(value.clone()),
+            "table" => {
+                table = Some(match value.as_str() {
+                    "a" | "A" => Table::A,
+                    "b" | "B" => Table::B,
+                    "matches" => Table::Matches,
+                    other => {
+                        return Err(bad(format!(
+                            "table must be one of a|b|matches, got {other:?}"
+                        )))
+                    }
+                })
+            }
+            "n_a" => n_a = Some(parse_num(key, value)?),
+            "n_b" => n_b = Some(parse_num(key, value)?),
+            "rejection" => {
+                overrides.rejection = Some(match value.as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        return Err(bad(format!(
+                            "rejection must be on|off, got {other:?}"
+                        )))
+                    }
+                })
+            }
+            "alpha" => overrides.alpha = Some(parse_num(key, value)?),
+            "beta" => overrides.beta = Some(parse_num(key, value)?),
+            "max_retries" => overrides.max_retries = Some(parse_num(key, value)?),
+            other => return Err(bad(format!("unknown parameter {other:?}"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| bad("missing required parameter \"model\"".to_string()))?;
+    let wire = match format.as_deref() {
+        None | Some("jsonl") => {
+            if table.is_some() {
+                return Err(bad(
+                    "parameter \"table\" only applies to format=csv".to_string(),
+                ));
+            }
+            Wire::Jsonl
+        }
+        Some("csv") => Wire::Csv(table.ok_or_else(|| {
+            bad("format=csv requires table=a|b|matches".to_string())
+        })?),
+        Some(other) => return Err(bad(format!("format must be csv|jsonl, got {other:?}"))),
+    };
+
+    let request = SynthesisRequest {
+        model: ModelRef::Name(name.clone()),
+        seed,
+        n_a,
+        n_b,
+        overrides,
+    };
+    Ok((name, request, wire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(q: &str) -> http::Request {
+        http::Request {
+            method: "GET".to_string(),
+            path: "/synthesize".to_string(),
+            query: http::parse_query(q),
+        }
+    }
+
+    #[test]
+    fn synthesize_query_full_roundtrip() {
+        let (name, req, wire) = parse_synthesize_query(&query(
+            "model=restaurant&seed=7&format=csv&table=matches&n_a=10&n_b=20&rejection=off\
+             &alpha=0.5&beta=0.9&max_retries=3",
+        ))
+        .unwrap();
+        assert_eq!(name, "restaurant");
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.n_a, Some(10));
+        assert_eq!(req.n_b, Some(20));
+        assert_eq!(req.overrides.rejection, Some(false));
+        assert_eq!(req.overrides.alpha, Some(0.5));
+        assert_eq!(req.overrides.beta, Some(0.9));
+        assert_eq!(req.overrides.max_retries, Some(3));
+        assert_eq!(wire, Wire::Csv(Table::Matches));
+    }
+
+    #[test]
+    fn synthesize_query_defaults() {
+        let (name, req, wire) = parse_synthesize_query(&query("model=m")).unwrap();
+        assert_eq!(name, "m");
+        assert_eq!(req.seed, 42);
+        assert_eq!(req.n_a, None);
+        assert!(req.overrides.is_empty());
+        assert_eq!(wire, Wire::Jsonl);
+    }
+
+    #[test]
+    fn synthesize_query_rejects_bad_input() {
+        for q in [
+            "",                             // missing model
+            "model=m&typo=1",               // unknown parameter
+            "model=m&seed=minus-one",       // unparsable number
+            "model=m&format=xml",           // unknown format
+            "model=m&format=csv",           // csv without table
+            "model=m&table=a",              // table without csv
+            "model=m&format=jsonl&table=a", // table with jsonl
+            "model=m&rejection=maybe",      // bad bool
+            "model=m&format=csv&table=c",   // bad table
+        ] {
+            let err = match parse_synthesize_query(&query(q)) {
+                Err(e) => e,
+                Ok(_) => panic!("query {q:?} unexpectedly parsed"),
+            };
+            assert!(matches!(err, ApiError::BadRequest(_)), "{q:?} -> {err}");
+        }
+    }
+}

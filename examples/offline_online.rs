@@ -15,9 +15,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serd_repro::er_core::csv;
 use serd_repro::gmm;
 use serd_repro::prelude::*;
+use serd_repro::serd::api;
 
 fn main() {
     let dir = std::env::temp_dir().join("serd_offline_online");
@@ -42,29 +42,33 @@ fn main() {
     println!("  shipped {}", dist_path.display());
     println!("  (no real entity ever leaves; only learned parameters + public corpora)");
 
-    // Reference output from the in-memory model.
-    let mut syn_rng = StdRng::seed_from_u64(99);
-    let out = synthesizer.synthesize(&mut syn_rng).expect("synthesize");
-    let a_csv = csv::relation_to_csv(out.er.a());
+    // Reference output from the in-memory model, through the typed online
+    // facade (`serd::api`) — the same request the CLI's `synthesize --model`
+    // and the HTTP server's `/synthesize` would run.
+    let request = SynthesisRequest {
+        seed: 99,
+        ..SynthesisRequest::new(ModelRef::Path(model_path.clone()))
+    };
+    let reference = api::synthesize(&synthesizer, &request).expect("synthesize");
+    let a_csv = reference.csv(Table::A);
 
     // ---------- online: consumer's side ----------
-    let loaded = SerdModel::load_from(&model_path).expect("load model");
+    let loaded = api::load_model(&model_path).expect("load model");
     println!(
         "\nreloaded model: targets |A|={} |B|={}, DP eps {:.3}",
         loaded.n_a, loaded.n_b, loaded.epsilon
     );
     let online = SerdSynthesizer::from_model(loaded);
     let t_syn = std::time::Instant::now();
-    let mut syn_rng = StdRng::seed_from_u64(99);
-    let out2 = online.synthesize(&mut syn_rng).expect("synthesize from artifact");
+    let out2 = api::synthesize(&online, &request).expect("synthesize from artifact");
     println!(
         "online phase done ({:.1}s): |A|={} |B|={} matches={}",
         t_syn.elapsed().as_secs_f64(),
-        out2.er.a().len(),
-        out2.er.b().len(),
-        out2.er.num_matches()
+        out2.er().a().len(),
+        out2.er().b().len(),
+        out2.er().num_matches()
     );
-    assert_eq!(csv::relation_to_csv(out2.er.a()), a_csv);
+    assert_eq!(out2.csv(Table::A), a_csv);
     println!("artifact-loaded synthesis is byte-identical to the in-memory run");
 
     // The standalone O-distribution labels pairs with the identical posterior.

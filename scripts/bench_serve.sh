@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Serving-layer benchmark (DESIGN.md §12): sustained req/s, per-class
+# latency percentiles, and hot-swap downtime for the `serd-repro serve`
+# HTTP server, written to BENCH_serve.json at the repo root.
+#
+# The driver (crates/bench/src/bin/bench_serve.rs) fits two artifact
+# versions, boots an in-process server, drives a fixed request mix from
+# client threads, and renames one version over the other mid-run; it exits
+# non-zero if any request fails — swap downtime must be zero.
+#
+# Usage: scripts/bench_serve.sh
+# Knobs: SERVE_BENCH_SECS (default 3), SERVE_BENCH_SCALE (default 0.02),
+#        SERVE_BENCH_WORKERS (default min(cores, 4)).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_serve.json"
+
+echo "== serve bench (throughput + latency + hot swap) =="
+cargo run --offline --release -q -p bench --bin bench_serve > "$OUT"
+
+echo "wrote $OUT"
+grep -E '"sustained_rps"|"failed_requests"|"swaps_observed"' "$OUT"

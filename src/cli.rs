@@ -1,0 +1,410 @@
+//! Typed command-line parsing for `serd-repro`.
+//!
+//! Each subcommand parses into its own option struct built from a shared
+//! [`CommonOpts`] core, and every parse failure is a structured
+//! [`ApiError::BadRequest`] — so the CLI, the HTTP server, and the library
+//! facade all report the same failure taxonomy, and `main` can translate
+//! any error into its stable exit code ([`ApiError::exit_code`]).
+//!
+//! Unknown options are rejected, per subcommand: `--alpha` means something
+//! for `synthesize` but is an error for `generate`, instead of being
+//! silently swallowed by a global option soup (the pre-redesign behavior).
+
+use serd_repro::datagen::DatasetKind;
+use serd_repro::serd::api::{ApiError, OnlineOverrides};
+use std::path::PathBuf;
+
+pub const USAGE: &str = "serd-repro — synthesize privacy-preserving ER datasets (SERD, ICDE 2022)
+
+USAGE:
+    serd-repro <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate     simulate a real ER benchmark and write it as CSV
+    fit          run the offline phase and save a serd-model-v1 artifact
+    synthesize   run the online phase (fresh fit, or --model) and write the
+                 synthesized dataset
+    evaluate     report matcher-quality and privacy metrics for one run
+    profile      print per-column statistics of real vs synthesized data
+    serve        serve .serd artifacts over HTTP with hot swap on change
+
+COMMON OPTIONS (generate, fit, synthesize, evaluate, profile):
+    --dataset <dblp-acm|restaurant|walmart-amazon|itunes-amazon>   (default restaurant)
+    --scale <f64>          fraction of the paper's Table II sizes (default 0.05)
+    --seed <u64>           RNG seed (default 42)
+    --min-matches <usize>  floor on planted matches (default 16)
+
+SYNTHESIS OPTIONS (fit, synthesize; evaluate and profile take --no-rejection):
+    --out <dir>            output directory for CSVs (default .); for `fit`,
+                           the model artifact path (default model.serd)
+    --model <file>         synthesize from a saved model artifact instead of
+                           fitting (skips the offline phase entirely)
+    --no-rejection         disable entity rejection (the SERD- ablation)
+    --alpha <f64>          distribution-rejection strictness (Eq. 10)
+    --beta <f64>           discriminator-rejection threshold
+    --max-retries <usize>  rejection retries before accepting anyway
+    --n-a <usize>          target |A_syn| (synthesize only; default: fitted)
+    --n-b <usize>          target |B_syn| (synthesize only; default: fitted)
+
+SERVE OPTIONS:
+    --models <dir>         directory of <name>.serd artifacts (required)
+    --addr <host:port>     listen address (default 127.0.0.1:7878)
+    --workers <usize>      concurrent request workers (default: CPU count)
+
+EXIT CODES:
+    0 ok   2 bad request   3 not found   4 conflict   5 bad artifact
+    6 pipeline failure     7 io error";
+
+/// Options shared by every pipeline subcommand (everything but `serve`).
+#[derive(Debug, Clone)]
+pub struct CommonOpts {
+    pub dataset: DatasetKind,
+    pub scale: f64,
+    pub seed: u64,
+    pub min_matches: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct GenerateOpts {
+    pub common: CommonOpts,
+    pub out: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct FitOpts {
+    pub common: CommonOpts,
+    pub out: String,
+    /// Offline-phase knob overrides, applied to the [`serd::SerdConfig`]
+    /// before fitting (they shape what gets baked into the artifact).
+    pub overrides: OnlineOverrides,
+}
+
+#[derive(Debug, Clone)]
+pub struct SynthesizeOpts {
+    pub common: CommonOpts,
+    pub out: String,
+    /// Synthesize from this artifact instead of fitting fresh.
+    pub model: Option<PathBuf>,
+    /// With `--model`: per-request overrides, validated against the
+    /// artifact (so `--no-rejection` now actually applies, and enabling
+    /// rejection on a SERD- artifact is a structured conflict). Without
+    /// `--model`: applied to the config before the fresh fit.
+    pub overrides: OnlineOverrides,
+    pub n_a: Option<usize>,
+    pub n_b: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+pub struct EvaluateOpts {
+    pub common: CommonOpts,
+    pub no_rejection: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct ProfileOpts {
+    pub common: CommonOpts,
+    pub no_rejection: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    pub models: PathBuf,
+    pub addr: String,
+    pub workers: usize,
+}
+
+/// One fully parsed invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    Generate(GenerateOpts),
+    Fit(FitOpts),
+    Synthesize(SynthesizeOpts),
+    Evaluate(EvaluateOpts),
+    Profile(ProfileOpts),
+    Serve(ServeOpts),
+    Help,
+}
+
+fn bad(msg: String) -> ApiError {
+    ApiError::BadRequest(msg)
+}
+
+/// Scanned-but-not-yet-claimed options. Subcommands `take` what they
+/// accept; anything left over at `finish` is an unknown-option error.
+struct OptBag {
+    command: &'static str,
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+/// Options that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["--no-rejection"];
+
+impl OptBag {
+    fn scan(command: &'static str, args: &[String]) -> Result<OptBag, ApiError> {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                flag if BOOLEAN_FLAGS.contains(&flag) => flags.push(flag.to_string()),
+                key if key.starts_with("--") => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| bad(format!("missing value for {key}")))?;
+                    values.push((key.to_string(), v.clone()));
+                }
+                other => return Err(bad(format!("unexpected argument {other:?}"))),
+            }
+        }
+        Ok(OptBag {
+            command,
+            values,
+            flags,
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        let idx = self.values.iter().position(|(k, _)| k == key)?;
+        Some(self.values.remove(idx).1)
+    }
+
+    fn take_flag(&mut self, key: &str) -> bool {
+        let before = self.flags.len();
+        self.flags.retain(|f| f != key);
+        self.flags.len() != before
+    }
+
+    fn take_num<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, ApiError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| bad(format!("bad {key}: cannot parse {v:?}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), ApiError> {
+        let leftover: Vec<String> = self
+            .values
+            .into_iter()
+            .map(|(k, _)| k)
+            .chain(self.flags)
+            .collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "unknown option {} for {:?}",
+                leftover.join(", "),
+                self.command
+            )))
+        }
+    }
+}
+
+fn take_common(bag: &mut OptBag) -> Result<CommonOpts, ApiError> {
+    let dataset = match bag.take("--dataset").as_deref().unwrap_or("restaurant") {
+        "dblp-acm" => DatasetKind::DblpAcm,
+        "restaurant" => DatasetKind::Restaurant,
+        "walmart-amazon" => DatasetKind::WalmartAmazon,
+        "itunes-amazon" => DatasetKind::ItunesAmazon,
+        other => return Err(bad(format!("unknown dataset {other:?}"))),
+    };
+    Ok(CommonOpts {
+        dataset,
+        scale: bag.take_num("--scale")?.unwrap_or(0.05),
+        seed: bag.take_num("--seed")?.unwrap_or(42),
+        min_matches: bag.take_num("--min-matches")?.unwrap_or(16),
+    })
+}
+
+fn take_out(bag: &mut OptBag) -> String {
+    bag.take("--out").unwrap_or_else(|| ".".into())
+}
+
+fn take_overrides(bag: &mut OptBag) -> Result<OnlineOverrides, ApiError> {
+    Ok(OnlineOverrides {
+        rejection: bag.take_flag("--no-rejection").then_some(false),
+        alpha: bag.take_num("--alpha")?,
+        beta: bag.take_num("--beta")?,
+        max_retries: bag.take_num("--max-retries")?,
+    })
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ApiError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(bad("missing command".to_string()));
+    };
+    match command.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "generate" => {
+            let mut bag = OptBag::scan("generate", rest)?;
+            let common = take_common(&mut bag)?;
+            let out = take_out(&mut bag);
+            bag.finish()?;
+            Ok(Command::Generate(GenerateOpts { common, out }))
+        }
+        "fit" => {
+            let mut bag = OptBag::scan("fit", rest)?;
+            let common = take_common(&mut bag)?;
+            let out = take_out(&mut bag);
+            let overrides = take_overrides(&mut bag)?;
+            bag.finish()?;
+            Ok(Command::Fit(FitOpts {
+                common,
+                out,
+                overrides,
+            }))
+        }
+        "synthesize" => {
+            let mut bag = OptBag::scan("synthesize", rest)?;
+            let common = take_common(&mut bag)?;
+            let out = take_out(&mut bag);
+            let model = bag.take("--model").map(PathBuf::from);
+            let overrides = take_overrides(&mut bag)?;
+            let n_a = bag.take_num("--n-a")?;
+            let n_b = bag.take_num("--n-b")?;
+            bag.finish()?;
+            Ok(Command::Synthesize(SynthesizeOpts {
+                common,
+                out,
+                model,
+                overrides,
+                n_a,
+                n_b,
+            }))
+        }
+        "evaluate" => {
+            let mut bag = OptBag::scan("evaluate", rest)?;
+            let common = take_common(&mut bag)?;
+            let no_rejection = bag.take_flag("--no-rejection");
+            bag.finish()?;
+            Ok(Command::Evaluate(EvaluateOpts {
+                common,
+                no_rejection,
+            }))
+        }
+        "profile" => {
+            let mut bag = OptBag::scan("profile", rest)?;
+            let common = take_common(&mut bag)?;
+            let no_rejection = bag.take_flag("--no-rejection");
+            bag.finish()?;
+            Ok(Command::Profile(ProfileOpts {
+                common,
+                no_rejection,
+            }))
+        }
+        "serve" => {
+            let mut bag = OptBag::scan("serve", rest)?;
+            let models = bag
+                .take("--models")
+                .map(PathBuf::from)
+                .ok_or_else(|| bad("serve requires --models <dir>".to_string()))?;
+            let addr = bag
+                .take("--addr")
+                .unwrap_or_else(|| "127.0.0.1:7878".into());
+            let workers = bag
+                .take_num("--workers")?
+                .unwrap_or_else(serd_repro::parallel::num_threads);
+            bag.finish()?;
+            if workers == 0 {
+                return Err(bad("--workers must be at least 1".to_string()));
+            }
+            Ok(Command::Serve(ServeOpts {
+                models,
+                addr,
+                workers,
+            }))
+        }
+        other => Err(bad(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn synthesize_parses_model_and_overrides() {
+        let cmd = parse(&args(
+            "synthesize --model m.serd --seed 7 --no-rejection --alpha 0.5 --max-retries 2 \
+             --n-a 10 --out syn",
+        ))
+        .unwrap();
+        let Command::Synthesize(o) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.model.as_deref(), Some(std::path::Path::new("m.serd")));
+        assert_eq!(o.common.seed, 7);
+        assert_eq!(o.overrides.rejection, Some(false));
+        assert_eq!(o.overrides.alpha, Some(0.5));
+        assert_eq!(o.overrides.beta, None);
+        assert_eq!(o.overrides.max_retries, Some(2));
+        assert_eq!(o.n_a, Some(10));
+        assert_eq!(o.n_b, None);
+        assert_eq!(o.out, "syn");
+    }
+
+    #[test]
+    fn defaults_match_the_pre_redesign_cli() {
+        let Command::Synthesize(o) = parse(&args("synthesize")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.common.seed, 42);
+        assert_eq!(o.common.scale, 0.05);
+        assert_eq!(o.common.min_matches, 16);
+        assert_eq!(o.out, ".");
+        assert!(o.overrides.is_empty());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_per_subcommand() {
+        // --alpha is a synthesize/fit option, not a generate option.
+        let err = parse(&args("generate --alpha 0.5")).unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(_)), "{err}");
+        assert!(err.to_string().contains("unknown option"), "{err}");
+        // --n-a is synthesize-only.
+        assert!(parse(&args("fit --n-a 5")).is_err());
+        // Bare words are rejected.
+        assert!(parse(&args("generate stray")).is_err());
+    }
+
+    #[test]
+    fn error_messages_keep_their_contract() {
+        for (input, needle) in [
+            ("frobnicate", "unknown command"),
+            ("generate --dataset nope", "unknown dataset"),
+            ("generate --scale", "missing value"),
+        ] {
+            let err = parse(&args(input)).unwrap_err();
+            assert!(err.to_string().contains(needle), "{input}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_requires_models_dir() {
+        let err = parse(&args("serve")).unwrap_err();
+        assert!(err.to_string().contains("--models"), "{err}");
+        let Command::Serve(o) = parse(&args("serve --models m --workers 3")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.models, PathBuf::from("m"));
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert_eq!(o.workers, 3);
+        assert!(parse(&args("serve --models m --workers 0")).is_err());
+    }
+
+    #[test]
+    fn help_is_a_command() {
+        for h in ["--help", "-h", "help"] {
+            assert!(matches!(parse(&args(h)).unwrap(), Command::Help));
+        }
+    }
+}

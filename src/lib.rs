@@ -25,6 +25,7 @@ pub use neural;
 pub use obs;
 pub use parallel;
 pub use serd;
+pub use serve;
 pub use similarity;
 pub use transformer;
 
@@ -37,6 +38,9 @@ pub mod prelude {
     pub use eval::privacy::{dcr, hitting_rate};
     pub use gmm::{Gmm, GmmConfig, OMixture};
     pub use matchers::{Classifier, MatcherKind};
+    pub use serd::api::{
+        ApiError, ModelRef, OnlineOverrides, SynthesisRequest, SynthesisResponse, Table,
+    };
     pub use serd::baselines::{embench, serd_minus};
     pub use serd::{Persist, SerdConfig, SerdModel, SerdSynthesizer, SynthesizedEr};
     pub use similarity::SimilarityKind;

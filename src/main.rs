@@ -4,8 +4,10 @@
 //! serd-repro generate   --dataset restaurant --scale 0.05 --out data/
 //! serd-repro fit        --dataset restaurant --scale 0.05 --out model.serd [--seed N]
 //! serd-repro synthesize --dataset restaurant --scale 0.05 --out syn/ [--no-rejection] [--seed N]
-//! serd-repro synthesize --model model.serd --out syn/ [--seed N]
+//! serd-repro synthesize --model model.serd --out syn/ [--seed N] [--no-rejection]
+//!                       [--alpha A] [--beta B] [--max-retries R] [--n-a N] [--n-b N]
 //! serd-repro evaluate   --dataset restaurant --scale 0.05 [--seed N]
+//! serd-repro serve      --models models/ [--addr 127.0.0.1:7878] [--workers N]
 //! ```
 //!
 //! `generate` writes the simulated real dataset as CSV; `fit` runs the
@@ -13,181 +15,110 @@
 //! `serd-model-v1` artifact; `synthesize` runs the online phase — against a
 //! freshly fitted model, or against a `--model` artifact — and writes
 //! `A_syn.csv` / `B_syn.csv` / `matches_syn.csv`; `evaluate` reports
-//! matcher-quality and privacy metrics for a fresh synthesis run.
+//! matcher-quality and privacy metrics for a fresh synthesis run; `serve`
+//! exposes a directory of artifacts over HTTP (DESIGN.md §12).
 //!
-//! The online phase draws from an RNG derived from `--seed` (independent of
-//! the offline phase's stream), so `fit` + `synthesize --model` produces
-//! byte-identical CSVs to a direct `synthesize` at the same seed.
+//! Option parsing lives in [`cli`]; the pipeline verbs are thin wrappers
+//! over [`serd::api`], the same typed facade the HTTP server uses — so a
+//! `synthesize --model` run and a `/synthesize` request with the same
+//! parameters produce byte-identical records, and both report failures from
+//! the same [`ApiError`] taxonomy (as exit codes here, HTTP statuses there).
 
+mod cli;
+
+use cli::{
+    Command, EvaluateOpts, FitOpts, GenerateOpts, ProfileOpts, ServeOpts, SynthesizeOpts,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serd_repro::er_core::csv;
 use serd_repro::prelude::*;
-use std::collections::HashMap;
+use serd_repro::serd::api::{
+    self, ApiError, ModelRef, OnlineOverrides, SynthesisRequest, Table,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let opts = match parse_opts(rest) {
-        Ok(o) => o,
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return ExitCode::from(e.exit_code());
         }
     };
-    let result = match command.as_str() {
-        "generate" => cmd_generate(&opts),
-        "fit" => cmd_fit(&opts),
-        "synthesize" => cmd_synthesize(&opts),
-        "evaluate" => cmd_evaluate(&opts),
-        "profile" => cmd_profile(&opts),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
+    let result = match command {
+        Command::Help => {
+            println!("{}", cli::USAGE);
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}")),
+        Command::Generate(o) => cmd_generate(&o),
+        Command::Fit(o) => cmd_fit(&o),
+        Command::Synthesize(o) => cmd_synthesize(&o),
+        Command::Evaluate(o) => cmd_evaluate(&o),
+        Command::Profile(o) => cmd_profile(&o),
+        Command::Serve(o) => cmd_serve(&o),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-const USAGE: &str = "serd-repro — synthesize privacy-preserving ER datasets (SERD, ICDE 2022)
-
-USAGE:
-    serd-repro <COMMAND> [OPTIONS]
-
-COMMANDS:
-    generate     simulate a real ER benchmark and write it as CSV
-    fit          run the offline phase and save a serd-model-v1 artifact
-    synthesize   run the online phase (fresh fit, or --model) and write the
-                 synthesized dataset
-    evaluate     report matcher-quality and privacy metrics for one run
-    profile      print per-column statistics of real vs synthesized data
-
-OPTIONS:
-    --dataset <dblp-acm|restaurant|walmart-amazon|itunes-amazon>   (default restaurant)
-    --scale <f64>          fraction of the paper's Table II sizes (default 0.05)
-    --out <dir>            output directory for CSVs (default .); for `fit`,
-                           the model artifact path (default model.serd)
-    --model <file>         synthesize from a saved model artifact instead of
-                           fitting (skips the offline phase entirely)
-    --seed <u64>           RNG seed (default 42)
-    --no-rejection         disable entity rejection (the SERD- ablation)
-    --min-matches <usize>  floor on planted matches (default 16)";
-
-/// The online phase's RNG is derived from the user seed, not continued from
-/// the offline stream, so a `synthesize --model` run reproduces a direct
-/// `synthesize` run byte for byte at the same seed.
-const ONLINE_SEED_SALT: u64 = 0x5345_5244_4F4E_4C4E; // "SERDONLN"
-
-fn online_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed ^ ONLINE_SEED_SALT)
-}
-
-struct Opts {
-    dataset: DatasetKind,
-    scale: f64,
-    out: String,
-    model: Option<String>,
-    seed: u64,
-    no_rejection: bool,
-    min_matches: usize,
-}
-
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut map: HashMap<String, String> = HashMap::new();
-    let mut flags: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--no-rejection" => flags.push(a.clone()),
-            key if key.starts_with("--") => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("missing value for {key}"))?;
-                map.insert(key.to_string(), v.clone());
-            }
-            other => return Err(format!("unexpected argument {other:?}")),
-        }
-    }
-    let dataset = match map
-        .get("--dataset")
-        .map(String::as_str)
-        .unwrap_or("restaurant")
-    {
-        "dblp-acm" => DatasetKind::DblpAcm,
-        "restaurant" => DatasetKind::Restaurant,
-        "walmart-amazon" => DatasetKind::WalmartAmazon,
-        "itunes-amazon" => DatasetKind::ItunesAmazon,
-        other => return Err(format!("unknown dataset {other:?}")),
-    };
-    let parse_num = |key: &str, default: f64| -> Result<f64, String> {
-        map.get(key)
-            .map(|v| v.parse().map_err(|e| format!("bad {key}: {e}")))
-            .unwrap_or(Ok(default))
-    };
-    Ok(Opts {
-        dataset,
-        scale: parse_num("--scale", 0.05)?,
-        out: map.get("--out").cloned().unwrap_or_else(|| ".".into()),
-        model: map.get("--model").cloned(),
-        seed: parse_num("--seed", 42.0)? as u64,
-        no_rejection: flags.iter().any(|f| f == "--no-rejection"),
-        min_matches: parse_num("--min-matches", 16.0)? as usize,
-    })
-}
-
-fn simulate(opts: &Opts) -> (SimulatedDataset, StdRng) {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+fn simulate(common: &cli::CommonOpts) -> (SimulatedDataset, StdRng) {
+    let mut rng = StdRng::seed_from_u64(common.seed);
     let sim = serd_repro::datagen::generate_with_min_matches(
-        opts.dataset,
-        opts.scale,
-        opts.min_matches,
+        common.dataset,
+        common.scale,
+        common.min_matches,
         &mut rng,
     );
     (sim, rng)
 }
 
-fn write_file(dir: &str, name: &str, contents: &str) -> Result<(), String> {
+fn write_file(dir: &str, name: &str, contents: &str) -> Result<(), ApiError> {
     let path = Path::new(dir).join(name);
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
-    std::fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
+    std::fs::create_dir_all(dir).map_err(|e| ApiError::Io(format!("create {dir}: {e}")))?;
+    std::fs::write(&path, contents)
+        .map_err(|e| ApiError::Io(format!("write {}: {e}", path.display())))?;
     println!("wrote {}", path.display());
     Ok(())
 }
 
-fn matches_csv(er: &ErDataset) -> String {
-    let mut records = vec![vec!["a_index".to_string(), "b_index".to_string()]];
-    let mut pairs: Vec<_> = er.matches().iter().copied().collect();
-    pairs.sort_unstable();
-    for (i, j) in pairs {
-        records.push(vec![i.to_string(), j.to_string()]);
+/// Applies the offline-facing knob overrides to a config about to be fitted
+/// (the request-time equivalent lives in [`OnlineOverrides::apply`]).
+fn apply_fit_overrides(mut cfg: SerdConfig, ov: &OnlineOverrides) -> SerdConfig {
+    if ov.rejection == Some(false) {
+        cfg = cfg.without_rejection();
     }
-    csv::write(&records)
+    if let Some(a) = ov.alpha {
+        cfg.alpha = a;
+    }
+    if let Some(b) = ov.beta {
+        cfg.beta = b;
+    }
+    if let Some(r) = ov.max_retries {
+        cfg.max_retries = r;
+    }
+    cfg
 }
 
-fn cmd_generate(opts: &Opts) -> Result<(), String> {
-    let (sim, _) = simulate(opts);
+fn cmd_generate(opts: &GenerateOpts) -> Result<(), ApiError> {
+    let (sim, _) = simulate(&opts.common);
     println!(
         "simulated {}: |A|={} |B|={} matches={}",
-        opts.dataset.name(),
+        opts.common.dataset.name(),
         sim.er.a().len(),
         sim.er.b().len(),
         sim.er.num_matches()
     );
     write_file(&opts.out, "A.csv", &csv::relation_to_csv(sim.er.a()))?;
     write_file(&opts.out, "B.csv", &csv::relation_to_csv(sim.er.b()))?;
-    write_file(&opts.out, "matches.csv", &matches_csv(&sim.er))?;
+    write_file(&opts.out, "matches.csv", &api::matches_csv(&sim.er))?;
     for (col, corpus) in sim.text_columns() {
         let name = format!("background_col{col}.txt");
         write_file(&opts.out, &name, &corpus.join("\n"))?;
@@ -206,23 +137,20 @@ fn model_out_path(out: &str) -> std::path::PathBuf {
     }
 }
 
-fn cmd_fit(opts: &Opts) -> Result<(), String> {
-    let (sim, mut rng) = simulate(opts);
-    let mut cfg = SerdConfig::fast();
-    if opts.no_rejection {
-        cfg = cfg.without_rejection();
-    }
-    println!("fitting SERD on {} ...", opts.dataset.name());
+fn cmd_fit(opts: &FitOpts) -> Result<(), ApiError> {
+    let (sim, mut rng) = simulate(&opts.common);
+    let cfg = apply_fit_overrides(SerdConfig::fast(), &opts.overrides);
+    println!("fitting SERD on {} ...", opts.common.dataset.name());
     let t_fit = std::time::Instant::now();
-    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)?;
     let path = model_out_path(&opts.out);
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| ApiError::Io(format!("create {}: {e}", dir.display())))?;
         }
     }
-    model.save_to(&path).map_err(|e| e.to_string())?;
+    model.save_to(&path)?;
     println!(
         "offline done in {:.1}s (DP eps at 1e-5: {:.3})",
         t_fit.elapsed().as_secs_f64(),
@@ -232,66 +160,77 @@ fn cmd_fit(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_synthesize(opts: &Opts) -> Result<(), String> {
-    let model = match &opts.model {
+fn cmd_synthesize(opts: &SynthesizeOpts) -> Result<(), ApiError> {
+    // Both branches produce a synthesizer plus the request to run against
+    // it. With --model the overrides ride on the request (validated against
+    // the artifact); with a fresh fit they shape the config before fitting,
+    // so the request itself is override-free.
+    let (synthesizer, request) = match &opts.model {
         Some(path) => {
-            let model = SerdModel::load_from(path).map_err(|e| e.to_string())?;
+            let model = api::load_model(path)?;
             println!(
-                "loaded model {path} (DP eps at 1e-5: {:.3}); synthesizing ...",
+                "loaded model {} (DP eps at 1e-5: {:.3}); synthesizing ...",
+                path.display(),
                 model.epsilon
             );
-            model
+            let request = SynthesisRequest {
+                model: ModelRef::Path(path.clone()),
+                seed: opts.common.seed,
+                n_a: opts.n_a,
+                n_b: opts.n_b,
+                overrides: opts.overrides.clone(),
+            };
+            (SerdSynthesizer::from_model(model), request)
         }
         None => {
-            let (sim, mut rng) = simulate(opts);
-            let mut cfg = SerdConfig::fast();
-            if opts.no_rejection {
-                cfg = cfg.without_rejection();
-            }
-            println!("fitting SERD on {} ...", opts.dataset.name());
+            let (sim, mut rng) = simulate(&opts.common);
+            let mut cfg = apply_fit_overrides(SerdConfig::fast(), &opts.overrides);
+            cfg.n_a = opts.n_a.or(cfg.n_a);
+            cfg.n_b = opts.n_b.or(cfg.n_b);
+            println!("fitting SERD on {} ...", opts.common.dataset.name());
             let t_fit = std::time::Instant::now();
-            let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
-                .map_err(|e| e.to_string())?;
+            let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)?;
             println!(
                 "offline done in {:.1}s (DP eps at 1e-5: {:.3}); synthesizing ...",
                 t_fit.elapsed().as_secs_f64(),
                 model.epsilon
             );
-            model
+            let mut request = SynthesisRequest::new(ModelRef::Name("fresh-fit".to_string()));
+            request.seed = opts.common.seed;
+            (SerdSynthesizer::from_model(model), request)
         }
     };
-    let synthesizer = SerdSynthesizer::from_model(model);
-    let mut rng = online_rng(opts.seed);
     let t_syn = std::time::Instant::now();
-    let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
+    let response = api::synthesize(&synthesizer, &request)?;
     println!(
         "synthesized |A|={} |B|={} matches={} in {:.1}s ({} rejected by D, {} by JSD)",
-        out.er.a().len(),
-        out.er.b().len(),
-        out.er.num_matches(),
+        response.er().a().len(),
+        response.er().b().len(),
+        response.er().num_matches(),
         t_syn.elapsed().as_secs_f64(),
-        out.stats.rejected_discriminator,
-        out.stats.rejected_distribution,
+        response.stats().rejected_discriminator,
+        response.stats().rejected_distribution,
     );
-    write_file(&opts.out, "A_syn.csv", &csv::relation_to_csv(out.er.a()))?;
-    write_file(&opts.out, "B_syn.csv", &csv::relation_to_csv(out.er.b()))?;
-    write_file(&opts.out, "matches_syn.csv", &matches_csv(&out.er))?;
+    write_file(&opts.out, "A_syn.csv", &response.csv(Table::A))?;
+    write_file(&opts.out, "B_syn.csv", &response.csv(Table::B))?;
+    write_file(&opts.out, "matches_syn.csv", &response.csv(Table::Matches))?;
     if serd_repro::obs::enabled() {
         eprintln!("{}", synthesizer.run_report());
     }
     Ok(())
 }
 
-fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
-    let (sim, mut rng) = simulate(opts);
+fn cmd_evaluate(opts: &EvaluateOpts) -> Result<(), ApiError> {
+    let (sim, mut rng) = simulate(&opts.common);
     let mut cfg = SerdConfig::fast();
     if opts.no_rejection {
         cfg = cfg.without_rejection();
     }
-    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)?;
     let synthesizer = SerdSynthesizer::from_model(model);
-    let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
+    let out = synthesizer
+        .synthesize(&mut rng)
+        .map_err(ApiError::from)?;
 
     println!("== model evaluation (train on Real vs SERD, test on real T) ==");
     for kind in [MatcherKind::Magellan, MatcherKind::Deepmatcher] {
@@ -314,20 +253,43 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(opts: &Opts) -> Result<(), String> {
+fn cmd_profile(opts: &ProfileOpts) -> Result<(), ApiError> {
     use serd_repro::er_core::profile::{profile, render_table};
-    let (sim, mut rng) = simulate(opts);
-    println!("== {} (real, relation A) ==", opts.dataset.name());
+    let (sim, mut rng) = simulate(&opts.common);
+    println!("== {} (real, relation A) ==", opts.common.dataset.name());
     print!("{}", render_table(&profile(sim.er.a())));
     let mut cfg = SerdConfig::fast();
     if opts.no_rejection {
         cfg = cfg.without_rejection();
     }
-    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)?;
     let synthesizer = SerdSynthesizer::from_model(model);
-    let out = synthesizer.synthesize(&mut rng).map_err(|e| e.to_string())?;
-    println!("\n== {} (synthesized, relation A) ==", opts.dataset.name());
+    let out = synthesizer
+        .synthesize(&mut rng)
+        .map_err(ApiError::from)?;
+    println!(
+        "\n== {} (synthesized, relation A) ==",
+        opts.common.dataset.name()
+    );
     print!("{}", render_table(&profile(out.er.a())));
+    Ok(())
+}
+
+fn cmd_serve(opts: &ServeOpts) -> Result<(), ApiError> {
+    let cfg = serd_repro::serve::ServeConfig {
+        models_dir: opts.models.clone(),
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+    };
+    let server = serd_repro::serve::Server::bind(&cfg)?;
+    println!(
+        "serving {} model(s) from {} on http://{} ({} workers)",
+        server.cache().list_names().len(),
+        cfg.models_dir.display(),
+        server.local_addr(),
+        opts.workers,
+    );
+    println!("endpoints: /healthz  /models  /metrics  /synthesize?model=<name>&seed=<u64>");
+    server.run();
     Ok(())
 }

@@ -146,6 +146,39 @@ fn synthesize_rejects_corrupt_model() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Exit codes are part of the API contract (`ApiError::exit_code`): scripts
+/// and CI distinguish "bad flag" from "missing model" from "corrupt model".
+#[test]
+fn exit_codes_follow_the_api_error_taxonomy() {
+    // Bad request (unknown dataset / unknown command / unknown option) -> 2.
+    for args in [
+        &["generate", "--dataset", "nope"][..],
+        &["frobnicate"][..],
+        &["generate", "--alpha", "0.5"][..],
+    ] {
+        let out = bin().args(args).output().expect("run binary");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    // Missing model artifact -> 3 (not found).
+    let out = bin()
+        .args(["synthesize", "--model", "/definitely/not/here.serd"])
+        .output()
+        .expect("run binary");
+    assert_eq!(out.status.code(), Some(3));
+    // Corrupt model artifact -> 5.
+    let dir = std::env::temp_dir().join(format!("serd_cli_exitcode_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("garbage.serd");
+    std::fs::write(&path, "not-a-model\n").unwrap();
+    let out = bin()
+        .args(["synthesize", "--model", path.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run binary");
+    assert_eq!(out.status.code(), Some(5));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn generate_is_deterministic_per_seed() {
     let run = |dir: &std::path::Path| {

@@ -5,18 +5,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serd_repro::er_core::csv;
 use serd_repro::prelude::*;
-
-fn matches_csv(er: &ErDataset) -> String {
-    let mut pairs: Vec<_> = er.matches().iter().copied().collect();
-    pairs.sort_unstable();
-    let mut out = String::from("a_index,b_index\n");
-    for (i, j) in pairs {
-        out.push_str(&format!("{i},{j}\n"));
-    }
-    out
-}
+use serd_repro::serd::api;
 
 fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -41,42 +31,38 @@ fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64) {
         "artifact is not byte-stable across save/load"
     );
 
-    // Same online seed, both paths.
-    let online_seed = seed ^ 0x0FF1_CE;
-    let mut rng_mem = StdRng::seed_from_u64(online_seed);
-    let out_mem = SerdSynthesizer::from_model(model)
-        .synthesize(&mut rng_mem)
-        .expect("in-memory synthesize");
-    let mut rng_disk = StdRng::seed_from_u64(online_seed);
-    let out_disk = SerdSynthesizer::from_model(loaded)
-        .synthesize(&mut rng_disk)
-        .expect("artifact synthesize");
+    // Same request, both paths, through the typed facade.
+    let request = SynthesisRequest {
+        seed: seed ^ 0x0FF1_CE,
+        ..SynthesisRequest::new(ModelRef::Name("roundtrip".into()))
+    };
+    let out_mem =
+        api::synthesize(&SerdSynthesizer::from_model(model), &request).expect("in-memory");
+    let out_disk =
+        api::synthesize(&SerdSynthesizer::from_model(loaded), &request).expect("artifact");
 
+    for table in [Table::A, Table::B, Table::Matches] {
+        assert_eq!(
+            out_mem.csv(table),
+            out_disk.csv(table),
+            "{table:?} differs between in-memory and artifact paths"
+        );
+    }
     assert_eq!(
-        csv::relation_to_csv(out_mem.er.a()),
-        csv::relation_to_csv(out_disk.er.a()),
-        "A_syn.csv differs between in-memory and artifact paths"
+        out_mem.jsonl(),
+        out_disk.jsonl(),
+        "jsonl rendering differs between in-memory and artifact paths"
+    );
+    assert_eq!(out_mem.stats().accepted, out_disk.stats().accepted);
+    assert_eq!(
+        out_mem.stats().rejected_discriminator,
+        out_disk.stats().rejected_discriminator
     );
     assert_eq!(
-        csv::relation_to_csv(out_mem.er.b()),
-        csv::relation_to_csv(out_disk.er.b()),
-        "B_syn.csv differs between in-memory and artifact paths"
+        out_mem.stats().rejected_distribution,
+        out_disk.stats().rejected_distribution
     );
-    assert_eq!(
-        matches_csv(&out_mem.er),
-        matches_csv(&out_disk.er),
-        "matches.csv differs between in-memory and artifact paths"
-    );
-    assert_eq!(out_mem.stats.accepted, out_disk.stats.accepted);
-    assert_eq!(
-        out_mem.stats.rejected_discriminator,
-        out_disk.stats.rejected_discriminator
-    );
-    assert_eq!(
-        out_mem.stats.rejected_distribution,
-        out_disk.stats.rejected_distribution
-    );
-    assert_eq!(out_mem.stats.forced_accepts, out_disk.stats.forced_accepts);
+    assert_eq!(out_mem.stats().forced_accepts, out_disk.stats().forced_accepts);
 }
 
 #[test]

@@ -1,0 +1,415 @@
+//! End-to-end tests of the serving layer (DESIGN.md §12): boot a real
+//! server on an ephemeral port, drive it with the crate's own HTTP client,
+//! and pin the three load-bearing properties — byte-parity with the CLI,
+//! bit-reproducibility under concurrency, and zero-downtime hot swap.
+//!
+//! Fitting is expensive, so all tests share one lazily fitted pair of model
+//! artifacts (seeds 11 and 12) and the CLI's expected synthesis outputs for
+//! them, built once per test process.
+
+use serd_repro::serd::api::ApiError;
+use serd_repro::serd::SerdModel;
+use serd_repro::serve::{client, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_serd-repro"))
+}
+
+/// Shared fixture: two fitted artifact versions plus the CLI's synthesis
+/// output for each at seed 11.
+struct Fixture {
+    base: PathBuf,
+    v1: PathBuf,
+    v2: PathBuf,
+    cli_v1: PathBuf,
+    cli_v2: PathBuf,
+}
+
+impl Fixture {
+    fn cli_csv(&self, version: u32, file: &str) -> String {
+        let dir = if version == 1 { &self.cli_v1 } else { &self.cli_v2 };
+        std::fs::read_to_string(dir.join(file)).unwrap()
+    }
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let base = std::env::temp_dir().join(format!("serd_serve_test_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        let v1 = base.join("v1.serd");
+        let v2 = base.join("v2.serd");
+        let cli_v1 = base.join("cli_v1");
+        let cli_v2 = base.join("cli_v2");
+        let common = [
+            "--dataset",
+            "restaurant",
+            "--scale",
+            "0.02",
+            "--min-matches",
+            "4",
+        ];
+        for (seed, path) in [("11", &v1), ("12", &v2)] {
+            let out = bin()
+                .arg("fit")
+                .args(common)
+                .args(["--seed", seed, "--out", path.to_str().unwrap()])
+                .output()
+                .expect("run fit");
+            assert!(
+                out.status.success(),
+                "fit seed {seed}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        // The CLI's rendering of each artifact at seed 11 — the parity
+        // baseline for every server response below.
+        for (model, dir) in [(&v1, &cli_v1), (&v2, &cli_v2)] {
+            let out = bin()
+                .arg("synthesize")
+                .args(["--model", model.to_str().unwrap()])
+                .args(["--seed", "11", "--out", dir.to_str().unwrap()])
+                .output()
+                .expect("run synthesize --model");
+            assert!(
+                out.status.success(),
+                "synthesize: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        Fixture {
+            base,
+            v1,
+            v2,
+            cli_v1,
+            cli_v2,
+        }
+    })
+}
+
+/// An in-process server bound to an ephemeral port, shut down on drop.
+struct TestServer {
+    server: Arc<Server>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(models_dir: &Path, workers: usize) -> TestServer {
+        let cfg = ServeConfig {
+            models_dir: models_dir.to_path_buf(),
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+        };
+        let server = Arc::new(Server::bind(&cfg).unwrap());
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run());
+        TestServer {
+            server,
+            handle: Some(handle),
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.server.shutdown();
+        if let Some(h) = self.handle.take() {
+            h.join().unwrap();
+        }
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> client::Response {
+    client::get(addr, path).expect("request failed")
+}
+
+#[test]
+fn serve_end_to_end_with_hot_swap() {
+    let fx = fixture();
+    let models = fx.base.join("models_e2e");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::copy(&fx.v1, models.join("restaurant.serd")).unwrap();
+
+    let ts = TestServer::start(&models, 3);
+    let addr = ts.addr();
+
+    // Liveness and discovery.
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+    let models_resp = get(addr, "/models");
+    assert_eq!(models_resp.status, 200);
+    assert!(models_resp.body.contains("\"name\":\"restaurant\""));
+    assert!(models_resp.body.contains("\"epsilon\":"));
+    assert!(models_resp.body.contains("\"version\":1"));
+
+    // CSV responses are byte-identical to what `synthesize --model` wrote
+    // for the same artifact and seed.
+    for (table, file) in [("a", "A_syn.csv"), ("b", "B_syn.csv"), ("matches", "matches_syn.csv")]
+    {
+        let resp = get(
+            addr,
+            &format!("/synthesize?model=restaurant&seed=11&format=csv&table={table}"),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(
+            resp.body,
+            fx.cli_csv(1, file),
+            "server response for table={table} differs from the CLI's {file}"
+        );
+        assert_eq!(resp.header("x-model-version"), Some("1"));
+        assert_eq!(resp.header("x-serd-seed"), Some("11"));
+        assert!(resp.header("x-model-etag").is_some_and(|e| !e.is_empty()));
+        assert_eq!(resp.header("content-type"), Some("text/csv"));
+    }
+
+    // JSON-lines: one object per line, summary last, seed echoed.
+    let jsonl = get(addr, "/synthesize?model=restaurant&seed=11");
+    assert_eq!(jsonl.status, 200);
+    let lines: Vec<&str> = jsonl.body.lines().collect();
+    assert!(lines.len() > 2);
+    assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(lines.last().unwrap().contains("\"summary\""));
+    assert!(lines.last().unwrap().contains("\"seed\":11"));
+
+    // Bit-reproducibility under concurrency: hammer the server from many
+    // threads and byte-compare every response against the serial baseline.
+    let serial: Vec<String> = ["a", "b", "matches"]
+        .iter()
+        .map(|t| {
+            get(
+                addr,
+                &format!("/synthesize?model=restaurant&seed=11&format=csv&table={t}"),
+            )
+            .body
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for worker in 0..8 {
+            let serial = &serial;
+            s.spawn(move || {
+                for round in 0..3 {
+                    let idx = (worker + round) % 3;
+                    let table = ["a", "b", "matches"][idx];
+                    let resp = get(
+                        addr,
+                        &format!(
+                            "/synthesize?model=restaurant&seed=11&format=csv&table={table}"
+                        ),
+                    );
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(
+                        resp.body, serial[idx],
+                        "concurrent replay diverged from serial (table={table})"
+                    );
+                }
+            });
+        }
+    });
+
+    // Error mapping.
+    assert_eq!(get(addr, "/synthesize?model=nope&seed=1").status, 404);
+    assert_eq!(
+        get(addr, "/synthesize?model=../traversal&seed=1").status,
+        400
+    );
+    let bad = get(addr, "/synthesize?model=restaurant&typo=1");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("\"kind\":\"bad_request\""), "{}", bad.body);
+    assert_eq!(get(addr, "/nothing-here").status, 404);
+    assert_eq!(
+        client::request(addr, "DELETE", "/healthz").unwrap().status,
+        405
+    );
+
+    // Hot swap under load: atomically rename v2 over the served artifact
+    // while clients keep requesting. Every response must succeed and be
+    // bit-identical to one of the two versions, consistently with its etag.
+    let expected_v1 = fx.cli_csv(1, "A_syn.csv");
+    let expected_v2 = fx.cli_csv(2, "A_syn.csv");
+    let stop = AtomicBool::new(false);
+    let swapped = std::thread::scope(|s| {
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let stop = &stop;
+            clients.push(s.spawn(move || {
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = get(
+                        addr,
+                        "/synthesize?model=restaurant&seed=11&format=csv&table=a",
+                    );
+                    assert_eq!(resp.status, 200, "request failed during swap");
+                    seen.push((resp.header("x-model-etag").unwrap().to_string(), resp.body));
+                }
+                seen
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        // Write-then-rename: readers never observe a half-written artifact.
+        let staging = fx.base.join("models_e2e").join("incoming.tmp");
+        std::fs::copy(&fx.v2, &staging).unwrap();
+        std::fs::rename(&staging, fx.base.join("models_e2e").join("restaurant.serd")).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert!(!swapped.is_empty());
+    for (etag, body) in &swapped {
+        assert!(
+            *body == expected_v1 || *body == expected_v2,
+            "mid-swap response matches neither version (etag {etag})"
+        );
+    }
+    // Same etag => same bytes: the version a request starts on is the
+    // version it finishes on.
+    for (etag, body) in &swapped {
+        for (other_etag, other_body) in &swapped {
+            if etag == other_etag {
+                assert_eq!(body, other_body, "etag {etag} served two different bodies");
+            }
+        }
+    }
+    // After the swap settles, the server serves v2 exclusively.
+    let post = get(
+        addr,
+        "/synthesize?model=restaurant&seed=11&format=csv&table=a",
+    );
+    assert_eq!(post.body, expected_v2, "post-swap response is not v2");
+    assert_eq!(post.header("x-model-version"), Some("2"));
+
+    // Metrics reflect the traffic: per-endpoint latency percentiles and the
+    // swap counter.
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    for needle in [
+        "\"endpoint\":\"/synthesize\"",
+        "\"p50_ms\":",
+        "\"p99_ms\":",
+        "\"buckets\":",
+        "\"swaps_total\":1",
+        "\"requests_total\":",
+    ] {
+        assert!(metrics.body.contains(needle), "missing {needle} in {}", metrics.body);
+    }
+}
+
+#[test]
+fn per_request_overrides_and_conflicts() {
+    let fx = fixture();
+    // Build a SERD- artifact without another expensive fit: load v1, turn
+    // rejection off, re-save.
+    let models = fx.base.join("models_conflict");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::copy(&fx.v1, models.join("full.serd")).unwrap();
+    let mut norej = SerdModel::load_from(&fx.v1).unwrap();
+    norej.online.reject_by_discriminator = false;
+    norej.online.reject_by_distribution = false;
+    norej.save_to(models.join("norej.serd")).unwrap();
+
+    let ts = TestServer::start(&models, 2);
+    let addr = ts.addr();
+
+    // Tuning rejection on a SERD- artifact is a structured conflict...
+    for q in [
+        "/synthesize?model=norej&seed=1&alpha=0.5",
+        "/synthesize?model=norej&seed=1&rejection=on",
+    ] {
+        let resp = get(addr, q);
+        assert_eq!(resp.status, 409, "{q}: {}", resp.body);
+        assert!(resp.body.contains("\"kind\":\"conflict\""), "{}", resp.body);
+    }
+    // ...but running it as fitted, or explicitly without rejection, is fine.
+    for q in [
+        "/synthesize?model=norej&seed=1",
+        "/synthesize?model=norej&seed=1&rejection=off&max_retries=0",
+    ] {
+        assert_eq!(get(addr, q).status, 200, "{q}");
+    }
+    // On a full artifact, overrides apply and change the output shape.
+    let shaped = get(
+        addr,
+        "/synthesize?model=full&seed=3&format=csv&table=a&n_a=5&rejection=off",
+    );
+    assert_eq!(shaped.status, 200);
+    // Header row + 5 records.
+    assert_eq!(shaped.body.lines().count(), 6, "{}", shaped.body);
+    // Out-of-range knobs are bad requests even on a full artifact.
+    assert_eq!(
+        get(addr, "/synthesize?model=full&seed=1&beta=7").status,
+        400
+    );
+    drop(ts);
+
+    // The same taxonomy through the CLI: conflict exits with code 4...
+    let out = bin()
+        .args([
+            "synthesize",
+            "--model",
+            models.join("norej.serd").to_str().unwrap(),
+            "--alpha",
+            "0.5",
+            "--out",
+            fx.base.join("conflict_out").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success());
+    assert_eq!(
+        out.status.code(),
+        Some(ApiError::Conflict(String::new()).exit_code() as i32)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("conflict"));
+
+    // ...and --no-rejection with --model now actually disables rejection
+    // (the pre-redesign CLI silently ignored it).
+    let out = bin()
+        .args([
+            "synthesize",
+            "--model",
+            models.join("full.serd").to_str().unwrap(),
+            "--no-rejection",
+            "--seed",
+            "11",
+            "--out",
+            fx.base.join("norej_out").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run binary");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("0 rejected by D, 0 by JSD"),
+        "rejection ran despite --no-rejection: {stdout}"
+    );
+}
+
+#[test]
+fn serve_requires_an_existing_models_dir() {
+    let cfg = ServeConfig {
+        models_dir: PathBuf::from("/nonexistent-serd-models"),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+    };
+    let err = match Server::bind(&cfg) {
+        Err(e) => e,
+        Ok(_) => panic!("bind over a missing models dir succeeded"),
+    };
+    assert!(matches!(err, ApiError::NotFound(_)), "{err}");
+}
