@@ -70,14 +70,61 @@ fn scaled(n: usize, scale: f64) -> usize {
     ((n as f64 * scale).round() as usize).max(4)
 }
 
+/// The relation names of a simulated benchmark, `(A, B)`.
+pub fn relation_names(kind: DatasetKind) -> (&'static str, &'static str) {
+    match kind {
+        DatasetKind::DblpAcm => ("DBLP", "ACM"),
+        DatasetKind::Restaurant => ("RestaurantA", "RestaurantB"),
+        DatasetKind::WalmartAmazon => ("Walmart", "Amazon"),
+        DatasetKind::ItunesAmazon => ("iTunes", "Amazon"),
+    }
+}
+
+/// The paper schema of a benchmark (Table II column sets). Shared by the
+/// resident simulators below and the streaming scale path, and the contract
+/// CSV re-ingest ([`crate::ingest_dir`]) parses against.
+pub fn schema_of(kind: DatasetKind) -> Schema {
+    match kind {
+        DatasetKind::DblpAcm => Schema::new(vec![
+            Column::text("title"),
+            Column::text("authors"),
+            Column::categorical("venue"),
+            Column::numeric("year", 10.0),
+        ]),
+        DatasetKind::Restaurant => Schema::new(vec![
+            Column::text("name"),
+            Column::text("address"),
+            Column::categorical("city"),
+            Column::categorical("flavor"),
+        ]),
+        DatasetKind::WalmartAmazon => Schema::new(vec![
+            Column::text("modelno"),
+            Column::text("title"),
+            Column::text("descr"),
+            Column::categorical("brand"),
+            Column::numeric("price", 1.0),
+        ]),
+        DatasetKind::ItunesAmazon => Schema::new(vec![
+            Column::text("song_name"),
+            Column::text("artist_name"),
+            Column::text("album_name"),
+            Column::text("genre"),
+            Column::text("copyright"),
+            Column::numeric("price", 1.0),
+            Column::date("time", 1.0),
+            Column::date("released", 1.0),
+        ]),
+    }
+}
+
 /// Splits a word pool into disjoint active/background halves by parity.
-fn split_pool<'a>(pool: &[&'a str]) -> (Vec<&'a str>, Vec<&'a str>) {
+pub(crate) fn split_pool<'a>(pool: &[&'a str]) -> (Vec<&'a str>, Vec<&'a str>) {
     let active = pool.iter().step_by(2).copied().collect();
     let background = pool.iter().skip(1).step_by(2).copied().collect();
     (active, background)
 }
 
-fn phrase<R: Rng + ?Sized>(pool: &[&str], len: std::ops::RangeInclusive<usize>, rng: &mut R) -> String {
+pub(crate) fn phrase<R: Rng + ?Sized>(pool: &[&str], len: std::ops::RangeInclusive<usize>, rng: &mut R) -> String {
     let n = rng.gen_range(len);
     let mut words = Vec::with_capacity(n);
     for _ in 0..n {
@@ -86,7 +133,7 @@ fn phrase<R: Rng + ?Sized>(pool: &[&str], len: std::ops::RangeInclusive<usize>, 
     words.join(" ")
 }
 
-fn person_name<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
+pub(crate) fn person_name<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
     let f = titlecase(firsts.choose(rng).unwrap());
     let l = titlecase(lasts.choose(rng).unwrap());
     if rng.gen_bool(0.3) {
@@ -97,7 +144,7 @@ fn person_name<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) ->
     }
 }
 
-fn titlecase(s: &str) -> String {
+pub(crate) fn titlecase(s: &str) -> String {
     let mut c = s.chars();
     match c.next() {
         Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
@@ -105,7 +152,7 @@ fn titlecase(s: &str) -> String {
     }
 }
 
-fn author_list<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
+pub(crate) fn author_list<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) -> String {
     let n = rng.gen_range(1..=3);
     (0..n)
         .map(|_| person_name(firsts, lasts, rng))
@@ -115,7 +162,7 @@ fn author_list<R: Rng + ?Sized>(firsts: &[&str], lasts: &[&str], rng: &mut R) ->
 
 /// Finalizes the two relations into an `ErDataset`, syncing numeric/date
 /// ranges across both schemas from the combined data.
-fn finalize(
+pub(crate) fn finalize(
     kind: DatasetKind,
     mut a: Relation,
     mut b: Relation,
@@ -151,14 +198,10 @@ fn gen_dblp_acm<R: Rng + ?Sized>(
     let (firsts_a, firsts_bg) = split_pool(w::FIRST_NAMES);
     let (lasts_a, lasts_bg) = split_pool(w::LAST_NAMES);
 
-    let schema = Schema::new(vec![
-        Column::text("title"),
-        Column::text("authors"),
-        Column::categorical("venue"),
-        Column::numeric("year", 10.0),
-    ]);
-    let mut a = Relation::new("DBLP", schema.clone());
-    let mut b = Relation::new("ACM", schema);
+    let schema = schema_of(DatasetKind::DblpAcm);
+    let (name_a, name_b) = relation_names(DatasetKind::DblpAcm);
+    let mut a = Relation::new(name_a, schema.clone());
+    let mut b = Relation::new(name_b, schema);
 
     for _ in 0..size_a {
         a.push(vec![
@@ -271,14 +314,10 @@ fn gen_restaurant<R: Rng + ?Sized>(
     let (noun_a, noun_bg) = split_pool(w::RESTAURANT_NOUN);
     let (street_a, street_bg) = split_pool(w::STREET_NAMES);
 
-    let schema = Schema::new(vec![
-        Column::text("name"),
-        Column::text("address"),
-        Column::categorical("city"),
-        Column::categorical("flavor"),
-    ]);
-    let mut a = Relation::new("RestaurantA", schema.clone());
-    let mut b = Relation::new("RestaurantB", schema);
+    let schema = schema_of(DatasetKind::Restaurant);
+    let (name_a, name_b) = relation_names(DatasetKind::Restaurant);
+    let mut a = Relation::new(name_a, schema.clone());
+    let mut b = Relation::new(name_b, schema);
 
     let rest_name = |adj: &[&str], noun: &[&str], rng: &mut R| {
         format!(
@@ -378,15 +417,10 @@ fn gen_walmart_amazon<R: Rng + ?Sized>(
     let (specs_a, specs_bg) = split_pool(w::PRODUCT_SPECS);
     let (nouns_a, nouns_bg) = split_pool(w::PRODUCT_NOUNS);
 
-    let schema = Schema::new(vec![
-        Column::text("modelno"),
-        Column::text("title"),
-        Column::text("descr"),
-        Column::categorical("brand"),
-        Column::numeric("price", 1.0),
-    ]);
-    let mut a = Relation::new("Walmart", schema.clone());
-    let mut b = Relation::new("Amazon", schema);
+    let schema = schema_of(DatasetKind::WalmartAmazon);
+    let (name_a, name_b) = relation_names(DatasetKind::WalmartAmazon);
+    let mut a = Relation::new(name_a, schema.clone());
+    let mut b = Relation::new(name_b, schema);
 
     let modelno = |rng: &mut R| {
         format!(
@@ -511,18 +545,10 @@ fn gen_itunes_amazon<R: Rng + ?Sized>(
     let (songs_a, songs_bg) = split_pool(w::SONG_WORDS);
     let (artists_a, artists_bg) = split_pool(w::ARTIST_WORDS);
 
-    let schema = Schema::new(vec![
-        Column::text("song_name"),
-        Column::text("artist_name"),
-        Column::text("album_name"),
-        Column::text("genre"),
-        Column::text("copyright"),
-        Column::numeric("price", 1.0),
-        Column::date("time", 1.0),
-        Column::date("released", 1.0),
-    ]);
-    let mut a = Relation::new("iTunes", schema.clone());
-    let mut b = Relation::new("Amazon", schema);
+    let schema = schema_of(DatasetKind::ItunesAmazon);
+    let (name_a, name_b) = relation_names(DatasetKind::ItunesAmazon);
+    let mut a = Relation::new(name_a, schema.clone());
+    let mut b = Relation::new(name_b, schema);
 
     let song = |pool: &[&str], rng: &mut R| titlecase(&phrase(pool, 2..=5, rng));
     let artist = |pool: &[&str], rng: &mut R| titlecase(&phrase(pool, 2..=3, rng));

@@ -22,10 +22,14 @@
 
 mod domains;
 mod perturb;
+pub mod scale;
 mod wordlists;
 
-pub use domains::{generate, generate_with_min_matches, DatasetKind, SimulatedDataset};
+pub use domains::{
+    generate, generate_with_min_matches, relation_names, schema_of, DatasetKind, SimulatedDataset,
+};
 pub use perturb::{abbreviate_tokens, misspell, reorder_tokens, Perturbation};
+pub use scale::{background_corpora, export_dir, ingest_dir, ExportStats, ScaleSpec, StreamRow};
 
 /// Paper Table II statistics for each dataset (at scale 1.0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

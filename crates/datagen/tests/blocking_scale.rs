@@ -1,0 +1,55 @@
+//! Cross-crate pin (ISSUE 8 acceptance): sharded q-gram blocking emits
+//! bit-identical candidate pairs to the monolithic single-index path on the
+//! simulated Restaurant and DBLP-ACM benchmarks, at 1 and 4 compute threads.
+//!
+//! The per-shard indexes partition the gram space (`gram_hash % S`), every
+//! shard's buckets are truncated exactly as the monolithic index truncates
+//! them, and the merged union is deduplicated and sorted — so neither the
+//! shard count nor the thread count may move a single pair.
+
+use datagen::{generate, DatasetKind};
+use er_core::blocking::{candidate_pairs_cached, candidate_pairs_sharded};
+use er_core::ProfileCache;
+use parallel::{with_pool, ThreadPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn pin_kind(kind: DatasetKind, threads: usize) {
+    let sim = generate(kind, 0.08, &mut StdRng::seed_from_u64(77));
+    let (a, b) = (sim.er.a(), sim.er.b());
+    with_pool(Arc::new(ThreadPool::new(threads)), || {
+        let reference = candidate_pairs_sharded(a, b, 3, 20, 1);
+        assert!(
+            !reference.is_empty(),
+            "{kind:?}: simulated corpus produced no candidates"
+        );
+        for shards in [2, 4, 16] {
+            assert_eq!(
+                candidate_pairs_sharded(a, b, 3, 20, shards),
+                reference,
+                "{kind:?}: {shards} shards diverged at {threads} threads"
+            );
+        }
+        let cache = ProfileCache::build(a, b, 3);
+        assert_eq!(
+            candidate_pairs_cached(a, b, &cache, 3, 20),
+            reference,
+            "{kind:?}: cached path diverged at {threads} threads"
+        );
+    });
+}
+
+#[test]
+fn restaurant_sharded_blocking_is_thread_and_shard_invariant() {
+    for threads in [1, 4] {
+        pin_kind(DatasetKind::Restaurant, threads);
+    }
+}
+
+#[test]
+fn dblp_acm_sharded_blocking_is_thread_and_shard_invariant() {
+    for threads in [1, 4] {
+        pin_kind(DatasetKind::DblpAcm, threads);
+    }
+}

@@ -15,6 +15,22 @@ use std::hash::Hash;
 /// blocking keys for).
 pub const DEFAULT_BLOCK_Q: usize = 3;
 
+/// Number of shards the hashed q-gram index is partitioned into
+/// (`SERD_BLOCK_SHARDS`; defaults to the worker-pool width so single-core
+/// runs pay no partitioning overhead). The candidate set is invariant to the
+/// shard count — each gram hash belongs to exactly one shard, shards build
+/// the same per-gram buckets the monolithic index would, and the per-shard
+/// joins are merged in deterministic shard order then globally sorted — so
+/// this is purely a parallelism/memory knob (DESIGN.md §13).
+pub fn shard_count() -> usize {
+    std::env::var("SERD_BLOCK_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(parallel::num_threads)
+        .max(1)
+}
+
 /// A blocking strategy: how candidate pairs are generated without the full
 /// cross product. All strategies are recall-oriented (they may emit false
 /// candidates, never *suppress* true matches beyond their documented
@@ -67,13 +83,18 @@ impl BlockingStrategy {
     }
 
     /// [`Self::candidates`] over a dataset's [`ProfileCache`] — identical
-    /// output, computed from the cached per-record profiles.
+    /// output, computed from the cached per-record profiles. A budgeted
+    /// cache (not fully resident) routes to the relation-based path, which
+    /// produces the same candidate set without needing profile slices.
     pub fn candidates_cached(
         &self,
         a: &Relation,
         b: &Relation,
         cache: &ProfileCache,
     ) -> Vec<(usize, usize)> {
+        if !cache.fully_resident() {
+            return self.candidates(a, b);
+        }
         let _span = obs::span("blocking");
         let out = match *self {
             BlockingStrategy::Qgram { q, max_bucket } => {
@@ -247,25 +268,40 @@ fn window_pairs<S: Ord>(
 ///
 /// `max_bucket` caps the number of entities per gram bucket on each side;
 /// larger buckets are truncated (standard blocking practice — ubiquitous
-/// grams carry no signal).
+/// grams carry no signal). The index is sharded by `gram_hash % S` (see
+/// [`shard_count`]); the candidate set is bit-identical at any shard or
+/// thread count.
 pub fn candidate_pairs(
     a: &Relation,
     b: &Relation,
     q: usize,
     max_bucket: usize,
 ) -> Vec<(usize, usize)> {
+    candidate_pairs_sharded(a, b, q, max_bucket, shard_count())
+}
+
+/// [`candidate_pairs`] with an explicit shard count (`shards = 1` is the
+/// monolithic single-index reference the equivalence tests pin against).
+pub fn candidate_pairs_sharded(
+    a: &Relation,
+    b: &Relation,
+    q: usize,
+    max_bucket: usize,
+    shards: usize,
+) -> Vec<(usize, usize)> {
     let _span = obs::span("blocking");
     let col = blocking_column(a);
-    let index_a = gram_index(a, col, q, max_bucket);
-    let index_b = gram_index(b, col, q, max_bucket);
-    let out = join_indexes(&index_a, &index_b);
+    let grams_a = relation_grams(a, col, q);
+    let grams_b = relation_grams(b, col, q);
+    let out = sharded_join(&grams_a, &grams_b, max_bucket, shards);
     report_qgram(a, b, &out);
     out
 }
 
 /// [`candidate_pairs`] over a dataset's [`ProfileCache`]: the cache's
 /// precomputed blocking keys (or, at a non-default `q`, the cached lowercase
-/// strings) replace the per-record tokenization.
+/// strings) replace the per-record tokenization. A budgeted cache routes to
+/// the relation-based path (same candidate set, recomputed grams).
 pub fn candidate_pairs_cached(
     a: &Relation,
     b: &Relation,
@@ -273,11 +309,14 @@ pub fn candidate_pairs_cached(
     q: usize,
     max_bucket: usize,
 ) -> Vec<(usize, usize)> {
+    if !cache.fully_resident() {
+        return candidate_pairs(a, b, q, max_bucket);
+    }
     let _span = obs::span("blocking");
     let col = blocking_column(a);
-    let index_a = gram_index_profiled(cache.a(), col, q, max_bucket);
-    let index_b = gram_index_profiled(cache.b(), col, q, max_bucket);
-    let out = join_indexes(&index_a, &index_b);
+    let grams_a = profiled_grams(cache.a(), col, q);
+    let grams_b = profiled_grams(cache.b(), col, q);
+    let out = sharded_join(&grams_a, &grams_b, max_bucket, shard_count());
     report_qgram(a, b, &out);
     out
 }
@@ -294,10 +333,9 @@ pub fn candidate_pairs_profiled(
     max_bucket: usize,
 ) -> Vec<(usize, usize)> {
     let _span = obs::span("blocking");
-    let col = blocking_column(a);
-    let index_a = gram_index_profiled(aprofs, col, q, max_bucket);
-    let index_b = gram_index_profiled(bprofs, col, q, max_bucket);
-    let out = join_indexes(&index_a, &index_b);
+    let grams_a = profiled_grams(aprofs, blocking_column(a), q);
+    let grams_b = profiled_grams(bprofs, blocking_column(a), q);
+    let out = sharded_join(&grams_a, &grams_b, max_bucket, shard_count());
     report_qgram(a, b, &out);
     out
 }
@@ -326,56 +364,89 @@ pub fn blocking_column_of(schema: &Schema) -> usize {
         .unwrap_or(0)
 }
 
-/// One side's q-gram blocking index: sorted-unique FNV-1a gram hashes per
-/// record mapped to the record ids carrying them. Keying on `u64` hashes
-/// instead of owned gram `String`s removes the per-gram allocations; the
-/// candidate set is unchanged unless two distinct grams collide in 64 bits
-/// (probability ~ g²/2⁶⁵ corpus-wide, see DESIGN.md §10).
-fn gram_index(
-    r: &Relation,
-    col: usize,
-    q: usize,
-    max_bucket: usize,
-) -> HashMap<u64, Vec<usize>> {
-    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (id, e) in r.iter() {
-        let Some(s) = e.value(col).as_str() else {
-            continue;
-        };
-        push_grams(&mut index, &block_gram_hashes(&s.to_lowercase(), q), id, max_bucket);
-    }
-    index
+/// Per-record sorted-unique FNV-1a gram hashes of one relation's blocking
+/// column, computed in parallel (records with no string value get no grams).
+/// Keying on `u64` hashes instead of owned gram `String`s removes the
+/// per-gram allocations; the candidate set is unchanged unless two distinct
+/// grams collide in 64 bits (probability ~ g²/2⁶⁵ corpus-wide, DESIGN.md §10).
+fn relation_grams(r: &Relation, col: usize, q: usize) -> Vec<Vec<u64>> {
+    let ids: Vec<usize> = (0..r.len()).collect();
+    parallel::par_map(&ids, |&i| match r.entity(i).value(col).as_str() {
+        Some(s) => block_gram_hashes(&s.to_lowercase(), q),
+        None => Vec::new(),
+    })
 }
 
-/// [`gram_index`] over profiled records: reuses each profile's precomputed
-/// blocking keys when they were built at this `q`, and its cached lowercase
-/// string otherwise.
-fn gram_index_profiled(
-    profs: &[RecordProfile],
-    col: usize,
-    q: usize,
+/// [`relation_grams`] over profiled records: reuses each profile's
+/// precomputed blocking keys when they were built at this `q`, and its
+/// cached lowercase string otherwise.
+fn profiled_grams(profs: &[RecordProfile], col: usize, q: usize) -> Vec<Vec<u64>> {
+    profs
+        .iter()
+        .map(|rp| match rp.col(col) {
+            Some(p) => match p.block_grams_at(q) {
+                Some(grams) => grams.to_vec(),
+                None => block_gram_hashes(p.lower(), q),
+            },
+            None => Vec::new(),
+        })
+        .collect()
+}
+
+/// One shard of a side's blocking index: only grams with
+/// `hash % shards == shard`. Record ids arrive in increasing order, so
+/// per-gram buckets are identical to the monolithic index's — the bucket
+/// cap truncates the same ids no matter how grams are partitioned.
+fn shard_index(
+    grams: &[Vec<u64>],
+    shard: u64,
+    shards: u64,
     max_bucket: usize,
 ) -> HashMap<u64, Vec<usize>> {
     let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (id, rp) in profs.iter().enumerate() {
-        let Some(p) = rp.col(col) else { continue };
-        match p.block_grams_at(q) {
-            Some(grams) => push_grams(&mut index, grams, id, max_bucket),
-            None => push_grams(&mut index, &block_gram_hashes(p.lower(), q), id, max_bucket),
+    for (id, gs) in grams.iter().enumerate() {
+        for &g in gs {
+            if g % shards != shard {
+                continue;
+            }
+            let bucket = index.entry(g).or_default();
+            // Grams are deduplicated per record, so the `last != id` guard
+            // only defends against misuse.
+            if bucket.len() < max_bucket && bucket.last() != Some(&id) {
+                bucket.push(id);
+            }
         }
     }
     index
 }
 
-fn push_grams(index: &mut HashMap<u64, Vec<usize>>, grams: &[u64], id: usize, max_bucket: usize) {
-    for &g in grams {
-        let bucket = index.entry(g).or_default();
-        // `grams` is deduplicated per record and ids arrive in increasing
-        // order, so the `last != id` guard only defends against misuse.
-        if bucket.len() < max_bucket && bucket.last() != Some(&id) {
-            bucket.push(id);
-        }
+/// Builds both sides' shards in parallel (`par_map` keeps shard order
+/// deterministic), joins shard-by-shard, and merges: every gram lives in
+/// exactly one shard, so the union of per-shard joins equals the monolithic
+/// join, and the final global sort + dedup makes the output independent of
+/// shard count, thread count, and hash-iteration order.
+fn sharded_join(
+    grams_a: &[Vec<u64>],
+    grams_b: &[Vec<u64>],
+    max_bucket: usize,
+    shards: usize,
+) -> Vec<(usize, usize)> {
+    let shards = shards.max(1) as u64;
+    if obs::enabled() {
+        obs::gauge("blocking.shards", shards as f64);
     }
+    let shard_ids: Vec<u64> = (0..shards).collect();
+    let per_shard: Vec<Vec<(usize, usize)>> = parallel::par_map(&shard_ids, |&s| {
+        let ia = shard_index(grams_a, s, shards, max_bucket);
+        let ib = shard_index(grams_b, s, shards, max_bucket);
+        join_indexes(&ia, &ib)
+    });
+    // A pair can surface from several shards (one per shared gram): dedup
+    // across shards, then sort for a canonical order.
+    let seen: HashSet<(usize, usize)> = per_shard.into_iter().flatten().collect();
+    let mut out: Vec<(usize, usize)> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
 #[cfg(test)]
@@ -504,6 +575,63 @@ mod tests {
         assert_eq!(
             sorted_neighborhood(&a, &b, 2),
             sorted_neighborhood_cached(&a, &cache, 2)
+        );
+        for strat in [
+            BlockingStrategy::Qgram { q: 3, max_bucket: 10 },
+            BlockingStrategy::Token { max_bucket: 10 },
+            BlockingStrategy::SortedNeighborhood { window: 2 },
+        ] {
+            assert_eq!(
+                strat.candidates(&a, &b),
+                strat.candidates_cached(&a, &b, &cache),
+                "{strat:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_candidates_match_unsharded_at_any_shard_count() {
+        let a = rel(&[
+            "adaptable query optimization",
+            "zzzz completely unrelated",
+            "generalised hash teams",
+            "ab",
+            "",
+        ]);
+        let b = rel(&[
+            "adaptable query evaluation",
+            "query processing things",
+            "generalized hash teams",
+            "ab",
+        ]);
+        let reference = candidate_pairs_sharded(&a, &b, 3, 10, 1);
+        for shards in [2, 3, 7, 16, 64] {
+            assert_eq!(
+                candidate_pairs_sharded(&a, &b, 3, 10, shards),
+                reference,
+                "shards = {shards}"
+            );
+        }
+        // The bucket cap truncates identically through shards.
+        let names: Vec<&str> = std::iter::repeat("same title here").take(30).collect();
+        let big_a = rel(&names);
+        let big_b = rel(&names);
+        let capped = candidate_pairs_sharded(&big_a, &big_b, 3, 5, 1);
+        for shards in [2, 8] {
+            assert_eq!(candidate_pairs_sharded(&big_a, &big_b, 3, 5, shards), capped);
+        }
+    }
+
+    #[test]
+    fn budgeted_cache_blocking_falls_back_to_relations() {
+        let a = rel(&["adaptable query optimization", "zzzz completely unrelated", "ab"]);
+        let b = rel(&["adaptable query evaluation", "query processing things", "ab"]);
+        // Budget 1 < 6 records: the cache is not fully resident.
+        let cache = crate::simcache::ProfileCache::build_with_budget(&a, &b, 3, Some(1));
+        assert!(!cache.fully_resident());
+        assert_eq!(
+            candidate_pairs(&a, &b, 3, 10),
+            candidate_pairs_cached(&a, &b, &cache, 3, 10)
         );
         for strat in [
             BlockingStrategy::Qgram { q: 3, max_bucket: 10 },

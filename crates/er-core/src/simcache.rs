@@ -22,6 +22,9 @@
 
 use crate::{blocking, Entity, Relation, Schema};
 use similarity::{ProfileSpec, RawProfile, SimContext, StringProfile, TokenInterner};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// One profiled record: at each column position, the column's
 /// [`StringProfile`] — or `None` for numeric/date columns and null values.
@@ -69,28 +72,145 @@ fn profile_cols(
     cols
 }
 
+/// Parses `SERD_PROFILE_BUDGET` — the maximum number of [`RecordProfile`]s
+/// the cache keeps resident. Unset, unparsable, or `0` all mean unlimited.
+fn env_profile_budget() -> Option<usize> {
+    let raw = std::env::var("SERD_PROFILE_BUDGET").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n),
+        Err(_) => {
+            obs::diag(&format!(
+                "SERD_PROFILE_BUDGET={raw:?} is not a number; profile cache unbounded"
+            ));
+            None
+        }
+    }
+}
+
+/// Cache key: `(side, record id)` with side 0 = A, 1 = B.
+type SlotKey = (u8, usize);
+
+/// The bounded store's LRU state. Recency stamps come from a logical clock;
+/// the heap holds `(stamp, key)` entries, lazily invalidated on touch, so
+/// eviction is O(log n) amortized instead of a full scan per miss. Victims
+/// are the minimum `(stamp, key)` — least recently used, ties broken by
+/// record id — and eviction only ever costs a rebuild, never a score change.
+#[derive(Debug, Default)]
+struct Lru {
+    clock: u64,
+    map: HashMap<SlotKey, (u64, Arc<RecordProfile>)>,
+    heap: BinaryHeap<Reverse<(u64, SlotKey)>>,
+}
+
+impl Lru {
+    fn touch(&mut self, key: SlotKey) -> Option<Arc<RecordProfile>> {
+        let (stamp, prof) = self.map.get_mut(&key)?;
+        self.clock += 1;
+        *stamp = self.clock;
+        let stamped = (self.clock, key);
+        let prof = prof.clone();
+        self.heap.push(Reverse(stamped));
+        Some(prof)
+    }
+
+    fn insert(&mut self, key: SlotKey, prof: Arc<RecordProfile>, budget: usize) {
+        self.clock += 1;
+        self.map.insert(key, (self.clock, prof));
+        self.heap.push(Reverse((self.clock, key)));
+        while self.map.len() > budget.max(1) {
+            let Some(Reverse((stamp, victim))) = self.heap.pop() else {
+                break;
+            };
+            // Stale heap entries (the key was touched since) are skipped.
+            if self.map.get(&victim).is_some_and(|(s, _)| *s == stamp) {
+                self.map.remove(&victim);
+            }
+        }
+    }
+}
+
+/// Where the profiles live: every record resident (the default — exactly the
+/// layout that existed before budgets), or an LRU of at most `budget`
+/// records, rebuilt on miss through the read-only interner.
+#[derive(Debug)]
+enum Store {
+    Resident {
+        a: Vec<RecordProfile>,
+        b: Vec<RecordProfile>,
+    },
+    Bounded {
+        budget: usize,
+        n_a: usize,
+        n_b: usize,
+        lru: Mutex<Lru>,
+    },
+}
+
+impl Clone for Store {
+    fn clone(&self) -> Store {
+        match self {
+            Store::Resident { a, b } => Store::Resident { a: a.clone(), b: b.clone() },
+            Store::Bounded { budget, n_a, n_b, lru } => {
+                let lru = lru.lock().expect("profile LRU poisoned");
+                Store::Bounded {
+                    budget: *budget,
+                    n_a: *n_a,
+                    n_b: *n_b,
+                    lru: Mutex::new(Lru {
+                        clock: lru.clock,
+                        map: lru.map.clone(),
+                        heap: lru.heap.clone(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
 /// A bulk profile cache over the two relations of a dataset. All profiles
 /// share one interner, so any A-record may be compared with any B-record.
+///
+/// Under `SERD_PROFILE_BUDGET` (or [`ProfileCache::build_with_budget`]) the
+/// cache holds at most that many profiles resident, evicting LRU-first;
+/// misses rebuild through [`RawProfile::intern_readonly`] against the
+/// complete interner assembled at build time, so scores stay bit-identical
+/// to the unbounded cache (DESIGN.md §13).
 #[derive(Debug, Clone)]
 pub struct ProfileCache {
     ctx: SimContext,
+    specs: Vec<Option<ProfileSpec>>,
     block_q: usize,
-    a: Vec<RecordProfile>,
-    b: Vec<RecordProfile>,
+    store: Store,
 }
 
 impl ProfileCache {
     /// Profiles every record of both relations. The expensive per-string
     /// work fans out over the worker pool; the cheap interning pass then
     /// runs serially (A first, then B, row order) so token ids are a pure
-    /// function of the data — independent of thread count.
+    /// function of the data — independent of thread count. Honors
+    /// `SERD_PROFILE_BUDGET` (default: unlimited).
     pub fn build(a: &Relation, b: &Relation, block_q: usize) -> ProfileCache {
+        ProfileCache::build_with_budget(a, b, block_q, env_profile_budget())
+    }
+
+    /// [`ProfileCache::build`] with an explicit residency budget. The
+    /// interning pass always covers the full corpus in the same serial
+    /// order, so token ids — and therefore every score — are identical at
+    /// any budget; the budget only bounds how many finished profiles stay
+    /// resident at once.
+    pub fn build_with_budget(
+        a: &Relation,
+        b: &Relation,
+        block_q: usize,
+        budget: Option<usize>,
+    ) -> ProfileCache {
         let _span = obs::span("sim.profile_build");
         let specs = profile_specs(a.schema(), Some(block_q));
+        let bounded = budget.is_some_and(|bud| bud < a.len() + b.len());
 
-        let raw = |r: &Relation| -> Vec<Vec<Option<RawProfile>>> {
-            let ids: Vec<usize> = (0..r.len()).collect();
-            parallel::par_map(&ids, |&i| {
+        let raw_chunk = |r: &Relation, ids: &[usize]| -> Vec<Vec<Option<RawProfile>>> {
+            parallel::par_map(ids, |&i| {
                 let e = r.entity(i);
                 specs
                     .iter()
@@ -102,10 +222,37 @@ impl ProfileCache {
                     .collect()
             })
         };
-        let raw_a = raw(a);
-        let raw_b = raw(b);
 
         let mut ctx = SimContext::new();
+        if bounded {
+            // Bounded: intern in bounded-size chunks — same serial id
+            // sequence as the resident build, but no chunk's profiles are
+            // retained, so peak memory is one chunk, not the corpus.
+            const CHUNK: usize = 4096;
+            for r in [a, b] {
+                let mut start = 0;
+                while start < r.len() {
+                    let ids: Vec<usize> = (start..(start + CHUNK).min(r.len())).collect();
+                    for cols in raw_chunk(r, &ids) {
+                        for raw in cols.into_iter().flatten() {
+                            let _ = raw.intern(ctx.interner_mut());
+                        }
+                    }
+                    start += CHUNK;
+                }
+            }
+            let store = Store::Bounded {
+                budget: budget.expect("bounded implies budget"),
+                n_a: a.len(),
+                n_b: b.len(),
+                lru: Mutex::new(Lru::default()),
+            };
+            return ProfileCache { ctx, specs, block_q, store };
+        }
+
+        let all = |r: &Relation| raw_chunk(r, &(0..r.len()).collect::<Vec<usize>>());
+        let raw_a = all(a);
+        let raw_b = all(b);
         let mut intern_rows = |rows: Vec<Vec<Option<RawProfile>>>| -> Vec<RecordProfile> {
             rows.into_iter()
                 .map(|cols| RecordProfile {
@@ -118,7 +265,7 @@ impl ProfileCache {
         };
         let a = intern_rows(raw_a);
         let b = intern_rows(raw_b);
-        ProfileCache { ctx, block_q, a, b }
+        ProfileCache { ctx, specs, block_q, store: Store::Resident { a, b } }
     }
 
     /// The shared token interner.
@@ -126,14 +273,53 @@ impl ProfileCache {
         self.ctx.interner()
     }
 
+    /// True when every record's profile is resident (no budget in effect) —
+    /// the precondition for the slice accessors [`ProfileCache::a`] /
+    /// [`ProfileCache::b`]. Budgeted callers must go through
+    /// [`ProfileCache::pair_similarity`] / [`ProfileCache::profile`] or fall
+    /// back to relation-based code paths.
+    pub fn fully_resident(&self) -> bool {
+        matches!(self.store, Store::Resident { .. })
+    }
+
+    /// Number of profiles currently resident.
+    pub fn resident(&self) -> usize {
+        match &self.store {
+            Store::Resident { a, b } => a.len() + b.len(),
+            Store::Bounded { lru, .. } => lru.lock().expect("profile LRU poisoned").map.len(),
+        }
+    }
+
+    /// The residency budget, if one is in effect.
+    pub fn budget(&self) -> Option<usize> {
+        match &self.store {
+            Store::Resident { .. } => None,
+            Store::Bounded { budget, .. } => Some(*budget),
+        }
+    }
+
     /// Profiles of the A relation, indexed like the relation.
+    ///
+    /// # Panics
+    /// When a residency budget is in effect (check
+    /// [`ProfileCache::fully_resident`] first).
     pub fn a(&self) -> &[RecordProfile] {
-        &self.a
+        match &self.store {
+            Store::Resident { a, .. } => a,
+            Store::Bounded { .. } => panic!("ProfileCache::a() on a budgeted cache"),
+        }
     }
 
     /// Profiles of the B relation, indexed like the relation.
+    ///
+    /// # Panics
+    /// When a residency budget is in effect (check
+    /// [`ProfileCache::fully_resident`] first).
     pub fn b(&self) -> &[RecordProfile] {
-        &self.b
+        match &self.store {
+            Store::Resident { b, .. } => b,
+            Store::Bounded { .. } => panic!("ProfileCache::b() on a budgeted cache"),
+        }
     }
 
     /// The gram length blocking keys were precomputed at.
@@ -141,8 +327,42 @@ impl ProfileCache {
         self.block_q
     }
 
+    /// The profile of record `id` on the given side (0 = A, 1 = B), getting
+    /// or rebuilding it under a budget. `entity` must be that record.
+    fn fetch(&self, side: u8, id: usize, entity: &Entity) -> Arc<RecordProfile> {
+        let Store::Bounded { budget, n_a, n_b, lru } = &self.store else {
+            unreachable!("fetch is only called on bounded stores");
+        };
+        let n = if side == 0 { *n_a } else { *n_b };
+        assert!(id < n, "record {id} out of range for side {side} (len {n})");
+        if let Some(hit) = lru.lock().expect("profile LRU poisoned").touch((side, id)) {
+            return hit;
+        }
+        // Miss: rebuild outside the lock. Two threads racing on the same
+        // record both produce identical profiles; last insert wins.
+        let cols = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| match (spec, entity.value(c).as_str()) {
+                (Some(spec), Some(s)) => {
+                    RawProfile::build(s, spec).intern_readonly(self.ctx.interner())
+                }
+                _ => None,
+            })
+            .collect();
+        let prof = Arc::new(RecordProfile { cols });
+        let mut lru = lru.lock().expect("profile LRU poisoned");
+        lru.insert((side, id), prof.clone(), *budget);
+        if obs::enabled() {
+            obs::gauge("simcache.resident", lru.map.len() as f64);
+        }
+        prof
+    }
+
     /// Similarity vector of `a[i]` vs `b[j]` through the cached profiles —
-    /// score-identical to [`crate::pair_similarity`] on the raw entities.
+    /// score-identical to [`crate::pair_similarity`] on the raw entities,
+    /// with or without a residency budget.
     pub fn pair_similarity(
         &self,
         schema: &Schema,
@@ -151,21 +371,30 @@ impl ProfileCache {
         eb: &Entity,
         j: usize,
     ) -> Vec<f64> {
-        let (pa, pb) = (&self.a[i], &self.b[j]);
-        schema
-            .columns()
-            .iter()
-            .enumerate()
-            .map(|(c, col)| {
-                col.similarity_profiled(
-                    ea.value(c),
-                    eb.value(c),
-                    pa.col(c),
-                    pb.col(c),
-                    self.ctx.interner(),
-                )
-            })
-            .collect()
+        let score = |pa: &RecordProfile, pb: &RecordProfile| -> Vec<f64> {
+            schema
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(c, col)| {
+                    col.similarity_profiled(
+                        ea.value(c),
+                        eb.value(c),
+                        pa.col(c),
+                        pb.col(c),
+                        self.ctx.interner(),
+                    )
+                })
+                .collect()
+        };
+        match &self.store {
+            Store::Resident { a, b } => score(&a[i], &b[j]),
+            Store::Bounded { .. } => {
+                let pa = self.fetch(0, i, ea);
+                let pb = self.fetch(1, j, eb);
+                score(&pa, &pb)
+            }
+        }
     }
 }
 
@@ -314,6 +543,67 @@ mod tests {
         assert_eq!(specs[0].unwrap().block_q, Some(3));
         assert_eq!(specs[1].unwrap().block_q, None);
         assert!(specs[2].is_none());
+    }
+
+    #[test]
+    fn bounded_cache_scores_match_resident_bit_for_bit() {
+        let a = rel("A", &[
+            ("adaptable query optimization", "kossmann, stocker", 2000.0),
+            ("generalised hash teams", "kemper", 1999.0),
+            ("finding frequent items", "cormode, muthukrishnan", 2005.0),
+        ]);
+        let b = rel("B", &[
+            ("adaptable query optimization", "d. kossmann, k. stocker", 2000.0),
+            ("finding frequent elements", "cormode", 2003.0),
+        ]);
+        let resident = ProfileCache::build_with_budget(&a, &b, 3, None);
+        // A budget of 2 forces evictions on every pair (each pair needs 2
+        // slots and the scan below cycles through 5 records).
+        let bounded = ProfileCache::build_with_budget(&a, &b, 3, Some(2));
+        assert!(resident.fully_resident());
+        assert!(!bounded.fully_resident());
+        assert_eq!(bounded.budget(), Some(2));
+        // The interner is identical: ids were assigned by the same serial
+        // pass regardless of budget.
+        assert_eq!(resident.interner().len(), bounded.interner().len());
+        for id in 0..resident.interner().len() as u32 {
+            assert_eq!(resident.interner().text(id), bounded.interner().text(id));
+        }
+        for i in 0..a.len() {
+            for j in 0..b.len() {
+                let full = resident.pair_similarity(a.schema(), a.entity(i), i, b.entity(j), j);
+                let tight = bounded.pair_similarity(a.schema(), a.entity(i), i, b.entity(j), j);
+                let full_bits: Vec<u64> = full.iter().map(|v| v.to_bits()).collect();
+                let tight_bits: Vec<u64> = tight.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(full_bits, tight_bits, "pair ({i}, {j})");
+                assert!(bounded.resident() <= 2, "budget exceeded at pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_eviction_is_lru_by_recency() {
+        let a = rel("A", &[
+            ("alpha one", "x", 1.0),
+            ("beta two", "y", 2.0),
+            ("gamma three", "z", 3.0),
+        ]);
+        let b = rel("B", &[("alpha won", "x", 1.0)]);
+        let cache = ProfileCache::build_with_budget(&a, &b, 3, Some(2));
+        // Touch A0+B0, then A1+B0 (A0 evicted), then A2+B0 (A1 evicted):
+        // residency never exceeds the budget and every score still works.
+        for i in 0..a.len() {
+            cache.pair_similarity(a.schema(), a.entity(i), i, b.entity(0), 0);
+            assert!(cache.resident() <= 2);
+        }
+    }
+
+    #[test]
+    fn budget_at_or_above_corpus_size_stays_resident() {
+        let a = rel("A", &[("alpha", "x", 1.0)]);
+        let b = rel("B", &[("beta", "y", 2.0)]);
+        assert!(ProfileCache::build_with_budget(&a, &b, 3, Some(2)).fully_resident());
+        assert!(!ProfileCache::build_with_budget(&a, &b, 3, Some(1)).fully_resident());
     }
 
     #[test]

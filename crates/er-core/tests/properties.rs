@@ -18,6 +18,31 @@ fn schema() -> Schema {
     ])
 }
 
+/// Raw CSV-shaped text (not necessarily well formed): quoted and unquoted
+/// fields, embedded quotes/commas/newlines, LF and CRLF terminators.
+fn csv_text() -> impl Strategy<Value = String> {
+    let fld = ("[a-z0-9 ']{0,8}", "[a-z0-9 ,'\n\r\"]{0,8}", any::<bool>()).prop_map(
+        |(plain, risky, quote)| {
+            if quote {
+                format!("\"{}\"", risky.replace('"', "\"\""))
+            } else {
+                plain
+            }
+        },
+    );
+    let record = prop::collection::vec(fld, 1..4).prop_map(|fs| fs.join(","));
+    (prop::collection::vec(record, 0..6), any::<bool>(), any::<bool>()).prop_map(
+        |(recs, crlf, trailing)| {
+            let term = if crlf { "\r\n" } else { "\n" };
+            let mut text = recs.join(term);
+            if trailing && !text.is_empty() {
+                text.push_str(term);
+            }
+            text
+        },
+    )
+}
+
 proptest! {
     #[test]
     fn csv_parse_write_roundtrip(rows in prop::collection::vec(
@@ -25,6 +50,23 @@ proptest! {
         let text = csv::write(&rows);
         let parsed = csv::parse(&text).unwrap();
         prop_assert_eq!(parsed, rows);
+    }
+
+    /// The streaming reader and the in-memory parser are the same grammar:
+    /// identical records on success, and they agree on rejection. Tiny read
+    /// buffers force quoted fields, CRLF terminators, and the EOF flush to
+    /// straddle refills.
+    #[test]
+    fn streaming_reader_agrees_with_parse(text in csv_text(), cap in 1usize..5) {
+        let expected = csv::parse(&text);
+        let reader = csv::CsvReader::new(
+            std::io::BufReader::with_capacity(cap, text.as_bytes()));
+        let streamed: Result<Vec<Vec<String>>, _> = reader.collect();
+        match (expected, streamed) {
+            (Ok(want), Ok(got)) => prop_assert_eq!(got, want),
+            (Err(_), Err(_)) => {}
+            (want, got) => prop_assert!(false, "parse {want:?} vs streamed {got:?}"),
+        }
     }
 
     #[test]

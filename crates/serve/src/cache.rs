@@ -29,10 +29,16 @@ use std::sync::{Arc, RwLock};
 use std::time::SystemTime;
 
 /// Change-detection stamp for an artifact file.
+///
+/// `mtime` is `None` when the filesystem can't report one (or reports the
+/// Unix epoch, the classic "no mtime" placeholder). Freshness then falls
+/// back to comparing an FNV-1a hash of the file's bytes instead of
+/// degrading to length-only — a same-length republish used to slip past the
+/// old `(UNIX_EPOCH, len)` stamp unnoticed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileStamp {
-    /// Modification time reported by the filesystem.
-    pub mtime: SystemTime,
+    /// Modification time reported by the filesystem, if it reports one.
+    pub mtime: Option<SystemTime>,
     /// File length in bytes.
     pub len: u64,
 }
@@ -42,10 +48,27 @@ impl FileStamp {
         let meta = std::fs::metadata(path)
             .map_err(|e| ApiError::Io(format!("stat {}: {e}", path.display())))?;
         Ok(FileStamp {
-            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            mtime: meta.modified().ok().filter(|&t| t != SystemTime::UNIX_EPOCH),
             len: meta.len(),
         })
     }
+
+    /// True when both stamps carry a trustworthy mtime and agree entirely —
+    /// the stat-only fresh fast path. Anything else needs a content check.
+    fn same_mtime_and_len(&self, other: &FileStamp) -> bool {
+        self.len == other.len && self.mtime.is_some() && self.mtime == other.mtime
+    }
+}
+
+/// FNV-1a over a byte slice — the artifact content-hash component of the
+/// change-detection stamp and the etag.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Summary metadata extracted from a parsed artifact, cheap enough to carry
@@ -81,6 +104,9 @@ pub struct ArtifactBlob {
     pub meta: ModelMeta,
     /// The stamp the text was read under (stale iff the file's differs).
     pub stamp: FileStamp,
+    /// FNV-1a hash of `text` — the change detector of last resort when the
+    /// filesystem's mtime is unavailable or untrustworthy.
+    pub content_fnv: u64,
 }
 
 /// The server-wide artifact registry: name → current [`ArtifactBlob`].
@@ -180,12 +206,33 @@ impl ArtifactCache {
                 return Err(ApiError::NotFound(format!("model {name:?}")));
             }
         };
-        if let Some(blob) = self.entries.read().unwrap().get(name) {
-            if blob.stamp == stamp {
+        let cached = self.entries.read().unwrap().get(name).cloned();
+        let mut pre_read = None;
+        if let Some(blob) = &cached {
+            if blob.stamp.same_mtime_and_len(&stamp) {
                 return Ok(Arc::clone(blob));
             }
+            if blob.stamp.len == stamp.len
+                && (blob.stamp.mtime.is_none() || stamp.mtime.is_none())
+            {
+                // Same length but no trustworthy mtime on one side: only the
+                // bytes can tell. A matching content hash is fresh; a
+                // mismatch is a same-length republish — reuse the read.
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => {
+                        if fnv1a64(text.as_bytes()) == blob.content_fnv {
+                            return Ok(Arc::clone(blob));
+                        }
+                        pre_read = Some(text);
+                    }
+                    Err(e) => {
+                        let err = ApiError::Io(format!("read {}: {e}", path.display()));
+                        return self.stale_fallback(name, err);
+                    }
+                }
+            }
         }
-        match self.load_blob(name, &path, stamp) {
+        match self.load_blob(name, &path, stamp, pre_read) {
             Ok(blob) => Ok(blob),
             Err(err) => self.stale_fallback(name, err),
         }
@@ -196,9 +243,14 @@ impl ArtifactCache {
         name: &str,
         path: &Path,
         stamp: FileStamp,
+        pre_read: Option<String>,
     ) -> Result<Arc<ArtifactBlob>, ApiError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ApiError::Io(format!("read {}: {e}", path.display())))?;
+        let text = match pre_read {
+            Some(text) => text,
+            None => std::fs::read_to_string(path)
+                .map_err(|e| ApiError::Io(format!("read {}: {e}", path.display())))?,
+        };
+        let content_fnv = fnv1a64(text.as_bytes());
         // Parse once here to validate and extract metadata; workers parse
         // their own replicas from the same text later.
         let model = SerdModel::from_persist_str(&text).map_err(ApiError::from)?;
@@ -207,24 +259,22 @@ impl ArtifactCache {
 
         let mut map = self.entries.write().unwrap();
         if let Some(existing) = map.get(name) {
-            // Another thread won the reload race while we were parsing.
-            if existing.stamp == stamp {
+            // Another thread won the reload race while we were parsing (the
+            // content hash keeps two same-stamp-different-bytes loads, which
+            // only degraded filesystems can produce, from deduplicating).
+            if existing.stamp == stamp && existing.content_fnv == content_fnv {
                 return Ok(Arc::clone(existing));
             }
         }
         let version = map.get(name).map(|b| b.version + 1).unwrap_or(1);
-        let mtime_ns = stamp
-            .mtime
-            .duration_since(SystemTime::UNIX_EPOCH)
-            .map(|d| d.as_nanos())
-            .unwrap_or(0);
         let blob = Arc::new(ArtifactBlob {
             name: name.to_string(),
             version,
-            etag: format!("{name}.v{version}.{}.{mtime_ns}", stamp.len),
+            etag: format!("{name}.v{version}.{}.{content_fnv:016x}", stamp.len),
             text,
             meta,
             stamp,
+            content_fnv,
         });
         if map.insert(name.to_string(), Arc::clone(&blob)).is_some() {
             self.swaps.fetch_add(1, Ordering::Relaxed);
@@ -313,5 +363,40 @@ mod tests {
     fn missing_dir_is_not_found() {
         let err = ArtifactCache::new("/nonexistent-models-dir").err().unwrap();
         assert!(matches!(err, ApiError::NotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn stamp_treats_epoch_mtime_as_unavailable() {
+        let dir = std::env::temp_dir().join(format!("serd_stamp_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        std::fs::write(&path, "hello").unwrap();
+        let fresh = FileStamp::of(&path).unwrap();
+        assert_eq!(fresh.len, 5);
+        assert!(fresh.mtime.is_some());
+        assert!(fresh.same_mtime_and_len(&fresh));
+
+        // A reported epoch mtime is the "modified() failed" placeholder:
+        // it must never satisfy the stat-only fast path, even against
+        // itself — same-length republishes fall through to the hash check.
+        std::fs::File::options()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_modified(SystemTime::UNIX_EPOCH)
+            .unwrap();
+        let degraded = FileStamp::of(&path).unwrap();
+        assert!(degraded.mtime.is_none());
+        assert!(!degraded.same_mtime_and_len(&degraded));
+        assert!(!degraded.same_mtime_and_len(&fresh));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        // Same length, different bytes — the case (mtime, len) can't see.
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
     }
 }

@@ -180,6 +180,29 @@ impl RawProfile {
     /// Phase two: assign interner ids (first-seen order — keep this serial
     /// and in a deterministic sequence for deterministic ids).
     pub fn intern(self, interner: &mut TokenInterner) -> StringProfile {
+        let tokens: Vec<u32> = self
+            .token_ranges
+            .iter()
+            .map(|&(s, e)| interner.intern(&self.lower[s..e]))
+            .collect();
+        self.finish(tokens, interner)
+    }
+
+    /// [`Self::intern`] against a *read-only* interner: token ids come from
+    /// lookup, never assignment, so concurrent rebuilds of evicted profiles
+    /// can't perturb the id space. Returns `None` when any token is unknown
+    /// to the interner — rebuilding a string that was interned at corpus
+    /// build time always succeeds; anything else must fall back to the
+    /// scalar kernels.
+    pub fn intern_readonly(self, interner: &TokenInterner) -> Option<StringProfile> {
+        let mut tokens = Vec::with_capacity(self.token_ranges.len());
+        for &(s, e) in &self.token_ranges {
+            tokens.push(interner.get(&self.lower[s..e])?);
+        }
+        Some(self.finish(tokens, interner))
+    }
+
+    fn finish(self, tokens: Vec<u32>, interner: &TokenInterner) -> StringProfile {
         let RawProfile {
             raw,
             lower,
@@ -188,14 +211,10 @@ impl RawProfile {
             q,
             qgrams,
             peq,
-            token_ranges,
+            token_ranges: _,
             block_q,
             block_grams,
         } = self;
-        let tokens: Vec<u32> = token_ranges
-            .iter()
-            .map(|&(s, e)| interner.intern(&lower[s..e]))
-            .collect();
 
         let mut token_set = tokens.clone();
         token_set.sort_unstable();
@@ -745,6 +764,32 @@ mod tests {
     fn ascii_and_char_gram_hashes_agree() {
         assert_eq!(hash_gram_bytes(b"abc"), hash_gram_chars(&['a', 'b', 'c']));
         assert_eq!(hash_gram_bytes(b""), hash_gram_chars(&[]));
+    }
+
+    #[test]
+    fn readonly_intern_reproduces_profiles() {
+        let mut ctx = SimContext::new();
+        let spec = ProfileSpec::full(3);
+        let pa = ctx.profile("adaptive query processing", &spec);
+        let pb = ctx.profile("Adaptive Query Evaluation", &spec);
+        let rb = RawProfile::build("Adaptive Query Evaluation", &spec)
+            .intern_readonly(ctx.interner())
+            .expect("all tokens were interned at build time");
+        assert_eq!(rb.tokens(), pb.tokens());
+        assert_eq!(rb.token_set(), pb.token_set());
+        assert_eq!(
+            prof_cosine_tf(&pa, &rb, ctx.interner()).to_bits(),
+            prof_cosine_tf(&pa, &pb, ctx.interner()).to_bits()
+        );
+        assert_eq!(
+            prof_monge_elkan(&pa, &rb, ctx.interner()).to_bits(),
+            prof_monge_elkan(&pa, &pb, ctx.interner()).to_bits()
+        );
+        // A string with a token the interner has never seen can't be
+        // resolved read-only.
+        assert!(RawProfile::build("entirely unseen tokens", &spec)
+            .intern_readonly(ctx.interner())
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Scale sweep for the ingest-to-blocking path (DESIGN.md §13).
+#
+# Runs crates/bench/src/bin/bench_scale.rs once per size — one size per
+# process, so each run's peak RSS (VmHWM) is its own — with a bounded
+# ProfileCache, and assembles the per-run JSON objects into BENCH_scale.json
+# at the repo root. Any run failing its built-in correctness checks (dropped
+# rows, candidate-set divergence, residency over budget) fails the sweep.
+#
+# Usage: scripts/bench_scale.sh [dataset] [sizes...]
+#   dataset  defaults to restaurant
+#   sizes    default to 10000 100000 1000000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATASET="${1:-restaurant}"
+shift || true
+SIZES=("${@:-}")
+if [ -z "${SIZES[0]:-}" ]; then
+    SIZES=(10000 100000 1000000)
+fi
+BUDGET="${SERD_PROFILE_BUDGET:-200000}"
+OUT="BENCH_scale.json"
+
+cargo build --offline -q --release -p bench --bin bench_scale
+
+RUNS=()
+for n in "${SIZES[@]}"; do
+    echo "== bench_scale --dataset ${DATASET} --n ${n} (SERD_PROFILE_BUDGET=${BUDGET}) ==" >&2
+    RUNS+=("$(SERD_PROFILE_BUDGET="$BUDGET" \
+        ./target/release/bench_scale --dataset "$DATASET" --n "$n")")
+done
+
+{
+    echo '{'
+    echo "  \"dataset\": \"${DATASET}\","
+    echo "  \"profile_budget\": ${BUDGET},"
+    echo "  \"runner_cores\": $(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1),"
+    echo '  "runs": ['
+    for i in "${!RUNS[@]}"; do
+        sep=','
+        [ "$i" -eq $((${#RUNS[@]} - 1)) ] && sep=''
+        printf '%s%s\n' "$(printf '%s' "${RUNS[$i]}" | sed 's/^/    /')" "$sep"
+    done
+    echo '  ]'
+    echo '}'
+} > "$OUT"
+
+echo "wrote ${OUT}" >&2

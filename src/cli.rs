@@ -34,6 +34,13 @@ COMMON OPTIONS (generate, fit, synthesize, evaluate, profile):
     --seed <u64>           RNG seed (default 42)
     --min-matches <usize>  floor on planted matches (default 16)
 
+SCALE OPTIONS:
+    --entities <usize>     (generate) stream a run totalling this many rows
+                           across both relations in bounded memory, ignoring
+                           --scale/--min-matches
+    --data <dir>           (fit, evaluate) ingest a generated CSV directory
+                           (streamed) instead of simulating in process
+
 SYNTHESIS OPTIONS (fit, synthesize; evaluate and profile take --no-rejection):
     --out <dir>            output directory for CSVs (default .); for `fit`,
                            the model artifact path (default model.serd)
@@ -68,12 +75,18 @@ pub struct CommonOpts {
 pub struct GenerateOpts {
     pub common: CommonOpts,
     pub out: String,
+    /// Stream a large-scale run totalling this many entities across both
+    /// relations (bounded memory) instead of the resident `--scale` path.
+    pub entities: Option<usize>,
 }
 
 #[derive(Debug, Clone)]
 pub struct FitOpts {
     pub common: CommonOpts,
     pub out: String,
+    /// Ingest a previously generated CSV directory (streamed record by
+    /// record) instead of simulating in process.
+    pub data: Option<PathBuf>,
     /// Offline-phase knob overrides, applied to the [`serd::SerdConfig`]
     /// before fitting (they shape what gets baked into the artifact).
     pub overrides: OnlineOverrides,
@@ -97,6 +110,8 @@ pub struct SynthesizeOpts {
 #[derive(Debug, Clone)]
 pub struct EvaluateOpts {
     pub common: CommonOpts,
+    /// See [`FitOpts::data`].
+    pub data: Option<PathBuf>,
     pub no_rejection: bool,
 }
 
@@ -244,18 +259,28 @@ pub fn parse(args: &[String]) -> Result<Command, ApiError> {
             let mut bag = OptBag::scan("generate", rest)?;
             let common = take_common(&mut bag)?;
             let out = take_out(&mut bag);
+            let entities = bag.take_num("--entities")?;
             bag.finish()?;
-            Ok(Command::Generate(GenerateOpts { common, out }))
+            if entities == Some(0) {
+                return Err(bad("--entities must be at least 1".to_string()));
+            }
+            Ok(Command::Generate(GenerateOpts {
+                common,
+                out,
+                entities,
+            }))
         }
         "fit" => {
             let mut bag = OptBag::scan("fit", rest)?;
             let common = take_common(&mut bag)?;
             let out = take_out(&mut bag);
+            let data = bag.take("--data").map(PathBuf::from);
             let overrides = take_overrides(&mut bag)?;
             bag.finish()?;
             Ok(Command::Fit(FitOpts {
                 common,
                 out,
+                data,
                 overrides,
             }))
         }
@@ -280,10 +305,12 @@ pub fn parse(args: &[String]) -> Result<Command, ApiError> {
         "evaluate" => {
             let mut bag = OptBag::scan("evaluate", rest)?;
             let common = take_common(&mut bag)?;
+            let data = bag.take("--data").map(PathBuf::from);
             let no_rejection = bag.take_flag("--no-rejection");
             bag.finish()?;
             Ok(Command::Evaluate(EvaluateOpts {
                 common,
+                data,
                 no_rejection,
             }))
         }

@@ -80,6 +80,31 @@ fn simulate(common: &cli::CommonOpts) -> (SimulatedDataset, StdRng) {
     (sim, rng)
 }
 
+/// `--data <dir>`: stream a previously generated CSV directory back in;
+/// otherwise simulate in process. Either way the pipeline RNG starts from
+/// `--seed`.
+fn load_or_simulate(
+    common: &cli::CommonOpts,
+    data: Option<&Path>,
+) -> Result<(SimulatedDataset, StdRng), ApiError> {
+    match data {
+        Some(dir) => {
+            let sim = serd_repro::datagen::ingest_dir(common.dataset, dir)
+                .map_err(|e| ApiError::Io(format!("ingest {}: {e}", dir.display())))?;
+            println!(
+                "ingested {} from {}: |A|={} |B|={} matches={}",
+                common.dataset.name(),
+                dir.display(),
+                sim.er.a().len(),
+                sim.er.b().len(),
+                sim.er.num_matches()
+            );
+            Ok((sim, StdRng::seed_from_u64(common.seed)))
+        }
+        None => Ok(simulate(common)),
+    }
+}
+
 fn write_file(dir: &str, name: &str, contents: &str) -> Result<(), ApiError> {
     let path = Path::new(dir).join(name);
     std::fs::create_dir_all(dir).map_err(|e| ApiError::Io(format!("create {dir}: {e}")))?;
@@ -107,7 +132,41 @@ fn apply_fit_overrides(mut cfg: SerdConfig, ov: &OnlineOverrides) -> SerdConfig 
     cfg
 }
 
+/// Streams a relation to `<dir>/<name>` without materializing the CSV text.
+fn write_relation_file(
+    dir: &str,
+    name: &str,
+    r: &serd_repro::er_core::Relation,
+) -> Result<(), ApiError> {
+    std::fs::create_dir_all(dir).map_err(|e| ApiError::Io(format!("create {dir}: {e}")))?;
+    let path = Path::new(dir).join(name);
+    let file = std::fs::File::create(&path)
+        .map_err(|e| ApiError::Io(format!("create {}: {e}", path.display())))?;
+    csv::write_relation_csv(std::io::BufWriter::new(file), r)
+        .map_err(|e| ApiError::Io(format!("write {}: {e}", path.display())))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn cmd_generate(opts: &GenerateOpts) -> Result<(), ApiError> {
+    if let Some(entities) = opts.entities {
+        // Large-scale path: every row is derived, written, and dropped —
+        // peak memory is one row regardless of `--entities`.
+        let spec =
+            serd_repro::datagen::ScaleSpec::for_entities(opts.common.dataset, entities);
+        let stats =
+            serd_repro::datagen::export_dir(&spec, opts.common.seed, Path::new(&opts.out))
+                .map_err(|e| ApiError::Io(format!("stream to {}: {e}", opts.out)))?;
+        println!(
+            "streamed {}: |A|={} |B|={} matches={} -> {}",
+            opts.common.dataset.name(),
+            stats.rows_a,
+            stats.rows_b,
+            stats.matches,
+            opts.out
+        );
+        return Ok(());
+    }
     let (sim, _) = simulate(&opts.common);
     println!(
         "simulated {}: |A|={} |B|={} matches={}",
@@ -116,8 +175,8 @@ fn cmd_generate(opts: &GenerateOpts) -> Result<(), ApiError> {
         sim.er.b().len(),
         sim.er.num_matches()
     );
-    write_file(&opts.out, "A.csv", &csv::relation_to_csv(sim.er.a()))?;
-    write_file(&opts.out, "B.csv", &csv::relation_to_csv(sim.er.b()))?;
+    write_relation_file(&opts.out, "A.csv", sim.er.a())?;
+    write_relation_file(&opts.out, "B.csv", sim.er.b())?;
     write_file(&opts.out, "matches.csv", &api::matches_csv(&sim.er))?;
     for (col, corpus) in sim.text_columns() {
         let name = format!("background_col{col}.txt");
@@ -138,7 +197,7 @@ fn model_out_path(out: &str) -> std::path::PathBuf {
 }
 
 fn cmd_fit(opts: &FitOpts) -> Result<(), ApiError> {
-    let (sim, mut rng) = simulate(&opts.common);
+    let (sim, mut rng) = load_or_simulate(&opts.common, opts.data.as_deref())?;
     let cfg = apply_fit_overrides(SerdConfig::fast(), &opts.overrides);
     println!("fitting SERD on {} ...", opts.common.dataset.name());
     let t_fit = std::time::Instant::now();
@@ -221,7 +280,7 @@ fn cmd_synthesize(opts: &SynthesizeOpts) -> Result<(), ApiError> {
 }
 
 fn cmd_evaluate(opts: &EvaluateOpts) -> Result<(), ApiError> {
-    let (sim, mut rng) = simulate(&opts.common);
+    let (sim, mut rng) = load_or_simulate(&opts.common, opts.data.as_deref())?;
     let mut cfg = SerdConfig::fast();
     if opts.no_rejection {
         cfg = cfg.without_rejection();
