@@ -1,0 +1,220 @@
+//! Head-to-head of the two tabular backends behind the `TabularBackend`
+//! seam — the paper's GAN vs the DP-marginals synthesizer — on Restaurant
+//! and DBLP-ACM.
+//!
+//! Protocol:
+//!
+//! 1. **ε frontier** (marginals): `MarginalSynthesizer::measure` at a σ grid,
+//!    reporting the RDP-accounted ε(δ=1e-5) of all releases and the pMSE of
+//!    the generated tabular columns against the real ones.
+//! 2. **Matched-ε head-to-head**: the σ whose marginals ε lands closest to
+//!    the GAN artifact's ε (the text-transformer budget both backends spend)
+//!    is used for a full `fit` + `synthesize`, then both backends are scored
+//!    with the Exp-2 F1-transfer protocol (matcher trained on synthesized
+//!    pairs, tested on a held-out real split) and pMSE.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_backends
+//! ```
+
+use bench::{rule, scale_for, MIN_MATCHES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serd_repro::datagen::{generate_with_min_matches, DatasetKind};
+use serd_repro::er_core::{ColumnType, ErDataset, Relation, Value};
+use serd_repro::eval::experiment::model_evaluation;
+use serd_repro::eval::metrics::pmse;
+use serd_repro::marginals::{MarginalSynthesizer, MarginalsConfig};
+use serd_repro::matchers::MatcherKind;
+use serd_repro::serd::{Backend, SerdConfig, SerdSynthesizer};
+
+const DELTA: f64 = 1e-5;
+const SIGMA_GRID: [f64; 6] = [32.0, 16.0, 8.0, 4.0, 2.0, 1.0];
+
+/// Encodes the non-text columns of both relations as f64 feature rows:
+/// numeric/date as-is, categoricals as their index in a shared sorted
+/// domain (so real and synthesized tables use one encoding).
+struct TabularEncoder {
+    /// Sorted categorical domain per column (empty for non-categorical).
+    domains: Vec<Vec<String>>,
+    text: Vec<bool>,
+}
+
+impl TabularEncoder {
+    fn over(tables: &[&ErDataset]) -> TabularEncoder {
+        let schema = tables[0].a().schema();
+        let mut domains = vec![Vec::<String>::new(); schema.len()];
+        let text: Vec<bool> = schema
+            .columns()
+            .iter()
+            .map(|c| c.ctype == ColumnType::Text)
+            .collect();
+        for er in tables {
+            for e in er.a().entities().iter().chain(er.b().entities()) {
+                for (j, v) in e.values().iter().enumerate() {
+                    if let Value::Categorical(c) = v {
+                        if !domains[j].contains(c) {
+                            domains[j].push(c.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for d in &mut domains {
+            d.sort();
+        }
+        TabularEncoder { domains, text }
+    }
+
+    fn encode(&self, a: &Relation, b: &Relation) -> Vec<Vec<f64>> {
+        a.entities()
+            .iter()
+            .chain(b.entities())
+            .map(|e| {
+                e.values()
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| !self.text[*j])
+                    .map(|(j, v)| match v {
+                        Value::Categorical(c) => self.domains[j]
+                            .binary_search(c)
+                            .map(|i| i as f64)
+                            .unwrap_or(f64::NAN),
+                        other => other.as_f64().unwrap_or(f64::NAN),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn rows(&self, er: &ErDataset) -> Vec<Vec<f64>> {
+        self.encode(er.a(), er.b())
+    }
+}
+
+fn marginals_cfg(sigma: f64) -> MarginalsConfig {
+    MarginalsConfig {
+        sigma,
+        delta: DELTA,
+        ..MarginalsConfig::default()
+    }
+}
+
+fn run_dataset(kind: DatasetKind, seed: u64) {
+    println!("\n== {} ==", kind.name());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = generate_with_min_matches(kind, scale_for(kind), MIN_MATCHES, &mut rng);
+
+    // GAN reference fit (the backend both ε targets are matched against).
+    let gan_model =
+        SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
+            .expect("GAN fit");
+    let eps_gan = gan_model.epsilon;
+    let syn_gan = SerdSynthesizer::from_model(gan_model)
+        .synthesize(&mut rng)
+        .expect("GAN synthesize");
+
+    // ε-vs-fidelity frontier: marginals-only measurement at each σ (cheap —
+    // no GMM/text training), pMSE of its raw tabular generator.
+    println!("marginals ε frontier (δ = 1e-5):");
+    rule(46);
+    println!("{:>8} {:>10} {:>10}", "sigma", "epsilon", "pMSE");
+    rule(46);
+    let n_rows = sim.er.a().len() + sim.er.b().len();
+    let mut frontier: Vec<(f64, f64)> = Vec::new(); // (sigma, epsilon)
+    for sigma in SIGMA_GRID {
+        let m = MarginalSynthesizer::measure(
+            sim.er.a(),
+            sim.er.b(),
+            &marginals_cfg(sigma),
+            &mut rng,
+        );
+        let enc = TabularEncoder::over(&[&sim.er]);
+        let real_rows = enc.rows(&sim.er);
+        let syn_rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| {
+                let vals = m.generate_entity(&sim.background, &mut rng);
+                vals.iter()
+                    .enumerate()
+                    .filter(|(j, _)| !enc.text[*j])
+                    .map(|(j, v)| match v {
+                        Value::Categorical(c) => enc.domains[j]
+                            .binary_search(c)
+                            .map(|i| i as f64)
+                            .unwrap_or(f64::NAN),
+                        other => other.as_f64().unwrap_or(f64::NAN),
+                    })
+                    .collect()
+            })
+            .collect();
+        let p = pmse(&real_rows, &syn_rows);
+        println!("{:>8.1} {:>10.3} {:>10.4}", sigma, m.epsilon(), p);
+        frontier.push((sigma, m.epsilon()));
+    }
+    rule(46);
+
+    // Matched ε: σ whose marginals ε lands closest to the GAN artifact's ε.
+    let (sigma_matched, eps_at_sigma) = frontier
+        .iter()
+        .copied()
+        .min_by(|a, b| (a.1 - eps_gan).abs().total_cmp(&(b.1 - eps_gan).abs()))
+        .expect("non-empty grid");
+    println!(
+        "GAN ε = {eps_gan:.3}; matched marginals σ = {sigma_matched} (ε = {eps_at_sigma:.3})"
+    );
+
+    let cfg = SerdConfig {
+        marginals: marginals_cfg(sigma_matched),
+        ..SerdConfig::fast()
+    }
+    .with_backend(Backend::Marginals);
+    let marg_model =
+        SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("marginals fit");
+    let eps_marg = marg_model.epsilon;
+    let syn_marg = SerdSynthesizer::from_model(marg_model)
+        .synthesize(&mut rng)
+        .expect("marginals synthesize");
+
+    // F1 transfer (Exp-2): matchers trained on each synthesized dataset,
+    // tested on a held-out real split.
+    let eval = model_evaluation(
+        MatcherKind::Magellan,
+        &sim.er,
+        &[("SERD/gan", &syn_gan.er), ("SERD/marginals", &syn_marg.er)],
+        4,
+        0.3,
+        &mut rng,
+    );
+
+    // pMSE over the full synthesized datasets (shared encoding).
+    let enc = TabularEncoder::over(&[&sim.er, &syn_gan.er, &syn_marg.er]);
+    let real_rows = enc.rows(&sim.er);
+    let pmse_gan = pmse(&real_rows, &enc.rows(&syn_gan.er));
+    let pmse_marg = pmse(&real_rows, &enc.rows(&syn_marg.er));
+
+    println!("\nhead-to-head at matched ε:");
+    rule(72);
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "train source", "P", "R", "F1", "eps", "pMSE"
+    );
+    rule(72);
+    for (name, m) in &eval.rows {
+        let (eps, p) = match name.as_str() {
+            "SERD/gan" => (format!("{eps_gan:.3}"), format!("{pmse_gan:.4}")),
+            "SERD/marginals" => (format!("{eps_marg:.3}"), format!("{pmse_marg:.4}")),
+            _ => ("-".into(), "-".into()),
+        };
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8} {:>10}",
+            name, m.precision, m.recall, m.f1, eps, p
+        );
+    }
+    rule(72);
+}
+
+fn main() {
+    println!("Backend head-to-head: GAN vs DP-marginals (F1 transfer + pMSE)");
+    run_dataset(DatasetKind::Restaurant, 11);
+    run_dataset(DatasetKind::DblpAcm, 7);
+}

@@ -46,6 +46,20 @@ impl GaussianMechanism {
     pub fn epsilon_for(&self, delta: f64) -> f64 {
         (2.0 * (1.25 / delta).ln()).sqrt() / self.sigma
     }
+
+    /// `(ε, δ)` of `releases` adaptive applications of this mechanism,
+    /// accounted through [`crate::RdpAccountant`] (the un-subsampled `q = 1`
+    /// Gaussian RDP curve `α / 2σ²` composed additively). This is the same
+    /// conversion path DP-SGD uses, so ε(δ) reporting stays uniform whether a
+    /// model spent its budget on gradient noise or on marginal releases.
+    pub fn epsilon_rdp(&self, delta: f64, releases: usize) -> f64 {
+        if releases == 0 {
+            return 0.0;
+        }
+        let mut acct = crate::RdpAccountant::new();
+        acct.compose_steps(1.0, self.sigma, releases);
+        acct.epsilon(delta)
+    }
 }
 
 /// The Laplace mechanism: adds `Lap(Δ/ε)` noise for an L1-sensitivity-Δ
@@ -128,6 +142,18 @@ mod tests {
         let mech = GaussianMechanism::new(5.0, 1.0);
         let eps = mech.epsilon_for(1e-5);
         assert!((eps - (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_rdp_matches_manual_accountant() {
+        let mech = GaussianMechanism::new(4.0, 1.0);
+        let mut acct = crate::RdpAccountant::new();
+        acct.compose_steps(1.0, 4.0, 10);
+        assert!((mech.epsilon_rdp(1e-5, 10) - acct.epsilon(1e-5)).abs() < 1e-12);
+        assert_eq!(mech.epsilon_rdp(1e-5, 0), 0.0);
+        // More releases cost more; larger sigma costs less.
+        assert!(mech.epsilon_rdp(1e-5, 20) > mech.epsilon_rdp(1e-5, 10));
+        assert!(GaussianMechanism::new(8.0, 1.0).epsilon_rdp(1e-5, 10) < mech.epsilon_rdp(1e-5, 10));
     }
 
     #[test]

@@ -151,6 +151,67 @@ pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, Metrics)> {
         .collect()
 }
 
+/// Propensity-score mean-squared error (pMSE, Snoke & Slavković) between a
+/// real and a synthetic table of feature rows.
+///
+/// Both tables are pooled, labeled (synthetic = positive), and a deterministic
+/// logistic-regression propensity model is fitted on standardized features.
+/// The statistic is the mean of `(p_i - c)²` over the pooled rows, where
+/// `c = n_syn / (n_real + n_syn)` is the synthetic share. It is `0` when the
+/// model cannot tell the tables apart (every `p_i = c`) and approaches
+/// `c · (1 - c)` — `0.25` for balanced tables — when they are fully separable.
+///
+/// Rows containing non-finite values carry no usable signal and are dropped
+/// before pooling (the same discipline as [`roc_auc`]'s score filtering — a
+/// NaN feature would poison every gradient step). Returns `NaN` when either
+/// table has no finite row left: a propensity model needs both classes, and
+/// `0.0` would falsely report perfect fidelity.
+pub fn pmse(real: &[Vec<f64>], synthetic: &[Vec<f64>]) -> f64 {
+    let finite_rows = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        rows.iter()
+            .filter(|r| r.iter().all(|v| v.is_finite()))
+            .cloned()
+            .collect()
+    };
+    let real = finite_rows(real);
+    let synthetic = finite_rows(synthetic);
+    if real.is_empty() || synthetic.is_empty() {
+        return f64::NAN;
+    }
+    let dim = real[0].len();
+    assert!(
+        real.iter().chain(&synthetic).all(|r| r.len() == dim),
+        "pmse requires rows of equal width"
+    );
+
+    let mut pooled: Vec<Vec<f64>> = real.iter().chain(&synthetic).cloned().collect();
+    let labels: Vec<bool> = std::iter::repeat(false)
+        .take(real.len())
+        .chain(std::iter::repeat(true).take(synthetic.len()))
+        .collect();
+    let n = pooled.len() as f64;
+    let c = synthetic.len() as f64 / n;
+
+    // Standardize per feature so the fixed learning rate conditions equally
+    // across columns; a zero-variance column is centered only.
+    for j in 0..dim {
+        let mean = pooled.iter().map(|r| r[j]).sum::<f64>() / n;
+        let var = pooled.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+        let scale = if var > 0.0 { var.sqrt() } else { 1.0 };
+        for row in &mut pooled {
+            row[j] = (row[j] - mean) / scale;
+        }
+    }
+
+    let model = matchers::LogisticRegression::fit(&pooled, &labels, 1000, 0.2, 1e-4);
+    use matchers::Classifier;
+    pooled
+        .iter()
+        .map(|row| (model.predict_proba(row) - c).powi(2))
+        .sum::<f64>()
+        / n
+}
+
 /// Keeps only the finite-scored items of an aligned (scores, labels) pair.
 fn finite_scored(scores: &[f64], labels: &[bool]) -> (Vec<f64>, Vec<bool>) {
     scores
@@ -273,6 +334,58 @@ mod tests {
         assert_eq!(curve[0].0, 0.9);
         assert_eq!(curve[0].1.precision, 1.0);
         assert_eq!(curve[0].1.recall, 1.0);
+    }
+
+    #[test]
+    fn pmse_identical_tables_is_zero() {
+        // Identical rows with balanced counts: every gradient step cancels
+        // exactly (each row appears once per class), so the model stays at
+        // p = c = 0.5 and the statistic is exactly 0.
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![-1.0, 0.5]];
+        let p = pmse(&rows, &rows);
+        assert!(p.abs() < 1e-9, "identical tables must give pMSE ~ 0, got {p}");
+    }
+
+    #[test]
+    fn pmse_separable_tables_approach_quarter() {
+        // Two far-apart clusters, balanced: the propensity model separates
+        // them, p_i -> {0, 1}, so pMSE -> c(1-c) = 0.25.
+        let real: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 0.1]).collect();
+        let synthetic: Vec<Vec<f64>> = (0..8).map(|i| vec![10.0 + i as f64 * 0.1]).collect();
+        let p = pmse(&real, &synthetic);
+        assert!(p > 0.2 && p <= 0.25 + 1e-9, "separable tables must near 0.25, got {p}");
+    }
+
+    #[test]
+    fn pmse_unbalanced_identical_tracks_synthetic_share() {
+        // 3 real + 1 synthetic identical rows: c = 0.25, model converges to
+        // the base rate, statistic ~ 0.
+        let row = vec![2.0, -1.0];
+        let p = pmse(&[row.clone(), row.clone(), row.clone()], &[row.clone()]);
+        assert!(p < 0.01, "identical unbalanced tables must give pMSE ~ 0, got {p}");
+    }
+
+    #[test]
+    fn pmse_drops_non_finite_rows() {
+        let real = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let synthetic = vec![vec![10.0], vec![10.1], vec![10.2]];
+        let mut polluted_real = real.clone();
+        polluted_real.push(vec![f64::NAN]);
+        let mut polluted_syn = synthetic.clone();
+        polluted_syn.push(vec![f64::INFINITY]);
+        assert_eq!(
+            pmse(&polluted_real, &polluted_syn),
+            pmse(&real, &synthetic),
+            "non-finite rows must be dropped, not averaged in"
+        );
+    }
+
+    #[test]
+    fn pmse_empty_side_is_nan() {
+        let rows = vec![vec![1.0]];
+        assert!(pmse(&rows, &[]).is_nan());
+        assert!(pmse(&[], &rows).is_nan());
+        assert!(pmse(&[vec![f64::NAN]], &rows).is_nan());
     }
 
     #[test]

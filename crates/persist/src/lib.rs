@@ -274,13 +274,14 @@ impl Writer {
 #[derive(Debug)]
 pub struct Reader<'a> {
     lines: std::str::Lines<'a>,
+    peeked: Option<&'a str>,
     line_no: usize,
 }
 
 impl<'a> Reader<'a> {
     /// Creates a reader over the artifact text.
     pub fn new(text: &'a str) -> Self {
-        Self { lines: text.lines(), line_no: 0 }
+        Self { lines: text.lines(), peeked: None, line_no: 0 }
     }
 
     /// The 1-based number of the last line consumed.
@@ -295,7 +296,7 @@ impl<'a> Reader<'a> {
     }
 
     fn next_line(&mut self, expected: &str) -> Result<&'a str> {
-        match self.lines.next() {
+        match self.peeked.take().or_else(|| self.lines.next()) {
             Some(l) => {
                 self.line_no += 1;
                 Ok(l)
@@ -305,6 +306,17 @@ impl<'a> Reader<'a> {
                 expected: expected.to_string(),
             }),
         }
+    }
+
+    /// Returns the next line without consuming it — `None` at end of input.
+    /// Composite readers use this to dispatch on an embedded child's magic
+    /// line (e.g. choosing which backend section follows) before handing the
+    /// cursor to that child's `read_from`.
+    pub fn peek_line(&mut self) -> Option<&'a str> {
+        if self.peeked.is_none() {
+            self.peeked = self.lines.next();
+        }
+        self.peeked
     }
 
     /// Consumes one raw line (used to embed foreign line-oriented formats).
@@ -464,7 +476,7 @@ impl<'a> Reader<'a> {
     /// Asserts the artifact has no trailing non-empty content. Only called at
     /// the top level — children share the cursor with their parent.
     pub fn expect_eof(&mut self) -> Result<()> {
-        for l in self.lines.by_ref() {
+        while let Some(l) = self.peeked.take().or_else(|| self.lines.next()) {
             self.line_no += 1;
             if !l.trim().is_empty() {
                 return Err(PersistError::Parse {
@@ -478,7 +490,9 @@ impl<'a> Reader<'a> {
 }
 
 /// `"serd-gan-v1"` → `Some("serd-gan")` when the suffix is `-v<digits>`.
-fn family(magic: &str) -> Option<&str> {
+/// Public so composite readers can classify a peeked magic line by component
+/// family when dispatching between alternative child sections.
+pub fn family(magic: &str) -> Option<&str> {
     let idx = magic.rfind("-v")?;
     let digits = &magic[idx + 2..];
     if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
@@ -684,6 +698,28 @@ mod tests {
         for v in [0.0f32, -0.0, f32::MAX, 1e-44] {
             assert_eq!(hex_to_f32(&f32_to_hex(v)).unwrap().to_bits(), v.to_bits());
         }
+    }
+
+    #[test]
+    fn peek_line_does_not_consume() {
+        let d = demo();
+        let text = d.to_persist_string();
+        let mut r = Reader::new(&text);
+        assert_eq!(r.peek_line(), Some(Demo::MAGIC));
+        assert_eq!(r.peek_line(), Some(Demo::MAGIC)); // idempotent
+        assert_eq!(r.line_no(), 0); // nothing consumed yet
+        let back = Demo::read_from(&mut r).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(r.peek_line(), None);
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn family_strips_version_suffix() {
+        assert_eq!(family("serd-gan-v1"), Some("serd-gan"));
+        assert_eq!(family("serd-marginals-v12"), Some("serd-marginals"));
+        assert_eq!(family("serd-gan"), None);
+        assert_eq!(family("serd-gan-vx"), None);
     }
 
     #[test]

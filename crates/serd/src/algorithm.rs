@@ -5,6 +5,7 @@
 //! turns one (fresh from `fit` or loaded from a `serd-model-v1` artifact)
 //! back into a runnable synthesizer. Synthesis is bit-identical either way.
 
+use crate::backend::{Backend, TabularBackend};
 use crate::model::SerdModel;
 use crate::rejection::OSynState;
 use crate::synthesis::ColumnSynthesizer;
@@ -14,6 +15,7 @@ use er_core::{
 };
 use gan::TabularGan;
 use gmm::OMixture;
+use marginals::MarginalSynthesizer;
 use rand::Rng;
 use std::collections::HashMap;
 use transformer::BucketedSynthesizer;
@@ -71,9 +73,11 @@ pub struct SynthesisPlan {
 impl SerdSynthesizer {
     /// **S1 + offline training.** Learns the M-/N-distributions from
     /// `real`'s similarity vectors, trains per-text-column bucketed DP
-    /// transformers on `background`, and trains the tabular GAN on a
-    /// background relation (text from corpora, numerics/categoricals drawn
-    /// from the real columns' ranges — never real rows).
+    /// transformers on `background`, and trains the selected tabular backend
+    /// (`cfg.backend`): the GAN on a background relation (text from corpora,
+    /// numerics/categoricals drawn from the real columns' ranges — never
+    /// real rows), or the DP-marginals synthesizer on noisy Gaussian
+    /// releases of the real columns' low-way marginals.
     ///
     /// Returns the fitted [`SerdModel`] — save it with
     /// [`SerdModel::save_to`] or run it directly via
@@ -154,46 +158,68 @@ impl SerdSynthesizer {
             integral,
         );
 
-        // GAN training relation: background text, ranges for the rest.
-        let mut gan_rel = Relation::new("background", schema);
-        for _ in 0..cfg.gan_rows.max(8) {
-            let values: Vec<Value> = columns
-                .schema()
-                .columns()
-                .iter()
-                .enumerate()
-                .map(|(i, col)| match col.ctype {
-                    ColumnType::Numeric => {
-                        let (lo, hi) = bounds[i];
-                        Value::Numeric(rng.gen_range(lo..=hi.max(lo)))
-                    }
-                    ColumnType::Date => {
-                        let (lo, hi) = bounds[i];
-                        Value::Date(rng.gen_range(lo as i64..=(hi as i64).max(lo as i64)))
-                    }
-                    ColumnType::Categorical => {
-                        // Cold-start entities land in A, so the GAN's
-                        // training rows use A's domain.
-                        let dom = &domains_a[&i];
-                        if dom.is_empty() {
-                            Value::Null
-                        } else {
-                            Value::Categorical(dom[rng.gen_range(0..dom.len())].clone())
-                        }
-                    }
-                    ColumnType::Text => {
-                        let corpus = background.get(i).map(Vec::as_slice).unwrap_or(&[]);
-                        if corpus.is_empty() {
-                            Value::Text(String::new())
-                        } else {
-                            Value::Text(corpus[rng.gen_range(0..corpus.len())].clone())
-                        }
-                    }
-                })
-                .collect();
-            gan_rel.push(values)?;
-        }
-        let gan = TabularGan::train(&gan_rel, cfg.gan.clone(), rng);
+        let backend = match cfg.backend {
+            Backend::Gan => {
+                // GAN training relation: background text, ranges for the
+                // rest. This arm consumes the pre-seam RNG stream verbatim —
+                // golden outputs depend on it.
+                let mut gan_rel = Relation::new("background", schema);
+                for _ in 0..cfg.gan_rows.max(8) {
+                    let values: Vec<Value> = columns
+                        .schema()
+                        .columns()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, col)| match col.ctype {
+                            ColumnType::Numeric => {
+                                let (lo, hi) = bounds[i];
+                                Value::Numeric(rng.gen_range(lo..=hi.max(lo)))
+                            }
+                            ColumnType::Date => {
+                                let (lo, hi) = bounds[i];
+                                Value::Date(
+                                    rng.gen_range(lo as i64..=(hi as i64).max(lo as i64)),
+                                )
+                            }
+                            ColumnType::Categorical => {
+                                // Cold-start entities land in A, so the GAN's
+                                // training rows use A's domain.
+                                let dom = &domains_a[&i];
+                                if dom.is_empty() {
+                                    Value::Null
+                                } else {
+                                    Value::Categorical(
+                                        dom[rng.gen_range(0..dom.len())].clone(),
+                                    )
+                                }
+                            }
+                            ColumnType::Text => {
+                                let corpus =
+                                    background.get(i).map(Vec::as_slice).unwrap_or(&[]);
+                                if corpus.is_empty() {
+                                    Value::Text(String::new())
+                                } else {
+                                    Value::Text(
+                                        corpus[rng.gen_range(0..corpus.len())].clone(),
+                                    )
+                                }
+                            }
+                        })
+                        .collect();
+                    gan_rel.push(values)?;
+                }
+                TabularBackend::Gan(TabularGan::train(&gan_rel, cfg.gan.clone(), rng))
+            }
+            Backend::Marginals => {
+                // Noisy marginal measurement of the real columns; every
+                // release is Gaussian-mechanism DP, composed into the
+                // model's reported ε below.
+                let m =
+                    MarginalSynthesizer::measure(real.a(), real.b(), &cfg.marginals, rng);
+                epsilon = epsilon.max(m.epsilon());
+                TabularBackend::Marginals(m)
+            }
+        };
 
         let n_a = cfg.n_a.unwrap_or_else(|| real.a().len());
         let n_b = cfg.n_b.unwrap_or_else(|| real.b().len());
@@ -210,7 +236,7 @@ impl SerdSynthesizer {
         Ok(SerdModel {
             o_real,
             columns,
-            gan,
+            backend,
             text_corpora,
             n_a,
             n_b,
@@ -307,8 +333,8 @@ impl SerdSynthesizer {
         let mut aprofs: Vec<RecordProfile> = Vec::new();
         let mut bprofs: Vec<RecordProfile> = Vec::new();
 
-        // Bootstrap: one GAN-generated fake A-entity (Section IV-B2).
-        let first = Entity::new(model.gan.generate_entity(&model.text_corpora, rng));
+        // Bootstrap: one backend-generated fake A-entity (Section IV-B2).
+        let first = Entity::new(model.backend.generate_entity(&model.text_corpora, rng));
         aprofs.push(profiler.profile_entity(&first));
         a.push_entity(first)?;
         stats.accepted += 1;
@@ -364,7 +390,7 @@ impl SerdSynthesizer {
                 let candidate = prepared.synthesize(rng);
 
                 if online.reject_by_discriminator
-                    && model.gan.discriminator_prob(&candidate) < online.beta
+                    && model.backend.plausibility(&candidate) < online.beta
                 {
                     stats.rejected_discriminator += 1;
                     continue;
@@ -682,6 +708,36 @@ mod tests {
     fn dp_epsilon_reported() {
         let (syn, _) = fit_fast(DatasetKind::Restaurant, 0.02, 10);
         assert!(syn.epsilon() > 0.0 && syn.epsilon().is_finite());
+    }
+
+    #[test]
+    fn marginals_backend_fits_and_synthesizes() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sim = generate(DatasetKind::Restaurant, 0.03, &mut rng);
+        let cfg = SerdConfig::fast().with_backend(Backend::Marginals);
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).unwrap();
+        assert_eq!(model.backend.kind(), Backend::Marginals);
+        assert!(model.epsilon > 0.0 && model.epsilon.is_finite());
+        let mut rng = StdRng::seed_from_u64(14);
+        let out = SerdSynthesizer::from_model(model).synthesize(&mut rng).unwrap();
+        assert_eq!(out.er.a().len(), sim.er.a().len());
+        assert_eq!(out.er.b().len(), sim.er.b().len());
+    }
+
+    #[test]
+    fn marginals_backend_epsilon_dominates_text_budget() {
+        // The reported ε is the max of the text-transformer budget and the
+        // marginals releases, both accounted through the same RdpAccountant.
+        let mut rng = StdRng::seed_from_u64(15);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let cfg = SerdConfig::fast().with_backend(Backend::Marginals);
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).unwrap();
+        if let crate::TabularBackend::Marginals(m) = &model.backend {
+            assert!(model.epsilon >= m.epsilon());
+            assert!(m.epsilon() > 0.0);
+        } else {
+            panic!("expected marginals backend");
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! SERD pipeline configuration.
 
+use crate::backend::Backend;
 use gan::TabularGanConfig;
 use gmm::GmmConfig;
+use marginals::MarginalsConfig;
 use transformer::BucketedSynthesizerConfig;
 
 /// All knobs of the SERD pipeline, defaulting to the paper's settings
@@ -46,10 +48,17 @@ pub struct SerdConfig {
     pub max_retries: usize,
     /// Bucketed-transformer training configuration (text columns).
     pub text: BucketedSynthesizerConfig,
-    /// Tabular GAN configuration (cold start + discriminator).
+    /// Which tabular backend `fit` trains for the numeric/categorical
+    /// columns (cold start + rejection Case 1). The GAN is the paper's
+    /// default; `Backend::Marginals` swaps in the DP-marginals synthesizer.
+    pub backend: Backend,
+    /// Tabular GAN configuration (used when `backend` is `Backend::Gan`).
     pub gan: TabularGanConfig,
     /// Background rows generated to train the GAN.
     pub gan_rows: usize,
+    /// DP-marginals configuration (used when `backend` is
+    /// `Backend::Marginals`).
+    pub marginals: MarginalsConfig,
 }
 
 impl Default for SerdConfig {
@@ -69,8 +78,10 @@ impl Default for SerdConfig {
             osyn_warmup: 30,
             max_retries: 8,
             text: BucketedSynthesizerConfig::default(),
+            backend: Backend::Gan,
             gan: TabularGanConfig::default(),
             gan_rows: 200,
+            marginals: MarginalsConfig::default(),
         }
     }
 }
@@ -88,8 +99,15 @@ impl SerdConfig {
             text: BucketedSynthesizerConfig::test_tiny(),
             gan: TabularGanConfig::test_tiny(),
             gan_rows: 60,
+            marginals: MarginalsConfig::test_tiny(),
             ..Default::default()
         }
+    }
+
+    /// Switches the tabular backend (builder style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The `SERD-` ablation: same pipeline with both rejection cases off

@@ -55,6 +55,7 @@
 
 mod algorithm;
 pub mod api;
+mod backend;
 pub mod baselines;
 mod config;
 pub mod decision;
@@ -63,6 +64,7 @@ mod rejection;
 mod synthesis;
 
 pub use algorithm::{SerdSynthesizer, SynthesisPlan, SynthesisStats, SynthesizedEr};
+pub use backend::{Backend, TabularBackend};
 pub use config::SerdConfig;
 pub use model::{OnlineConfig, SerdModel};
 pub use rejection::OSynState;

@@ -9,9 +9,9 @@
 //! corpus slices, and *no real entities* — exactly the artifact the paper's
 //! Section II-D argues is safe to share.
 
+use crate::backend::TabularBackend;
 use crate::synthesis::ColumnSynthesizer;
 use crate::SerdConfig;
-use gan::TabularGan;
 use gmm::{GmmConfig, OMixture};
 use persist::{Persist, Reader, Writer};
 
@@ -76,19 +76,21 @@ impl Default for OnlineConfig {
 /// ([`crate::SerdSynthesizer::fit`]), input of the online phase
 /// ([`crate::SerdSynthesizer::from_model`]).
 ///
-/// Contains learned distribution parameters (`O_real`, transformer and GAN
-/// weights), column metadata (bounds, categorical domains), the public text
-/// corpora the GAN decoder samples from, and the online-phase configuration.
-/// It never contains rows of the real `A`/`B` relations.
+/// Contains learned distribution parameters (`O_real`, transformer weights,
+/// the tabular backend — GAN weights or noisy marginals), column metadata
+/// (bounds, categorical domains), the public text corpora the backend's
+/// generator samples from, and the online-phase configuration. It never
+/// contains rows of the real `A`/`B` relations.
 pub struct SerdModel {
     /// The learned pair-similarity distribution `O_real` (M- and N-GMMs).
     pub o_real: OMixture,
     /// Column-wise synthesis machinery (schema, domains, text models).
     pub columns: ColumnSynthesizer,
-    /// The tabular GAN (cold-start generator + rejection discriminator).
-    pub gan: TabularGan,
+    /// The tabular backend (cold-start generator + rejection Case 1 scorer):
+    /// the paper's GAN or the DP-marginals synthesizer.
+    pub backend: TabularBackend,
     /// Per-column background corpus slices, indexed by column; only text
-    /// columns carry entries (the GAN decoder reads nothing else).
+    /// columns carry entries (the backends' generators read nothing else).
     pub text_corpora: Vec<Vec<String>>,
     /// Target `|A_syn|`.
     pub n_a: usize,
@@ -135,7 +137,9 @@ impl Persist for SerdModel {
         }
         w.child(&self.o_real);
         w.child(&self.columns);
-        w.child(&self.gan);
+        // The backend writes its own `serd-gan-v1` / `serd-marginals-v1`
+        // section; for the GAN this is byte-identical to the pre-seam layout.
+        self.backend.write_into(w);
     }
 
     fn read_body(r: &mut Reader<'_>) -> persist::Result<Self> {
@@ -211,7 +215,16 @@ impl Persist for SerdModel {
         }
         let o_real: OMixture = r.child()?;
         let columns: ColumnSynthesizer = r.child()?;
-        let gan: TabularGan = r.child()?;
+        let backend = TabularBackend::read_from(r)?;
+        if let TabularBackend::Marginals(m) = &backend {
+            if m.dim() != columns.schema().len() {
+                return Err(r.invalid(format!(
+                    "marginals dimension {} does not match {} columns",
+                    m.dim(),
+                    columns.schema().len()
+                )));
+            }
+        }
         // Cross-component consistency: the corpora vector is indexed by
         // column, and `x ~ O_real` must have one similarity per column.
         if text_corpora.len() != columns.schema().len() {
@@ -231,7 +244,7 @@ impl Persist for SerdModel {
         Ok(SerdModel {
             o_real,
             columns,
-            gan,
+            backend,
             text_corpora,
             n_a,
             n_b,
@@ -345,6 +358,38 @@ mod tests {
                 "truncation at line {cut} accepted"
             );
         }
+    }
+
+    fn small_marginals_model() -> SerdModel {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sim = generate(DatasetKind::Restaurant, 0.02, &mut rng);
+        let cfg = SerdConfig::fast().with_backend(crate::Backend::Marginals);
+        crate::SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+            .expect("fit succeeds")
+    }
+
+    #[test]
+    fn marginals_model_roundtrip_is_byte_stable() {
+        let model = small_marginals_model();
+        assert_eq!(model.backend.kind(), crate::Backend::Marginals);
+        let text = model.to_persist_string();
+        assert!(text.contains("serd-marginals-v1"), "marginals section missing");
+        let back = SerdModel::from_persist_str(&text).unwrap();
+        assert_eq!(back.backend.kind(), crate::Backend::Marginals);
+        assert_eq!(back.to_persist_string(), text);
+        assert_eq!(back.epsilon.to_bits(), model.epsilon.to_bits());
+    }
+
+    #[test]
+    fn marginals_section_version_skew_detected() {
+        let model = small_marginals_model();
+        let text = model
+            .to_persist_string()
+            .replacen("serd-marginals-v1", "serd-marginals-v9", 1);
+        assert!(matches!(
+            SerdModel::from_persist_str(&text),
+            Err(persist::PersistError::VersionSkew { .. })
+        ));
     }
 
     #[test]

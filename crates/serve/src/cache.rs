@@ -87,6 +87,9 @@ pub struct ModelMeta {
     pub rejection: bool,
     /// Relation names `(A, B)`.
     pub names: (String, String),
+    /// Which tabular backend the artifact carries (`"gan"` or
+    /// `"marginals"`).
+    pub backend: &'static str,
 }
 
 /// One loaded artifact version: the raw text plus metadata. Immutable once
@@ -133,6 +136,7 @@ fn meta_of(model: &SerdModel) -> ModelMeta {
         epsilon: model.epsilon,
         rejection: model.online.reject_by_discriminator || model.online.reject_by_distribution,
         names: model.names.clone(),
+        backend: model.backend.kind().name(),
     }
 }
 
@@ -172,6 +176,17 @@ impl ArtifactCache {
     /// Number of model names currently loaded.
     pub fn loaded(&self) -> usize {
         self.entries.read().unwrap().len()
+    }
+
+    /// Loaded-model count per tabular backend, as sorted
+    /// `(backend name, count)` pairs (only backends with ≥1 model appear).
+    pub fn backend_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for blob in self.entries.read().unwrap().values() {
+            *counts.entry(blob.meta.backend).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
     }
 
     /// Model names available on disk (sorted), loaded or not.

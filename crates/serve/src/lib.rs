@@ -226,7 +226,8 @@ impl Server {
             match self.cache.get(&name) {
                 Ok(blob) => entries.push(format!(
                     "{{\"name\":\"{}\",\"version\":{},\"etag\":\"{}\",\"n_a\":{},\"n_b\":{},\
-                     \"epsilon\":{},\"rejection\":{},\"relations\":[\"{}\",\"{}\"]}}",
+                     \"epsilon\":{},\"rejection\":{},\"backend\":\"{}\",\
+                     \"relations\":[\"{}\",\"{}\"]}}",
                     obs::json_escape(&blob.name),
                     blob.version,
                     obs::json_escape(&blob.etag),
@@ -234,6 +235,7 @@ impl Server {
                     blob.meta.n_b,
                     obs::json_f64(blob.meta.epsilon),
                     blob.meta.rejection,
+                    blob.meta.backend,
                     obs::json_escape(&blob.meta.names.0),
                     obs::json_escape(&blob.meta.names.1),
                 )),
@@ -249,13 +251,21 @@ impl Server {
     }
 
     fn handle_metrics(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let backends = self
+            .cache
+            .backend_counts()
+            .into_iter()
+            .map(|(b, n)| format!("\"{b}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
         let body = format!(
             "{{\"server\":{},\"cache\":{{\"models_loaded\":{},\"swaps_total\":{},\
-             \"failed_swaps_total\":{},\"workers\":{}}},\"obs\":{}}}\n",
+             \"failed_swaps_total\":{},\"backends\":{{{}}},\"workers\":{}}},\"obs\":{}}}\n",
             self.metrics.to_json(),
             self.cache.loaded(),
             self.cache.swaps(),
             self.cache.failed_swaps(),
+            backends,
             self.workers,
             obs::report_json(),
         );

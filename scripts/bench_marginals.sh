@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Backend fit-cost benchmark: DP-marginals vs DP-GAN at matched ε.
+#
+# Two measurements merged into BENCH_marginals.json at the repo root:
+#
+#  1. `bench_backends` — backend-only training wall time (median of reps) on
+#     the same pooled rows, GAN with a DP-SGD discriminator vs
+#     `MarginalSynthesizer::measure` at the grid σ matching the GAN's ε.
+#     The GMM/text costs of a full fit are identical for both backends and
+#     are deliberately excluded here.
+#  2. End-to-end `serd-repro fit --backend {gan,marginals}` under
+#     /usr/bin/time for wall seconds and peak RSS (informational — the
+#     shared text-transformer training dominates at bench scales).
+#
+# Exits non-zero if the marginals backend is not faster than the GAN.
+#
+# Usage: scripts/bench_marginals.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_marginals.json"
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+cargo build --release -q -p bench --bin bench_backends || exit 1
+cargo build --release -q || exit 1
+
+echo "== backend-only fit cost (matched ε) =="
+BACKEND_JSON="$(./target/release/bench_backends)" || exit 1
+echo "$BACKEND_JSON"
+
+# End-to-end fit wall time + peak RSS per backend. GNU time is optional:
+# without it, RSS is reported as 0.
+fit_stats() {
+    local backend="$1"
+    local model="$TMPDIR_BENCH/$backend.serd"
+    local timelog="$TMPDIR_BENCH/$backend.time"
+    local start end wall rss
+    start=$(date +%s.%N)
+    if [ -x /usr/bin/time ]; then
+        /usr/bin/time -v ./target/release/serd-repro fit \
+            --dataset restaurant --scale 0.05 --min-matches 8 --seed 11 \
+            --backend "$backend" --out "$model" >/dev/null 2>"$timelog" || return 1
+        rss=$(awk -F': ' '/Maximum resident set size/ {print $2}' "$timelog")
+    else
+        ./target/release/serd-repro fit \
+            --dataset restaurant --scale 0.05 --min-matches 8 --seed 11 \
+            --backend "$backend" --out "$model" >/dev/null || return 1
+        rss=0
+    fi
+    end=$(date +%s.%N)
+    wall=$(awk -v s="$start" -v e="$end" 'BEGIN {printf "%.3f", e - s}')
+    echo "{\"backend\":\"$backend\",\"fit_wall_s\":$wall,\"peak_rss_kb\":${rss:-0}}"
+}
+
+echo "== end-to-end fit (wall + peak RSS) =="
+GAN_FIT="$(fit_stats gan)" || { echo "gan fit failed" >&2; exit 1; }
+MARG_FIT="$(fit_stats marginals)" || { echo "marginals fit failed" >&2; exit 1; }
+echo "$GAN_FIT"
+echo "$MARG_FIT"
+
+{
+    echo "{"
+    echo "  \"backend_only\": $BACKEND_JSON,"
+    echo "  \"end_to_end\": [$GAN_FIT, $MARG_FIT]"
+    echo "}"
+} > "$OUT"
+echo "wrote $OUT"
+
+SPEEDUP=$(echo "$BACKEND_JSON" | awk -F'"speedup":' '{print $2}' | tr -d '}')
+awk -v s="$SPEEDUP" 'BEGIN {
+    if (s + 0 < 1.0) { print "FAIL: marginals backend slower than GAN (speedup " s ")"; exit 1 }
+    if (s + 0 < 5.0) print "WARN: speedup " s " below the expected 5x"
+    else print "OK: marginals backend " s "x faster than DP-GAN at matched ε"
+}'

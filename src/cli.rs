@@ -12,6 +12,7 @@
 
 use serd_repro::datagen::DatasetKind;
 use serd_repro::serd::api::{ApiError, OnlineOverrides};
+use serd_repro::serd::Backend;
 use std::path::PathBuf;
 
 pub const USAGE: &str = "serd-repro — synthesize privacy-preserving ER datasets (SERD, ICDE 2022)
@@ -44,6 +45,10 @@ SCALE OPTIONS:
 SYNTHESIS OPTIONS (fit, synthesize; evaluate and profile take --no-rejection):
     --out <dir>            output directory for CSVs (default .); for `fit`,
                            the model artifact path (default model.serd)
+    --backend <gan|marginals>
+                           (fit) tabular backend baked into the artifact:
+                           the paper's GAN, or the DP-marginals synthesizer
+                           (default gan)
     --model <file>         synthesize from a saved model artifact instead of
                            fitting (skips the offline phase entirely)
     --no-rejection         disable entity rejection (the SERD- ablation)
@@ -90,6 +95,8 @@ pub struct FitOpts {
     /// Offline-phase knob overrides, applied to the [`serd::SerdConfig`]
     /// before fitting (they shape what gets baked into the artifact).
     pub overrides: OnlineOverrides,
+    /// Which tabular backend the offline phase trains (`--backend`).
+    pub backend: Backend,
 }
 
 #[derive(Debug, Clone)]
@@ -239,6 +246,19 @@ fn take_out(bag: &mut OptBag) -> String {
     bag.take("--out").unwrap_or_else(|| ".".into())
 }
 
+fn take_backend(bag: &mut OptBag) -> Result<Backend, ApiError> {
+    match bag.take("--backend") {
+        None => Ok(Backend::Gan),
+        Some(v) => Backend::parse(&v).ok_or_else(|| {
+            let valid: Vec<&str> = Backend::ALL.iter().map(|b| b.name()).collect();
+            bad(format!(
+                "unknown backend {v:?}: valid backends are {}",
+                valid.join(", ")
+            ))
+        }),
+    }
+}
+
 fn take_overrides(bag: &mut OptBag) -> Result<OnlineOverrides, ApiError> {
     Ok(OnlineOverrides {
         rejection: bag.take_flag("--no-rejection").then_some(false),
@@ -276,12 +296,14 @@ pub fn parse(args: &[String]) -> Result<Command, ApiError> {
             let out = take_out(&mut bag);
             let data = bag.take("--data").map(PathBuf::from);
             let overrides = take_overrides(&mut bag)?;
+            let backend = take_backend(&mut bag)?;
             bag.finish()?;
             Ok(Command::Fit(FitOpts {
                 common,
                 out,
                 data,
                 overrides,
+                backend,
             }))
         }
         "synthesize" => {
@@ -401,6 +423,31 @@ mod tests {
         assert!(parse(&args("fit --n-a 5")).is_err());
         // Bare words are rejected.
         assert!(parse(&args("generate stray")).is_err());
+    }
+
+    #[test]
+    fn fit_parses_backend() {
+        let Command::Fit(o) = parse(&args("fit --backend marginals --out m.serd")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.backend, Backend::Marginals);
+        // Default is the paper's GAN.
+        let Command::Fit(o) = parse(&args("fit")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(o.backend, Backend::Gan);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_bad_request_listing_the_valid_set() {
+        let err = parse(&args("fit --backend ctgan")).unwrap_err();
+        assert!(matches!(err, ApiError::BadRequest(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown backend \"ctgan\""), "{msg}");
+        assert!(msg.contains("gan") && msg.contains("marginals"), "{msg}");
+        // --backend is a fit option only.
+        assert!(parse(&args("synthesize --backend gan")).is_err());
     }
 
     #[test]

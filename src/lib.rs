@@ -20,6 +20,7 @@ pub use eval;
 pub use gan;
 pub use gmm;
 pub use linalg;
+pub use marginals;
 pub use matchers;
 pub use neural;
 pub use obs;

@@ -198,8 +198,13 @@ fn model_out_path(out: &str) -> std::path::PathBuf {
 
 fn cmd_fit(opts: &FitOpts) -> Result<(), ApiError> {
     let (sim, mut rng) = load_or_simulate(&opts.common, opts.data.as_deref())?;
-    let cfg = apply_fit_overrides(SerdConfig::fast(), &opts.overrides);
-    println!("fitting SERD on {} ...", opts.common.dataset.name());
+    let cfg =
+        apply_fit_overrides(SerdConfig::fast(), &opts.overrides).with_backend(opts.backend);
+    println!(
+        "fitting SERD on {} ({} backend) ...",
+        opts.common.dataset.name(),
+        opts.backend
+    );
     let t_fit = std::time::Instant::now();
     let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)?;
     let path = model_out_path(&opts.out);

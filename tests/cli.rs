@@ -130,6 +130,67 @@ fn fit_then_synthesize_model_matches_direct_run() {
 }
 
 #[test]
+fn fit_marginals_backend_produces_a_reproducible_artifact() {
+    let base = std::env::temp_dir().join(format!("serd_cli_marginals_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let model_path = base.join("marginals.serd");
+    let common = [
+        "--dataset",
+        "restaurant",
+        "--scale",
+        "0.02",
+        "--min-matches",
+        "4",
+        "--seed",
+        "11",
+    ];
+
+    let out = bin()
+        .arg("fit")
+        .args(common)
+        .args(["--backend", "marginals", "--out", model_path.to_str().unwrap()])
+        .output()
+        .expect("run fit --backend marginals");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("marginals backend"), "stdout: {stdout}");
+    let artifact = std::fs::read_to_string(&model_path).unwrap();
+    assert!(artifact.contains("serd-marginals-v1"), "artifact lacks marginals section");
+
+    // The artifact loads and `synthesize --model` is bit-reproducible.
+    let run = |dir: &std::path::Path| {
+        let out = bin()
+            .arg("synthesize")
+            .args(common)
+            .args(["--model", model_path.to_str().unwrap()])
+            .args(["--out", dir.to_str().unwrap()])
+            .output()
+            .expect("run synthesize --model");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read_to_string(dir.join("A_syn.csv")).unwrap()
+    };
+    let a1 = run(&base.join("run1"));
+    let a2 = run(&base.join("run2"));
+    assert_eq!(a1, a2, "synthesize --model is not bit-reproducible");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn unknown_backend_exits_2_and_lists_the_valid_set() {
+    let out = bin()
+        .args(["fit", "--backend", "ctgan"])
+        .output()
+        .expect("run binary");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend \"ctgan\""), "stderr: {err}");
+    assert!(
+        err.contains("valid backends are gan, marginals"),
+        "stderr must list the valid backends: {err}"
+    );
+}
+
+#[test]
 fn synthesize_rejects_corrupt_model() {
     let dir = std::env::temp_dir().join(format!("serd_cli_badmodel_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

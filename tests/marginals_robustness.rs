@@ -1,0 +1,145 @@
+//! Adversarial robustness of the `serd-marginals-v1` artifact section, read
+//! through the full `serd-model-v1` reader: no input — truncated, relabeled,
+//! or with NaN/Inf injected into any float field — may panic; every
+//! corruption must surface as a structured `PersistError`. Mirrors
+//! `persist_robustness.rs` for the GAN-backed artifact.
+
+use proptest::prelude::*;
+use serd_repro::prelude::*;
+use serd_repro::serd::{Backend, PersistError};
+use std::sync::OnceLock;
+
+/// One tiny fitted marginals-backend model, shared across all properties.
+fn artifact() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let sim = datagen::generate_with_min_matches(DatasetKind::Restaurant, 0.02, 8, &mut rng);
+        let cfg = SerdConfig::fast().with_backend(Backend::Marginals);
+        let model = SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng)
+            .expect("fit succeeds");
+        model.to_persist_string()
+    })
+}
+
+/// Line keys whose values are strings — the only places where a value token
+/// may *legitimately* look like a hex float. The marginals section adds
+/// `kind` (grid discriminant) and `cat` (categorical domain entries).
+fn is_string_key(key: &str) -> bool {
+    matches!(
+        key,
+        "t" | "d" | "data" | "name_a" | "name_b" | "name" | "integral" | "kind" | "cat"
+    )
+}
+
+fn is_hex_token(tok: &str, width: usize) -> bool {
+    tok.len() == width && tok.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+#[test]
+fn full_marginals_artifact_parses() {
+    let text = artifact();
+    assert!(text.contains("serd-marginals-v1"), "marginals section missing");
+    assert!(SerdModel::from_persist_str(text).is_ok());
+}
+
+#[test]
+fn marginals_version_skew_and_bad_magic_are_distinguished() {
+    let text = artifact();
+    // A future marginals section version is skew, not garbage.
+    let skew = text.replacen("serd-marginals-v1", "serd-marginals-v9", 1);
+    assert!(matches!(
+        SerdModel::from_persist_str(&skew),
+        Err(PersistError::VersionSkew { .. })
+    ));
+    // An unrecognized component falls through to the GAN reader (so pre-seam
+    // artifacts keep loading) and surfaces as a magic mismatch there.
+    let wrong = text.replacen("serd-marginals-v1", "not-a-backend", 1);
+    assert!(matches!(
+        SerdModel::from_persist_str(&wrong),
+        Err(PersistError::BadMagic { .. })
+    ));
+}
+
+/// A marginals artifact must roundtrip to a byte fixpoint: save → load →
+/// save produces identical bytes (the GAN equivalent is covered by
+/// `model_roundtrip.rs` and `serd`'s unit tests).
+#[test]
+fn marginals_artifact_is_a_byte_fixpoint() {
+    let text = artifact();
+    let model = SerdModel::from_persist_str(text).unwrap();
+    assert_eq!(model.to_persist_string(), text);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Cutting the artifact at any line boundary must yield an error, never a
+    // panic and never a silently short model.
+    #[test]
+    fn truncation_at_any_line_errors(frac in 0usize..10_000) {
+        let lines: Vec<&str> = artifact().lines().collect();
+        let cut = frac * (lines.len() - 1) / 10_000;
+        let partial: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+        prop_assert!(
+            SerdModel::from_persist_str(&partial).is_err(),
+            "truncation after {cut}/{} lines was accepted",
+            lines.len()
+        );
+    }
+
+    // Injecting a NaN or Inf bit pattern into any float token of any
+    // non-string line must be rejected: every float field in the marginals
+    // section (σ, ε, grid bounds, counts, InDif scores) is
+    // finiteness-checked.
+    #[test]
+    fn nonfinite_floats_anywhere_error(pick in 0usize..10_000, inf in any::<bool>()) {
+        let lines: Vec<&str> = artifact().lines().collect();
+        let mut slots: Vec<(usize, usize, usize)> = Vec::new();
+        for (li, line) in lines.iter().enumerate() {
+            let mut toks = line.split_whitespace();
+            let Some(key) = toks.next() else { continue };
+            if is_string_key(key) {
+                continue;
+            }
+            for (ti, tok) in toks.enumerate() {
+                if is_hex_token(tok, 16) {
+                    slots.push((li, ti + 1, 16));
+                } else if is_hex_token(tok, 8) {
+                    slots.push((li, ti + 1, 8));
+                }
+            }
+        }
+        prop_assert!(!slots.is_empty(), "artifact has no float tokens?");
+        let (li, ti, width) = slots[pick % slots.len()];
+        let bad64 = format!("{:016x}", if inf { f64::INFINITY } else { f64::NAN }.to_bits());
+        let bad32 = format!("{:08x}", if inf { f32::INFINITY } else { f32::NAN }.to_bits());
+        let mut toks: Vec<String> = lines[li].split_whitespace().map(str::to_string).collect();
+        toks[ti] = if width == 16 { bad64 } else { bad32 };
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        mutated[li] = toks.join(" ");
+        let text = mutated.join("\n") + "\n";
+        let res = SerdModel::from_persist_str(&text);
+        prop_assert!(
+            res.is_err(),
+            "non-finite float on line {} accepted: {:?}",
+            li + 1,
+            lines[li]
+        );
+    }
+
+    // Replacing any single line with garbage must error, never panic.
+    #[test]
+    fn garbage_lines_never_panic(pick in 0usize..10_000, junk in "[ -~]{0,30}") {
+        let lines: Vec<&str> = artifact().lines().collect();
+        let li = pick % lines.len();
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        mutated[li] = junk.clone();
+        let text = mutated.join("\n") + "\n";
+        if let Ok(model) = SerdModel::from_persist_str(&text) {
+            prop_assert!(!model.to_persist_string().is_empty());
+        }
+    }
+}

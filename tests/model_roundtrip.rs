@@ -6,19 +6,22 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serd_repro::prelude::*;
-use serd_repro::serd::api;
+use serd_repro::serd::{api, Backend};
 
-fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64) {
+fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64, backend: Backend) {
     let mut rng = StdRng::seed_from_u64(seed);
     let sim = datagen::generate_with_min_matches(kind, scale, 8, &mut rng);
-    let model = SerdSynthesizer::fit(&sim.er, &sim.background, SerdConfig::fast(), &mut rng)
-        .expect("fit succeeds");
+    let cfg = SerdConfig::fast().with_backend(backend);
+    let model =
+        SerdSynthesizer::fit(&sim.er, &sim.background, cfg, &mut rng).expect("fit succeeds");
+    assert_eq!(model.backend.kind(), backend);
 
     // Artifact round trip through a real file.
     let text = model.to_persist_string();
     let path = std::env::temp_dir().join(format!(
-        "serd_model_roundtrip_{}_{}_{}.serd",
+        "serd_model_roundtrip_{}_{}_{}_{}.serd",
         kind.name(),
+        backend,
         seed,
         std::process::id()
     ));
@@ -67,10 +70,20 @@ fn assert_roundtrip_equivalence(kind: DatasetKind, scale: f64, seed: u64) {
 
 #[test]
 fn restaurant_roundtrip_is_byte_identical() {
-    assert_roundtrip_equivalence(DatasetKind::Restaurant, 0.03, 21);
+    assert_roundtrip_equivalence(DatasetKind::Restaurant, 0.03, 21, Backend::Gan);
 }
 
 #[test]
 fn dblp_acm_roundtrip_is_byte_identical() {
-    assert_roundtrip_equivalence(DatasetKind::DblpAcm, 0.02, 22);
+    assert_roundtrip_equivalence(DatasetKind::DblpAcm, 0.02, 22, Backend::Gan);
+}
+
+#[test]
+fn restaurant_marginals_roundtrip_is_byte_identical() {
+    assert_roundtrip_equivalence(DatasetKind::Restaurant, 0.03, 21, Backend::Marginals);
+}
+
+#[test]
+fn dblp_acm_marginals_roundtrip_is_byte_identical() {
+    assert_roundtrip_equivalence(DatasetKind::DblpAcm, 0.02, 22, Backend::Marginals);
 }

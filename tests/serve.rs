@@ -151,6 +151,7 @@ fn serve_end_to_end_with_hot_swap() {
     assert!(models_resp.body.contains("\"name\":\"restaurant\""));
     assert!(models_resp.body.contains("\"epsilon\":"));
     assert!(models_resp.body.contains("\"version\":1"));
+    assert!(models_resp.body.contains("\"backend\":\"gan\""), "{}", models_resp.body);
 
     // CSV responses are byte-identical to what `synthesize --model` wrote
     // for the same artifact and seed.
@@ -301,6 +302,7 @@ fn serve_end_to_end_with_hot_swap() {
         "\"buckets\":",
         "\"swaps_total\":1",
         "\"requests_total\":",
+        "\"backends\":{\"gan\":1}",
     ] {
         assert!(metrics.body.contains(needle), "missing {needle} in {}", metrics.body);
     }
