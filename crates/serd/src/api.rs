@@ -66,6 +66,10 @@ pub enum ApiError {
     Pipeline(String),
     /// Filesystem or network error outside the artifact parser.
     Io(String),
+    /// The server's admission queue is full; the request was shed before it
+    /// reached a worker. Answered `503` with a `Retry-After` header — the
+    /// request is well-formed and will succeed once load drops.
+    Overloaded(String),
 }
 
 impl ApiError {
@@ -78,6 +82,7 @@ impl ApiError {
             ApiError::Artifact(_) => 422,
             ApiError::Pipeline(_) => 500,
             ApiError::Io(_) => 500,
+            ApiError::Overloaded(_) => 503,
         }
     }
 
@@ -90,6 +95,7 @@ impl ApiError {
             ApiError::Artifact(_) => 5,
             ApiError::Pipeline(_) => 6,
             ApiError::Io(_) => 7,
+            ApiError::Overloaded(_) => 8,
         }
     }
 
@@ -103,6 +109,7 @@ impl ApiError {
             ApiError::Artifact(_) => "artifact",
             ApiError::Pipeline(_) => "pipeline",
             ApiError::Io(_) => "io",
+            ApiError::Overloaded(_) => "overloaded",
         }
     }
 
@@ -126,6 +133,7 @@ impl std::fmt::Display for ApiError {
             ApiError::Artifact(e) => write!(f, "model artifact error: {e}"),
             ApiError::Pipeline(m) => write!(f, "pipeline error: {m}"),
             ApiError::Io(m) => write!(f, "io error: {m}"),
+            ApiError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }
@@ -285,6 +293,44 @@ impl SynthesisRequest {
             n_b: None,
             overrides: OnlineOverrides::default(),
         }
+    }
+
+    /// The canonical cache key of this request: every field in a fixed
+    /// order, floats rendered by exact bit pattern, absent options as `-`.
+    ///
+    /// Two requests with this key equal are *the same request* under the
+    /// determinism contract — they produce the same bytes against the same
+    /// artifact — regardless of how their parameters were spelled or ordered
+    /// on the wire (`?n_a=5&seed=1` and `?seed=1&n_a=5` both parse into the
+    /// same struct, hence the same key). The serving layer's response cache
+    /// keys on `(artifact etag, wire format, canonical_key)`.
+    pub fn canonical_key(&self) -> String {
+        fn opt_usize(v: Option<usize>) -> String {
+            v.map_or_else(|| "-".to_string(), |n| n.to_string())
+        }
+        fn opt_f64(v: Option<f64>) -> String {
+            // Bit-exact: 0.5 and 0.50 parse to the same f64 and share a key;
+            // distinct values never collide.
+            v.map_or_else(|| "-".to_string(), |x| format!("{:016x}", x.to_bits()))
+        }
+        fn opt_bool(v: Option<bool>) -> String {
+            match v {
+                None => "-".to_string(),
+                Some(true) => "1".to_string(),
+                Some(false) => "0".to_string(),
+            }
+        }
+        format!(
+            "model={};seed={};n_a={};n_b={};rejection={};alpha={};beta={};max_retries={}",
+            self.model,
+            self.seed,
+            opt_usize(self.n_a),
+            opt_usize(self.n_b),
+            opt_bool(self.overrides.rejection),
+            opt_f64(self.overrides.alpha),
+            opt_f64(self.overrides.beta),
+            opt_usize(self.overrides.max_retries),
+        )
     }
 }
 
@@ -463,6 +509,7 @@ mod tests {
             ),
             (ApiError::Pipeline("x".into()), 500, 6),
             (ApiError::Io("x".into()), 500, 7),
+            (ApiError::Overloaded("x".into()), 503, 8),
         ];
         for (e, status, code) in cases {
             assert_eq!(e.http_status(), status, "{e}");
@@ -581,6 +628,68 @@ mod tests {
         ] {
             let err = bad.apply(&fitted).unwrap_err();
             assert!(matches!(err, ApiError::BadRequest(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn canonical_key_is_spelling_invariant_and_discriminating() {
+        let base = SynthesisRequest {
+            seed: 7,
+            n_a: Some(5),
+            overrides: OnlineOverrides {
+                alpha: Some(0.5),
+                ..Default::default()
+            },
+            ..SynthesisRequest::new(ModelRef::Name("restaurant".into()))
+        };
+        // Field order is fixed by the struct: a differently-ordered query
+        // string parses to the same struct, hence the same key.
+        assert_eq!(base.canonical_key(), base.clone().canonical_key());
+        // 0.50 and 0.5 are the same f64 — same key.
+        let respelled = SynthesisRequest {
+            overrides: OnlineOverrides {
+                alpha: Some("0.50".parse().unwrap()),
+                ..Default::default()
+            },
+            ..base.clone()
+        };
+        assert_eq!(base.canonical_key(), respelled.canonical_key());
+        // Every field participates.
+        for (label, other) in [
+            ("seed", SynthesisRequest { seed: 8, ..base.clone() }),
+            ("n_a", SynthesisRequest { n_a: Some(6), ..base.clone() }),
+            ("n_a none", SynthesisRequest { n_a: None, ..base.clone() }),
+            ("n_b", SynthesisRequest { n_b: Some(5), ..base.clone() }),
+            (
+                "alpha",
+                SynthesisRequest {
+                    overrides: OnlineOverrides {
+                        alpha: Some(0.25),
+                        ..Default::default()
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "rejection",
+                SynthesisRequest {
+                    overrides: OnlineOverrides {
+                        alpha: Some(0.5),
+                        rejection: Some(false),
+                        ..Default::default()
+                    },
+                    ..base.clone()
+                },
+            ),
+            (
+                "model",
+                SynthesisRequest {
+                    model: ModelRef::Name("cora".into()),
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert_ne!(base.canonical_key(), other.canonical_key(), "{label}");
         }
     }
 

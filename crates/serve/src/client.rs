@@ -1,7 +1,16 @@
 //! A minimal blocking HTTP/1.1 client — just enough to exercise the server
 //! from integration tests and the serve bench driver without any external
-//! dependency. Understands `Content-Length` and `chunked` bodies; one
-//! request per connection, mirroring the server's `Connection: close`.
+//! dependency. Understands `Content-Length` and `chunked` bodies.
+//!
+//! Two modes:
+//!
+//! * [`get`] / [`request`]: one connection per request (`Connection:
+//!   close`), for one-off probes;
+//! * [`Conn`]: a persistent keep-alive connection that reuses its stream
+//!   across requests, honors the server's `Connection: close` responses,
+//!   and transparently reconnects once when a reused stream turns out to be
+//!   dead (the server's idle timeout or request budget closed it between
+//!   requests — an expected race, not an error).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -26,6 +35,12 @@ impl Response {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// True when the server announced it will close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 fn io_err(msg: String) -> std::io::Error {
@@ -34,7 +49,12 @@ fn io_err(msg: String) -> std::io::Error {
 
 fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
@@ -85,8 +105,36 @@ fn read_body(
     Ok(body)
 }
 
-/// Performs one request against `addr` and reads the full response.
-/// `path_query` is sent as-is (`/synthesize?model=x&seed=1`).
+/// Reads one full response (status line, headers, decoded body) off
+/// `reader`.
+fn read_response(reader: &mut impl BufRead) -> std::io::Result<Response> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io_err(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let body = read_body(&headers, reader)?;
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Performs one request against `addr` on a fresh connection
+/// (`Connection: close`) and reads the full response. `path_query` is sent
+/// as-is (`/synthesize?model=x&seed=1`).
 pub fn request(addr: SocketAddr, method: &str, path_query: &str) -> std::io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
@@ -96,35 +144,104 @@ pub fn request(addr: SocketAddr, method: &str, path_query: &str) -> std::io::Res
         "{method} {path_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
     )?;
     writer.flush()?;
-
-    let mut reader = BufReader::new(&stream);
-    let status_line = read_line(&mut reader)?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io_err(format!("bad status line {status_line:?}")))?;
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(&mut reader)?;
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
-        }
-    }
-    let body = read_body(&headers, &mut reader)?;
-    Ok(Response {
-        status,
-        headers,
-        body: String::from_utf8_lossy(&body).into_owned(),
-    })
+    read_response(&mut BufReader::new(&stream))
 }
 
-/// `GET path` against `addr`.
+/// `GET path` against `addr` on a fresh connection.
 pub fn get(addr: SocketAddr, path_query: &str) -> std::io::Result<Response> {
     request(addr, "GET", path_query)
+}
+
+/// A persistent keep-alive connection to one server address.
+///
+/// Requests reuse the underlying stream until the server announces
+/// `Connection: close` (request budget spent) or the stream dies between
+/// requests (idle timeout) — both are recovered transparently by
+/// reconnecting, counted in [`Conn::reconnects`]. One request is in flight
+/// at a time.
+pub struct Conn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    connections: u64,
+    reconnects: u64,
+    requests: u64,
+}
+
+impl Conn {
+    /// A client for `addr`; connects lazily on the first request.
+    pub fn new(addr: SocketAddr) -> Conn {
+        Conn {
+            addr,
+            stream: None,
+            connections: 0,
+            reconnects: 0,
+            requests: 0,
+        }
+    }
+
+    /// TCP connections opened so far (1 for an undisturbed keep-alive run).
+    pub fn connections(&self) -> u64 {
+        self.connections
+    }
+
+    /// Reconnects forced by a dead reused stream (server idle timeout or
+    /// request budget racing our next request).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Requests completed on this client.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    fn connect(&mut self) -> std::io::Result<&TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true).ok();
+            self.connections += 1;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_ref().expect("stream just ensured"))
+    }
+
+    fn try_once(&mut self, method: &str, path_query: &str) -> std::io::Result<Response> {
+        let addr = self.addr;
+        let stream = self.connect()?;
+        let mut writer = stream;
+        write!(
+            writer,
+            "{method} {path_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: keep-alive\r\n\r\n"
+        )?;
+        writer.flush()?;
+        read_response(&mut BufReader::new(stream))
+    }
+
+    /// Performs one request, reusing the connection when possible. A
+    /// failure on a *reused* stream triggers exactly one reconnect-and-
+    /// retry; a failure on a fresh stream is a real error.
+    pub fn request(&mut self, method: &str, path_query: &str) -> std::io::Result<Response> {
+        let reused = self.stream.is_some();
+        let resp = match self.try_once(method, path_query) {
+            Ok(resp) => resp,
+            Err(_) if reused => {
+                self.stream = None;
+                self.reconnects += 1;
+                self.try_once(method, path_query)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.requests += 1;
+        if resp.wants_close() {
+            self.stream = None;
+        }
+        Ok(resp)
+    }
+
+    /// `GET path` on this keep-alive connection.
+    pub fn get(&mut self, path_query: &str) -> std::io::Result<Response> {
+        self.request("GET", path_query)
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +268,29 @@ mod tests {
     fn bad_chunk_size_is_an_error() {
         let headers = vec![("transfer-encoding".to_string(), "chunked".to_string())];
         assert!(read_body(&headers, &mut BufReader::new(&b"zz\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn responses_parse_off_a_reader() {
+        let wire = "HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nX-Cache: hit\r\n\
+                    Content-Length: 2\r\n\r\nok";
+        let resp = read_response(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cache"), Some("hit"));
+        assert!(!resp.wants_close());
+        assert_eq!(resp.body, "ok");
+
+        let wire = "HTTP/1.1 503 Service Unavailable\r\nConnection: close\r\n\
+                    Retry-After: 1\r\nContent-Length: 0\r\n\r\n";
+        let resp = read_response(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp.wants_close());
+        assert_eq!(resp.header("retry-after"), Some("1"));
+    }
+
+    #[test]
+    fn eof_before_a_response_is_unexpected() {
+        let err = read_response(&mut BufReader::new(&b""[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 }

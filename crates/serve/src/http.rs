@@ -6,9 +6,15 @@
 //! body (read and discarded — requests are fully expressed in the query
 //! string; a body is tolerated so standard clients can POST). On the way
 //! out: fixed-length responses for errors and small payloads, and chunked
-//! transfer encoding for streamed record bodies. Every response closes the
-//! connection (`Connection: close`) — one request per connection keeps the
-//! worker-pool accounting trivial and is plenty for the bench targets.
+//! transfer encoding for streamed record bodies.
+//!
+//! Connections are **persistent** (keep-alive) by default, per HTTP/1.1:
+//! [`read_request`] reports each request's connection preference
+//! (`Connection: close`, or HTTP/1.0 without an explicit keep-alive, asks
+//! for a close), and the response writers take a [`ConnPolicy`] so the
+//! server can honor it — or impose its own per-connection request budget.
+//! A clean close between requests (EOF or idle timeout before the first
+//! byte) is not an error; it is how keep-alive connections end.
 
 use serd::api::ApiError;
 use std::io::{BufRead, Write};
@@ -20,7 +26,18 @@ pub const MAX_HEADERS: usize = 64;
 /// Upper bound on an accepted (and discarded) request body.
 pub const MAX_BODY: usize = 1 << 20;
 
-/// A parsed request: method, decoded path, decoded query pairs.
+/// Whether the connection stays open after a response. Written into every
+/// response head so clients never have to guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnPolicy {
+    /// `Connection: keep-alive` — the server will read another request.
+    KeepAlive,
+    /// `Connection: close` — the server closes after this response.
+    Close,
+}
+
+/// A parsed request: method, decoded path, decoded query pairs, and the
+/// client's connection preference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET` / `POST` / anything else (rejected by the router).
@@ -29,6 +46,9 @@ pub struct Request {
     pub path: String,
     /// Query pairs in order of appearance, both sides percent-decoded.
     pub query: Vec<(String, String)>,
+    /// True when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0 without opting into keep-alive).
+    pub wants_close: bool,
 }
 
 impl Request {
@@ -45,13 +65,30 @@ fn bad(msg: impl Into<String>) -> ApiError {
     ApiError::BadRequest(msg.into())
 }
 
-/// Reads one line (CRLF or LF terminated) with a length cap.
-fn read_line(reader: &mut impl BufRead) -> Result<String, ApiError> {
-    let mut buf = Vec::with_capacity(128);
+/// True for the error kinds a blocking read raises when a socket read
+/// timeout fires (platform-dependent: `WouldBlock` on Unix, `TimedOut` on
+/// Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one line (CRLF or LF terminated) into `buf` with a length cap,
+/// reusing `buf`'s allocation across calls. Returns `Ok(false)` on EOF
+/// before any byte (clean close), `Ok(true)` otherwise.
+fn read_line_into(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> Result<bool, ApiError> {
+    buf.clear();
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
-            Ok(0) => break,
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(false);
+                }
+                break;
+            }
             Ok(_) => {
                 if byte[0] == b'\n' {
                     break;
@@ -61,13 +98,18 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, ApiError> {
                     return Err(bad(format!("header line exceeds {MAX_LINE} bytes")));
                 }
             }
+            Err(e) if is_timeout(&e) && buf.is_empty() => return Ok(false),
             Err(e) => return Err(ApiError::Io(format!("read request: {e}"))),
         }
     }
     if buf.last() == Some(&b'\r') {
         buf.pop();
     }
-    String::from_utf8(buf).map_err(|_| bad("header line is not UTF-8"))
+    Ok(true)
+}
+
+fn line_str(buf: &[u8]) -> Result<&str, ApiError> {
+    std::str::from_utf8(buf).map_err(|_| bad("header line is not UTF-8"))
 }
 
 /// Percent-decodes a query component (`%XX` escapes, `+` as space).
@@ -81,7 +123,7 @@ pub fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+            b'%' => {
                 let hex = bytes.get(i + 1..i + 3);
                 match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
                 {
@@ -115,31 +157,50 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Parses one request off the wire. The body, if any, is read (up to
-/// [`MAX_BODY`]) and discarded.
-pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ApiError> {
-    let request_line = read_line(reader)?;
+/// Reads one request off a persistent connection, reusing `scratch` as the
+/// line buffer across calls. Returns `Ok(None)` when the peer closed (or
+/// the idle read timeout fired) *between* requests — the clean end of a
+/// keep-alive connection. EOF or timeout mid-request is still an error.
+/// The body, if any, is read (up to [`MAX_BODY`]) and discarded.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<Request>, ApiError> {
+    if !read_line_into(reader, scratch)? {
+        return Ok(None);
+    }
+    let request_line = line_str(scratch)?;
     if request_line.is_empty() {
         return Err(bad("empty request"));
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    let version = parts.next().unwrap_or("HTTP/1.0");
+    let target = parts
+        .next()
+        .ok_or_else(|| bad("missing request target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0").to_string();
     if !version.starts_with("HTTP/1.") {
         return Err(bad(format!("unsupported protocol {version:?}")));
     }
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
-        None => (target, ""),
+        None => (target.as_str(), ""),
     };
+    let path = percent_decode(raw_path);
+    let query = parse_query(raw_query);
 
+    // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+    let mut wants_close = version == "HTTP/1.0";
     let mut content_length = 0usize;
     for n in 0.. {
         if n > MAX_HEADERS {
             return Err(bad(format!("more than {MAX_HEADERS} headers")));
         }
-        let line = read_line(reader)?;
+        if !read_line_into(reader, scratch)? {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let line = line_str(scratch)?;
         if line.is_empty() {
             break;
         }
@@ -154,9 +215,17 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ApiError> {
             if content_length > MAX_BODY {
                 return Err(bad(format!("body exceeds {MAX_BODY} bytes")));
             }
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                wants_close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                wants_close = false;
+            }
         }
     }
-    // Drain the body so the connection is in a clean state for the response.
+    // Drain the body so the connection is in a clean state for the next
+    // request.
     let mut remaining = content_length;
     let mut sink = [0u8; 4096];
     while remaining > 0 {
@@ -168,11 +237,19 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ApiError> {
         }
     }
 
-    Ok(Request {
+    Ok(Some(Request {
         method,
-        path: percent_decode(raw_path),
-        query: parse_query(raw_query),
-    })
+        path,
+        query,
+        wants_close,
+    }))
+}
+
+/// One-shot parse (tests and single-request callers): like
+/// [`read_request`] but treating immediate EOF as a bad request.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ApiError> {
+    let mut scratch = Vec::with_capacity(128);
+    read_request(reader, &mut scratch)?.ok_or_else(|| bad("empty request"))
 }
 
 /// Reason phrase for the status codes this server emits.
@@ -185,6 +262,7 @@ pub fn status_text(code: u16) -> &'static str {
         409 => "Conflict",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -193,11 +271,15 @@ fn write_head(
     w: &mut impl Write,
     status: u16,
     content_type: &str,
+    conn: ConnPolicy,
     extra: &[(String, String)],
 ) -> std::io::Result<()> {
     write!(w, "HTTP/1.1 {} {}\r\n", status, status_text(status))?;
     write!(w, "Content-Type: {content_type}\r\n")?;
-    write!(w, "Connection: close\r\n")?;
+    match conn {
+        ConnPolicy::KeepAlive => write!(w, "Connection: keep-alive\r\n")?,
+        ConnPolicy::Close => write!(w, "Connection: close\r\n")?,
+    }
     for (name, value) in extra {
         write!(w, "{name}: {value}\r\n")?;
     }
@@ -209,10 +291,11 @@ pub fn write_simple(
     w: &mut impl Write,
     status: u16,
     content_type: &str,
+    conn: ConnPolicy,
     extra: &[(String, String)],
     body: &str,
 ) -> std::io::Result<()> {
-    write_head(w, status, content_type, extra)?;
+    write_head(w, status, content_type, conn, extra)?;
     write!(w, "Content-Length: {}\r\n\r\n", body.len())?;
     w.write_all(body.as_bytes())?;
     w.flush()
@@ -224,10 +307,11 @@ pub fn write_chunked<'a>(
     w: &mut impl Write,
     status: u16,
     content_type: &str,
+    conn: ConnPolicy,
     extra: &[(String, String)],
     chunks: impl Iterator<Item = &'a str>,
 ) -> std::io::Result<()> {
-    write_head(w, status, content_type, extra)?;
+    write_head(w, status, content_type, conn, extra)?;
     write!(w, "Transfer-Encoding: chunked\r\n\r\n")?;
     for chunk in chunks {
         if chunk.is_empty() {
@@ -285,6 +369,45 @@ mod tests {
         assert_eq!(req.query_value("model"), Some("restaurant"));
         assert_eq!(req.query_value("seed"), Some("11"));
         assert_eq!(req.query_value("missing"), None);
+        assert!(!req.wants_close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_preference_is_parsed() {
+        let close = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(close.wants_close);
+        let keep = parse("GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(!keep.wants_close);
+        // HTTP/1.0 defaults to close unless it opts in.
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(old.wants_close);
+        let old_keep = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!old_keep.wants_close);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_off_one_reader() {
+        let wire = "GET /healthz HTTP/1.1\r\n\r\nGET /models HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(wire.as_bytes());
+        let mut scratch = Vec::new();
+        let first = read_request(&mut reader, &mut scratch).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(!first.wants_close);
+        let second = read_request(&mut reader, &mut scratch).unwrap().unwrap();
+        assert_eq!(second.path, "/models");
+        assert!(second.wants_close);
+        // Clean close after the last request.
+        assert!(read_request(&mut reader, &mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_between_requests_is_a_clean_close() {
+        let mut reader = BufReader::new(&b""[..]);
+        let mut scratch = Vec::new();
+        assert!(read_request(&mut reader, &mut scratch).unwrap().is_none());
+        // But EOF mid-headers is an error.
+        let mut reader = BufReader::new(&b"GET / HTTP/1.1\r\nHost: x\r\n"[..]);
+        assert!(read_request(&mut reader, &mut scratch).is_err());
     }
 
     #[test]
@@ -334,9 +457,18 @@ mod tests {
     #[test]
     fn simple_and_chunked_responses_roundtrip() {
         let mut out = Vec::new();
-        write_simple(&mut out, 404, "application/json", &[], "{\"e\":1}").unwrap();
+        write_simple(
+            &mut out,
+            404,
+            "application/json",
+            ConnPolicy::Close,
+            &[],
+            "{\"e\":1}",
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("{\"e\":1}"));
 
@@ -346,14 +478,21 @@ mod tests {
             &mut out,
             200,
             "text/csv",
+            ConnPolicy::KeepAlive,
             &[("X-Model-Etag".to_string(), "m-v1".to_string())],
             chunk_lines(body, 4).into_iter(),
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.contains("X-Model-Etag: m-v1\r\n"));
         assert!(text.contains("4\r\nabc\n\r\n"), "{text}");
         assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn overload_status_has_a_reason_phrase() {
+        assert_eq!(status_text(503), "Service Unavailable");
     }
 }

@@ -1,11 +1,11 @@
-//! The SERD online-synthesis service (DESIGN.md §12).
+//! The SERD online-synthesis service (DESIGN.md §12, §15).
 //!
 //! A long-running, std-only HTTP/1.1 server over a directory of versioned
 //! `.serd` artifacts. The offline phase (`fit`, hours) publishes artifacts
 //! into that directory; this crate is the online phase as a service: load
 //! artifacts into an in-memory [`cache::ArtifactCache`], answer synthesis
-//! requests from a bounded worker pool (`crates/parallel`), and stream
-//! records back as chunked CSV or JSON-lines.
+//! requests from a bounded worker pool, and stream records back as chunked
+//! CSV or JSON-lines.
 //!
 //! Endpoints:
 //!
@@ -13,53 +13,104 @@
 //! * `GET /models` — the artifact directory's models with fit metadata;
 //! * `GET|POST /synthesize?model=<name>&seed=<u64>&format=csv|jsonl&...` —
 //!   run one [`serd::api::SynthesisRequest`], streamed chunked;
-//! * `GET /metrics` — request counters, per-endpoint latency percentiles
-//!   and histograms, cache swap counters, and the `obs` run report.
+//! * `GET /metrics` — request counters, per-endpoint latency percentiles,
+//!   per-model counters, response-cache and admission stats, and the `obs`
+//!   run report.
 //!
-//! Three properties carry the design:
+//! The request path is built for sustained traffic (DESIGN.md §15):
 //!
-//! 1. **Bit-reproducibility under concurrency.** Every request derives its
-//!    own RNG from `seed ^ ONLINE_SEED_SALT` ([`serd::api::online_rng`]);
-//!    no request shares RNG state with any other, so a response is a pure
-//!    function of `(artifact bytes, request)` — the same bytes whether the
-//!    server is idle or saturated, and the same bytes `serd-repro
-//!    synthesize --model` writes for the same request.
-//! 2. **Hot swap without downtime.** Artifact files are re-stat'ed per
-//!    request; a changed `(mtime, len)` stamp triggers a reload that is
-//!    published as a single `Arc` swap. In-flight requests finish on the
-//!    version they started with ([`cache`] module docs).
-//! 3. **No shared mutable model state.** `SerdModel` is `Rc`-based and not
-//!    `Send`; workers materialize private replicas from the shared artifact
-//!    text, which the artifact byte-fixpoint property makes bit-equivalent.
+//! 1. **Keep-alive connections.** Workers loop requests over a persistent
+//!    stream (HTTP/1.1 default), bounded by a per-connection request budget
+//!    (`SERD_SERVE_KEEPALIVE_MAX`) and an idle read timeout
+//!    (`SERD_SERVE_IDLE_MS`), reusing the parse buffer across requests.
+//! 2. **Response caching.** Bodies are pure functions of
+//!    `(artifact bytes, request)` — the determinism contract — so fully
+//!    rendered bodies are cached in a byte-bounded LRU
+//!    ([`respcache::ResponseCache`], `SERD_SERVE_CACHE_BUDGET`) keyed by
+//!    `(etag, wire, canonical request)`. A hot swap changes the etag, so a
+//!    stale body can never be served.
+//! 3. **Bounded admission.** Accepted connections enter a fixed-depth queue
+//!    (`SERD_SERVE_QUEUE_DEPTH`) in front of the workers; when it is full
+//!    the connection is answered `503` + `Retry-After` and closed instead
+//!    of being accepted without bound.
+//! 4. **Artifact watching.** A background thread re-stats every artifact on
+//!    a period (`SERD_SERVE_WATCH_MS`) so idle models hot-swap without
+//!    waiting for a request; the per-request stat remains as a backstop.
+//!
+//! Bit-reproducibility under concurrency and zero-downtime hot swap carry
+//! over unchanged from the original design (§12): every request derives its
+//! own RNG from `seed ^ ONLINE_SEED_SALT`, workers materialize private
+//! model replicas from the shared artifact text, and in-flight requests
+//! finish on the version they started with.
 
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod respcache;
 
 pub use cache::{ArtifactBlob, ArtifactCache};
 pub use metrics::ServerMetrics;
+pub use respcache::ResponseCache;
 
+use http::ConnPolicy;
+use respcache::CachedResponse;
 use serd::api::{ApiError, ModelRef, OnlineOverrides, SynthesisRequest, Table};
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Streamed response bodies are chunked at line boundaries around this size.
 const CHUNK_TARGET: usize = 16 * 1024;
 
-/// How the server is bound and sized.
+/// Default per-connection request budget (`SERD_SERVE_KEEPALIVE_MAX`).
+pub const DEFAULT_KEEPALIVE_MAX: usize = 100;
+/// Default idle read timeout in ms (`SERD_SERVE_IDLE_MS`).
+pub const DEFAULT_IDLE_MS: u64 = 5_000;
+/// Default response-cache byte budget (`SERD_SERVE_CACHE_BUDGET`).
+pub const DEFAULT_CACHE_BUDGET: usize = 32 << 20;
+/// Default admission queue depth (`SERD_SERVE_QUEUE_DEPTH`).
+pub const DEFAULT_QUEUE_DEPTH: usize = 32;
+/// Default artifact watch period in ms (`SERD_SERVE_WATCH_MS`; 0 disables).
+pub const DEFAULT_WATCH_MS: u64 = 500;
+
+fn env_num<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// How the server is bound and sized. The serving knobs default from the
+/// environment so deployments tune them without code changes.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Directory of `<name>.serd` artifacts.
     pub models_dir: PathBuf,
     /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks an ephemeral one).
     pub addr: String,
-    /// Concurrent request workers (the pool is `workers` compute threads).
+    /// Concurrent request workers (each owns one connection at a time).
     pub workers: usize,
+    /// Requests served per connection before the server closes it
+    /// (`SERD_SERVE_KEEPALIVE_MAX`, default 100). Minimum 1.
+    pub keepalive_max: usize,
+    /// Idle read timeout between requests on a keep-alive connection, ms
+    /// (`SERD_SERVE_IDLE_MS`, default 5000).
+    pub idle_ms: u64,
+    /// Response-cache budget in body bytes (`SERD_SERVE_CACHE_BUDGET`,
+    /// default 32 MiB; 0 disables caching).
+    pub cache_budget: usize,
+    /// Admission queue depth in connections (`SERD_SERVE_QUEUE_DEPTH`,
+    /// default 32). A connection arriving while `queue_depth` others wait
+    /// is shed with `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Artifact watch period in ms (`SERD_SERVE_WATCH_MS`, default 500;
+    /// 0 disables the watch thread — swaps then wait for a request).
+    pub watch_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +119,11 @@ impl Default for ServeConfig {
             models_dir: PathBuf::from("models"),
             addr: "127.0.0.1:7878".to_string(),
             workers: parallel::num_threads(),
+            keepalive_max: env_num("SERD_SERVE_KEEPALIVE_MAX", DEFAULT_KEEPALIVE_MAX),
+            idle_ms: env_num("SERD_SERVE_IDLE_MS", DEFAULT_IDLE_MS),
+            cache_budget: env_num("SERD_SERVE_CACHE_BUDGET", DEFAULT_CACHE_BUDGET),
+            queue_depth: env_num("SERD_SERVE_QUEUE_DEPTH", DEFAULT_QUEUE_DEPTH),
+            watch_ms: env_num("SERD_SERVE_WATCH_MS", DEFAULT_WATCH_MS),
         }
     }
 }
@@ -78,9 +134,16 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     cache: ArtifactCache,
+    respcache: ResponseCache,
     metrics: ServerMetrics,
     workers: usize,
+    keepalive_max: usize,
+    idle_ms: u64,
+    queue_depth: usize,
+    watch_ms: u64,
     shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
 }
 
 /// Requested wire format for a synthesis response.
@@ -88,6 +151,18 @@ pub struct Server {
 enum Wire {
     Csv(Table),
     Jsonl,
+}
+
+impl Wire {
+    /// The wire component of the response-cache key.
+    fn cache_tag(self) -> &'static str {
+        match self {
+            Wire::Csv(Table::A) => "csv:a",
+            Wire::Csv(Table::B) => "csv:b",
+            Wire::Csv(Table::Matches) => "csv:matches",
+            Wire::Jsonl => "jsonl",
+        }
+    }
 }
 
 impl Server {
@@ -104,9 +179,16 @@ impl Server {
             listener,
             local_addr,
             cache,
+            respcache: ResponseCache::new(cfg.cache_budget),
             metrics: ServerMetrics::new(),
             workers: cfg.workers.max(1),
+            keepalive_max: cfg.keepalive_max.max(1),
+            idle_ms: cfg.idle_ms.max(1),
+            queue_depth: cfg.queue_depth,
+            watch_ms: cfg.watch_ms,
             shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
         })
     }
 
@@ -120,6 +202,11 @@ impl Server {
         &self.cache
     }
 
+    /// The response cache (exposed for tests and the bench driver).
+    pub fn response_cache(&self) -> &ResponseCache {
+        &self.respcache
+    }
+
     /// Request metrics (exposed for tests and the bench driver).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
@@ -131,46 +218,186 @@ impl Server {
         self.shutdown.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
+        self.queue_cv.notify_all();
     }
 
-    /// Accepts and serves connections until [`Server::shutdown`]. Each
-    /// connection is handled on the worker pool; the accept loop itself
-    /// occupies the pool's scope-caller slot, so `workers` requests can be
-    /// in flight at once. Returns after in-flight requests drain.
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Accepts and serves connections until [`Server::shutdown`]: `workers`
+    /// worker threads drain the admission queue (each owning one keep-alive
+    /// connection at a time), a watch thread re-stats artifacts on a period,
+    /// and the calling thread runs the accept/admission loop. Connections
+    /// arriving while the queue is full are shed with `503` + `Retry-After`
+    /// instead of being accepted without bound. Returns after in-flight
+    /// connections drain.
     pub fn run(&self) {
-        let pool = parallel::ThreadPool::new(self.workers + 1);
-        pool.scope(|s| {
+        std::thread::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop());
+            }
+            if self.watch_ms > 0 {
+                s.spawn(|| self.watch_loop());
+            }
             for conn in self.listener.incoming() {
-                if self.shutdown.load(Ordering::Acquire) {
+                if self.stopping() {
                     break;
                 }
                 let stream = match conn {
                     Ok(stream) => stream,
                     Err(_) => continue,
                 };
-                s.spawn(move || self.handle_connection(stream));
+                self.admit(stream);
             }
+            // Drain: wake every worker so they observe the flag and exit.
+            self.shutdown.store(true, Ordering::Release);
+            self.queue_cv.notify_all();
         });
     }
 
-    fn handle_connection(&self, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-        let _ = stream.set_nodelay(true);
+    /// Admission control: enqueue the connection for a worker, or shed it
+    /// with `503` + `Retry-After` when the queue is at depth. The shed
+    /// response is written from the accept thread — a fixed ~150-byte body
+    /// that fits any socket send buffer, so a slow client cannot stall
+    /// accepting.
+    fn admit(&self, stream: TcpStream) {
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.len() < self.queue_depth {
+                q.push_back(stream);
+                drop(q);
+                self.metrics.note_queued();
+                self.queue_cv.notify_one();
+                return;
+            }
+        }
+        self.metrics.note_shed();
+        let mut timer = self.metrics.begin("shed");
+        timer.set_status(503);
+        let err = ApiError::Overloaded(format!(
+            "admission queue full ({} connections waiting)",
+            self.queue_depth
+        ));
+        // Drain the request before answering: closing with unread bytes in
+        // the receive buffer would RST the connection and could destroy the
+        // 503 before the client reads it. Bounded by a short timeout so a
+        // silent client cannot stall the accept thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
         let mut reader = BufReader::new(&stream);
-        let parsed = http::parse_request(&mut reader);
+        let mut scratch = Vec::with_capacity(128);
+        let _ = http::read_request(&mut reader, &mut scratch);
         let mut writer = BufWriter::new(&stream);
-        match parsed {
-            Ok(req) => self.route(&req, &mut writer),
-            Err(e) => {
-                // The request never reached a route; label it as such.
-                let mut timer = self.metrics.begin("malformed");
-                timer.set_status(e.http_status());
-                let _ = write_error(&mut writer, &e);
+        let _ = write_error(&mut writer, &err, ConnPolicy::Close);
+    }
+
+    /// One worker: pop connections off the admission queue and serve each
+    /// until it closes (peer close, idle timeout, request budget, or
+    /// shutdown).
+    fn worker_loop(&self) {
+        loop {
+            let stream = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(stream) = q.pop_front() {
+                        break Some(stream);
+                    }
+                    if self.stopping() {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .queue_cv
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .unwrap();
+                    q = guard;
+                }
+            };
+            match stream {
+                Some(stream) => self.handle_connection(stream),
+                None => return,
             }
         }
     }
 
-    fn route(&self, req: &http::Request, w: &mut impl Write) {
+    /// Background artifact watch: re-stat (and on change, reload) every
+    /// model on a period, so a published artifact swaps in even when no
+    /// request touches it — and the response cache drops the old version's
+    /// entries right away.
+    fn watch_loop(&self) {
+        let period = Duration::from_millis(self.watch_ms);
+        let mut next = Instant::now() + period;
+        while !self.stopping() {
+            let now = Instant::now();
+            if now < next {
+                // Sleep in short slices so shutdown is prompt even with a
+                // long watch period.
+                std::thread::sleep(next.duration_since(now).min(Duration::from_millis(50)));
+                continue;
+            }
+            next = Instant::now() + period;
+            for name in self.cache.list_names() {
+                if self.stopping() {
+                    return;
+                }
+                if let Ok(blob) = self.cache.get(&name) {
+                    self.respcache.note_model_etag(&blob.name, &blob.etag);
+                }
+            }
+            obs::counter("serve.watch.polls", 1);
+        }
+    }
+
+    /// Serves one connection: loop keep-alive requests over the stream,
+    /// reusing the parse buffer, until the peer closes, the idle timeout
+    /// fires between requests, the per-connection budget is spent, or the
+    /// server is shutting down.
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(self.idle_ms)));
+        let _ = stream.set_nodelay(true);
+        let mut reader = BufReader::new(&stream);
+        let mut writer = BufWriter::new(&stream);
+        let mut scratch = Vec::with_capacity(256);
+        let mut served: u64 = 0;
+        loop {
+            match http::read_request(&mut reader, &mut scratch) {
+                Ok(Some(req)) => {
+                    served += 1;
+                    let close = req.wants_close
+                        || served >= self.keepalive_max as u64
+                        || self.stopping();
+                    let conn = if close {
+                        ConnPolicy::Close
+                    } else {
+                        ConnPolicy::KeepAlive
+                    };
+                    if self.route(&req, &mut writer, conn).is_err() {
+                        break; // peer hung up mid-response
+                    }
+                    if close {
+                        break;
+                    }
+                }
+                Ok(None) => break, // clean close or idle timeout
+                Err(e) => {
+                    // The request never reached a route; label it as such
+                    // and close — the stream state is unknown.
+                    let mut timer = self.metrics.begin("malformed");
+                    timer.set_status(e.http_status());
+                    let _ = write_error(&mut writer, &e, ConnPolicy::Close);
+                    break;
+                }
+            }
+        }
+        self.metrics.note_connection_done(served);
+        obs::gauge("serve.keepalive.requests_per_conn", self.metrics.requests_per_conn());
+    }
+
+    fn route(
+        &self,
+        req: &http::Request,
+        w: &mut impl Write,
+        conn: ConnPolicy,
+    ) -> std::io::Result<()> {
         let label: &'static str = match req.path.as_str() {
             "/healthz" => "/healthz",
             "/models" => "/models",
@@ -179,16 +406,17 @@ impl Server {
             _ => "other",
         };
         let mut timer = self.metrics.begin(label);
-        let result = match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => self.handle_healthz(w),
-            ("GET", "/models") => self.handle_models(w),
-            ("GET", "/metrics") => self.handle_metrics(w),
-            ("GET" | "POST", "/synthesize") => self.handle_synthesize(req, w, &mut timer),
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.handle_healthz(w, conn),
+            ("GET", "/models") => self.handle_models(w, conn),
+            ("GET", "/metrics") => self.handle_metrics(w, conn),
+            ("GET" | "POST", "/synthesize") => self.handle_synthesize(req, w, conn, &mut timer),
             ("GET" | "POST", _) => {
                 timer.set_status(404);
                 write_error(
                     w,
                     &ApiError::NotFound(format!("no route for {}", req.path)),
+                    conn,
                 )
             }
             (method, _) => {
@@ -197,6 +425,7 @@ impl Server {
                     w,
                     405,
                     "application/json",
+                    conn,
                     &[],
                     &format!(
                         "{{\"error\":{{\"kind\":\"method_not_allowed\",\"status\":405,\
@@ -205,22 +434,19 @@ impl Server {
                     ),
                 )
             }
-        };
-        // A write failure means the peer hung up; the response bytes are
-        // deterministic regardless, so there is nothing to repair.
-        let _ = result;
+        }
     }
 
-    fn handle_healthz(&self, w: &mut impl Write) -> std::io::Result<()> {
+    fn handle_healthz(&self, w: &mut impl Write, conn: ConnPolicy) -> std::io::Result<()> {
         let body = format!(
             "{{\"status\":\"ok\",\"models\":{},\"workers\":{}}}\n",
             self.cache.list_names().len(),
             self.workers,
         );
-        http::write_simple(w, 200, "application/json", &[], &body)
+        http::write_simple(w, 200, "application/json", conn, &[], &body)
     }
 
-    fn handle_models(&self, w: &mut impl Write) -> std::io::Result<()> {
+    fn handle_models(&self, w: &mut impl Write, conn: ConnPolicy) -> std::io::Result<()> {
         let mut entries = Vec::new();
         for name in self.cache.list_names() {
             match self.cache.get(&name) {
@@ -247,10 +473,10 @@ impl Server {
             }
         }
         let body = format!("{{\"models\":[{}]}}\n", entries.join(","));
-        http::write_simple(w, 200, "application/json", &[], &body)
+        http::write_simple(w, 200, "application/json", conn, &[], &body)
     }
 
-    fn handle_metrics(&self, w: &mut impl Write) -> std::io::Result<()> {
+    fn handle_metrics(&self, w: &mut impl Write, conn: ConnPolicy) -> std::io::Result<()> {
         let backends = self
             .cache
             .backend_counts()
@@ -260,68 +486,104 @@ impl Server {
             .join(",");
         let body = format!(
             "{{\"server\":{},\"cache\":{{\"models_loaded\":{},\"swaps_total\":{},\
-             \"failed_swaps_total\":{},\"backends\":{{{}}},\"workers\":{}}},\"obs\":{}}}\n",
+             \"failed_swaps_total\":{},\"backends\":{{{}}},\"workers\":{}}},\
+             \"response_cache\":{},\"obs\":{}}}\n",
             self.metrics.to_json(),
             self.cache.loaded(),
             self.cache.swaps(),
             self.cache.failed_swaps(),
             backends,
             self.workers,
+            self.respcache.to_json(),
             obs::report_json(),
         );
-        http::write_simple(w, 200, "application/json", &[], &body)
+        http::write_simple(w, 200, "application/json", conn, &[], &body)
     }
 
     fn handle_synthesize(
         &self,
         req: &http::Request,
         w: &mut impl Write,
+        conn: ConnPolicy,
         timer: &mut metrics::RequestTimer<'_>,
     ) -> std::io::Result<()> {
         match self.synthesize_response(req) {
-            Ok((blob, body, content_type, seed)) => {
+            Ok((resp, cache_state)) => {
                 let headers = vec![
-                    ("X-Model-Etag".to_string(), blob.etag.clone()),
-                    ("X-Model-Version".to_string(), blob.version.to_string()),
-                    ("X-Serd-Seed".to_string(), seed.to_string()),
+                    ("X-Model-Etag".to_string(), resp.etag.clone()),
+                    ("X-Model-Version".to_string(), resp.version.to_string()),
+                    ("X-Serd-Seed".to_string(), resp.seed.to_string()),
+                    ("X-Cache".to_string(), cache_state.to_string()),
                 ];
                 http::write_chunked(
                     w,
                     200,
-                    content_type,
+                    resp.content_type,
+                    conn,
                     &headers,
-                    http::chunk_lines(&body, CHUNK_TARGET).into_iter(),
+                    http::chunk_lines(&resp.body, CHUNK_TARGET).into_iter(),
                 )
             }
             Err(e) => {
                 timer.set_status(e.http_status());
-                write_error(w, &e)
+                write_error(w, &e, conn)
             }
         }
     }
 
-    /// The pure part of `/synthesize`: parse → resolve blob → synthesize on
-    /// this worker's replica → render. Returns the full body; streaming
-    /// happens at the HTTP layer (synthesis must finish before the status
-    /// line, so errors can still map to status codes).
+    /// The pure part of `/synthesize`: parse → resolve blob → consult the
+    /// response cache → on miss, synthesize on this worker's replica and
+    /// render. Returns the cached-or-fresh body plus `"hit"`/`"miss"` for
+    /// the `X-Cache` header. The cache key embeds the blob's etag, so the
+    /// etag header and body are consistent by construction — across hot
+    /// swaps included.
     fn synthesize_response(
         &self,
         req: &http::Request,
-    ) -> Result<(Arc<ArtifactBlob>, String, &'static str, u64), ApiError> {
+    ) -> Result<(Arc<CachedResponse>, &'static str), ApiError> {
         let (name, sreq, wire) = parse_synthesize_query(req)?;
         let blob = self.cache.get(&name)?;
+        self.metrics.note_model_request(&name);
+        self.respcache.note_model_etag(&blob.name, &blob.etag);
+        let key = ResponseCache::key(&blob.etag, wire.cache_tag(), &sreq.canonical_key());
+        if let Some(cached) = self.respcache.get(&key) {
+            obs::counter("serve.synthesize", 1);
+            return Ok((cached, "hit"));
+        }
         let response = cache::synthesize_on_worker(&blob, &sreq)?;
         obs::counter("serve.synthesize", 1);
         let (body, content_type) = match wire {
             Wire::Csv(table) => (response.csv(table), "text/csv"),
             Wire::Jsonl => (response.jsonl(), "application/x-ndjson"),
         };
-        Ok((blob, body, content_type, sreq.seed))
+        let rendered = Arc::new(CachedResponse {
+            model: blob.name.clone(),
+            etag: blob.etag.clone(),
+            version: blob.version,
+            seed: sreq.seed,
+            content_type,
+            body,
+        });
+        self.respcache.insert(key, Arc::clone(&rendered));
+        Ok((rendered, "miss"))
     }
 }
 
-fn write_error(w: &mut impl Write, e: &ApiError) -> std::io::Result<()> {
-    http::write_simple(w, e.http_status(), "application/json", &[], &e.to_json())
+fn write_error(w: &mut impl Write, e: &ApiError, conn: ConnPolicy) -> std::io::Result<()> {
+    let mut extra = Vec::new();
+    if e.http_status() == 503 {
+        // Overload is transient by definition; tell well-behaved clients
+        // when to come back.
+        extra.push(("Retry-After".to_string(), "1".to_string()));
+    }
+    http::write_simple(
+        w,
+        e.http_status(),
+        "application/json",
+        conn,
+        &extra,
+        &e.to_json(),
+    )
 }
 
 fn bad(msg: String) -> ApiError {
@@ -420,6 +682,7 @@ mod tests {
             method: "GET".to_string(),
             path: "/synthesize".to_string(),
             query: http::parse_query(q),
+            wants_close: false,
         }
     }
 
@@ -470,5 +733,46 @@ mod tests {
             };
             assert!(matches!(err, ApiError::BadRequest(_)), "{q:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn query_order_does_not_change_the_cache_key() {
+        let (_, a, wire_a) =
+            parse_synthesize_query(&query("model=m&n_a=5&seed=1&format=csv&table=a")).unwrap();
+        let (_, b, wire_b) =
+            parse_synthesize_query(&query("seed=1&format=csv&model=m&table=a&n_a=5")).unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(wire_a.cache_tag(), wire_b.cache_tag());
+        // Equivalent spellings normalize too.
+        let (_, c, _) =
+            parse_synthesize_query(&query("model=m&n_a=5&seed=1&format=csv&table=A&rejection=off"))
+                .unwrap();
+        let (_, d, _) =
+            parse_synthesize_query(&query("model=m&n_a=5&seed=1&format=csv&table=a&rejection=0"))
+                .unwrap();
+        assert_eq!(c.canonical_key(), d.canonical_key());
+    }
+
+    #[test]
+    fn wire_cache_tags_are_distinct() {
+        let tags = [
+            Wire::Csv(Table::A).cache_tag(),
+            Wire::Csv(Table::B).cache_tag(),
+            Wire::Csv(Table::Matches).cache_tag(),
+            Wire::Jsonl.cache_tag(),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn serve_config_defaults_are_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.keepalive_max >= 1);
+        assert!(cfg.idle_ms >= 1);
+        assert!(cfg.queue_depth >= 1);
     }
 }

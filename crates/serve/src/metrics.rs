@@ -101,6 +101,17 @@ pub struct ServerMetrics {
     errors_total: AtomicU64,
     active: AtomicU64,
     latencies: Mutex<HashMap<&'static str, EndpointLat>>,
+    // Admission control: connections enqueued for a worker vs. shed with a
+    // 503 because the queue was full.
+    queued_total: AtomicU64,
+    shed_total: AtomicU64,
+    // Keep-alive accounting: completed connections and the requests they
+    // carried, so `/metrics` can report requests-per-connection.
+    connections_total: AtomicU64,
+    conn_requests_total: AtomicU64,
+    max_requests_per_conn: AtomicU64,
+    // Per-model `/synthesize` request counts (ROADMAP item 4).
+    model_requests: Mutex<HashMap<String, u64>>,
 }
 
 /// RAII guard: counts a request as active until dropped, then records its
@@ -141,6 +152,12 @@ impl ServerMetrics {
             errors_total: AtomicU64::new(0),
             active: AtomicU64::new(0),
             latencies: Mutex::new(HashMap::new()),
+            queued_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            conn_requests_total: AtomicU64::new(0),
+            max_requests_per_conn: AtomicU64::new(0),
+            model_requests: Mutex::new(HashMap::new()),
         }
     }
 
@@ -173,6 +190,65 @@ impl ServerMetrics {
         self.active.load(Ordering::Relaxed)
     }
 
+    /// Counts a connection admitted into the worker queue.
+    pub fn note_queued(&self) {
+        self.queued_total.fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve.admission.queued", 1);
+    }
+
+    /// Counts a connection shed with `503` because the queue was full.
+    pub fn note_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve.admission.shed", 1);
+    }
+
+    /// Connections admitted into the worker queue.
+    pub fn queued_total(&self) -> u64 {
+        self.queued_total.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `503` at admission.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a finished connection that served `requests` requests.
+    pub fn note_connection_done(&self, requests: u64) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.conn_requests_total.fetch_add(requests, Ordering::Relaxed);
+        self.max_requests_per_conn
+            .fetch_max(requests, Ordering::Relaxed);
+        obs::counter("serve.keepalive.connections", 1);
+    }
+
+    /// Completed connections.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per completed connection (0 before any completes).
+    pub fn requests_per_conn(&self) -> f64 {
+        let conns = self.connections_total();
+        if conns == 0 {
+            return 0.0;
+        }
+        self.conn_requests_total.load(Ordering::Relaxed) as f64 / conns as f64
+    }
+
+    /// Counts one `/synthesize` request against `model`.
+    pub fn note_model_request(&self, model: &str) {
+        let mut map = self.model_requests.lock().unwrap();
+        *map.entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Per-model `/synthesize` counts, sorted by name.
+    pub fn model_requests(&self) -> Vec<(String, u64)> {
+        let map = self.model_requests.lock().unwrap();
+        let mut out: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort();
+        out
+    }
+
     /// The server half of the `/metrics` body (the handler wraps this with
     /// the obs run report and cache stats).
     pub fn to_json(&self) -> String {
@@ -184,13 +260,30 @@ impl ServerMetrics {
             .map(|ep| map[**ep].to_json(ep))
             .collect::<Vec<_>>()
             .join(",");
+        drop(map);
+        let models = self
+            .model_requests()
+            .into_iter()
+            .map(|(name, count)| format!("\"{}\":{count}", obs::json_escape(&name)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"uptime_secs\":{},\"requests_total\":{},\"errors_total\":{},\
-             \"active_requests\":{},\"latency\":[{}]}}",
+             \"active_requests\":{},\
+             \"admission\":{{\"queued\":{},\"shed\":{}}},\
+             \"keepalive\":{{\"connections_total\":{},\"requests_per_conn\":{},\
+             \"max_requests_per_conn\":{}}},\
+             \"model_requests\":{{{}}},\"latency\":[{}]}}",
             obs::json_f64(self.started.elapsed().as_secs_f64()),
             self.requests_total(),
             self.errors_total(),
             self.active(),
+            self.queued_total(),
+            self.shed_total(),
+            self.connections_total(),
+            obs::json_f64(self.requests_per_conn()),
+            self.max_requests_per_conn.load(Ordering::Relaxed),
+            models,
             latency,
         )
     }
@@ -226,6 +319,37 @@ mod tests {
         assert!(json.contains("\"p50_ms\":"), "{json}");
         assert!(json.contains("\"p99_ms\":"), "{json}");
         assert!(json.contains("\"le_ms\":null"), "{json}");
+    }
+
+    #[test]
+    fn admission_keepalive_and_model_counters() {
+        let m = ServerMetrics::new();
+        m.note_queued();
+        m.note_queued();
+        m.note_shed();
+        m.note_connection_done(3);
+        m.note_connection_done(5);
+        m.note_model_request("restaurant");
+        m.note_model_request("restaurant");
+        m.note_model_request("cora");
+        assert_eq!(m.queued_total(), 2);
+        assert_eq!(m.shed_total(), 1);
+        assert_eq!(m.connections_total(), 2);
+        assert_eq!(m.requests_per_conn(), 4.0);
+        assert_eq!(
+            m.model_requests(),
+            vec![("cora".to_string(), 1), ("restaurant".to_string(), 2)]
+        );
+        let json = m.to_json();
+        for needle in [
+            "\"admission\":{\"queued\":2,\"shed\":1}",
+            "\"connections_total\":2",
+            "\"requests_per_conn\":4",
+            "\"max_requests_per_conn\":5",
+            "\"model_requests\":{\"cora\":1,\"restaurant\":2}",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

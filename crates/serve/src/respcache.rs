@@ -1,0 +1,340 @@
+//! Size-bounded LRU cache of fully rendered `/synthesize` response bodies.
+//!
+//! Caching is semantically safe here because a response is a pure function
+//! of `(artifact bytes, request)` — the determinism contract of
+//! `serd::api` — and the released artifact is the privacy boundary
+//! (DESIGN.md §12.4): replaying bytes that were already computed from the
+//! artifact releases nothing new. The key is therefore
+//! `(artifact etag, wire format, SynthesisRequest::canonical_key())`:
+//!
+//! * the **etag** pins the exact artifact version, so a hot swap can never
+//!   serve a stale body — post-swap requests carry the new etag and miss;
+//! * the **wire format** separates the CSV renderings of each table from
+//!   the JSON-lines rendering;
+//! * the **canonical request key** normalizes parameter spelling and order
+//!   (`?n_a=5&seed=1` and `?seed=1&n_a=5` share an entry).
+//!
+//! Eviction is least-recently-used by total body bytes
+//! (`SERD_SERVE_CACHE_BUDGET`). On a hot swap the server additionally calls
+//! [`ResponseCache::note_model_etag`], which purges the swapped model's
+//! old-etag entries in one critical section — they could never hit again,
+//! but their bytes should stop counting against the budget immediately.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cached, fully rendered response. Everything a worker needs to write
+/// the HTTP response without touching the model.
+pub struct CachedResponse {
+    /// Model name the body was rendered from (purge index).
+    pub model: String,
+    /// Artifact etag the body was rendered from — always consistent with
+    /// the body by construction of the cache key.
+    pub etag: String,
+    /// Artifact version counter behind the etag.
+    pub version: u64,
+    /// Echoed request seed.
+    pub seed: u64,
+    /// `text/csv` or `application/x-ndjson`.
+    pub content_type: &'static str,
+    /// The rendered body, byte-identical to an uncached rendering.
+    pub body: String,
+}
+
+struct Entry {
+    resp: Arc<CachedResponse>,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// LRU index: access stamp → key. Stamps are unique (monotone counter
+    /// under the same lock), so this is a faithful recency order.
+    lru: BTreeMap<u64, String>,
+    /// Latest etag seen per model name, for swap purges.
+    etags: HashMap<String, String>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// The cache. All methods are callable from any worker thread.
+pub struct ResponseCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResponseCache {
+    /// A cache bounded at `budget` total body bytes. A zero budget disables
+    /// caching entirely (every lookup misses, inserts are dropped).
+    pub fn new(budget: usize) -> ResponseCache {
+        ResponseCache {
+            budget,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The composite cache key (see module docs).
+    pub fn key(etag: &str, wire: &str, canonical_request: &str) -> String {
+        // '\u{1}' cannot appear in an etag (hex + name chars + dots) nor in
+        // the canonical key, so the composition is unambiguous.
+        format!("{etag}\u{1}{wire}\u{1}{canonical_request}")
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedResponse>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                let old = std::mem::replace(&mut entry.stamp, stamp);
+                let resp = Arc::clone(&entry.resp);
+                inner.lru.remove(&old);
+                inner.lru.insert(stamp, key.to_string());
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve.cache.hits", 1);
+                Some(resp)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve.cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly rendered response, evicting least-recently-used
+    /// entries until the byte budget holds. Bodies larger than the whole
+    /// budget are not cached. Racing inserts of the same key are benign:
+    /// determinism makes both bodies identical, and the second replaces the
+    /// first.
+    pub fn insert(&self, key: String, resp: Arc<CachedResponse>) {
+        let cost = resp.body.len();
+        if cost > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.resp.body.len();
+            inner.lru.remove(&old.stamp);
+        }
+        inner.bytes += cost;
+        inner.map.insert(key.clone(), Entry { resp, stamp });
+        inner.lru.insert(stamp, key);
+        let mut evicted = 0u64;
+        while inner.bytes > self.budget {
+            let Some((&oldest, _)) = inner.lru.iter().next() else {
+                break;
+            };
+            let victim = inner.lru.remove(&oldest).expect("lru entry just seen");
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.bytes -= entry.resp.body.len();
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs::counter("serve.cache.evictions", evicted);
+        }
+    }
+
+    /// Records that `model` currently serves under `etag`; when the etag
+    /// changed (a hot swap), every entry of the model's previous versions is
+    /// purged in this one critical section, so swapped-out bytes free budget
+    /// immediately and can never be served again.
+    pub fn note_model_etag(&self, model: &str, etag: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.etags.get(model) {
+            Some(current) if current == etag => return,
+            None => {
+                inner.etags.insert(model.to_string(), etag.to_string());
+                return;
+            }
+            Some(_) => {}
+        }
+        inner.etags.insert(model.to_string(), etag.to_string());
+        let stale: Vec<(u64, String)> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.resp.model == model && e.resp.etag != etag)
+            .map(|(k, e)| (e.stamp, k.clone()))
+            .collect();
+        let mut evicted = 0u64;
+        for (stamp, key) in stale {
+            inner.lru.remove(&stamp);
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.bytes -= entry.resp.body.len();
+                evicted += 1;
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            obs::counter("serve.cache.evictions", evicted);
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted (LRU pressure + swap purges).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total body bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `/metrics` fragment for this cache.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes\":{},\"entries\":{},\
+             \"budget_bytes\":{}}}",
+            self.hits(),
+            self.misses(),
+            self.evictions(),
+            self.bytes(),
+            self.len(),
+            self.budget,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(model: &str, etag: &str, body: &str) -> Arc<CachedResponse> {
+        Arc::new(CachedResponse {
+            model: model.to_string(),
+            etag: etag.to_string(),
+            version: 1,
+            seed: 0,
+            content_type: "text/csv",
+            body: body.to_string(),
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache = ResponseCache::new(1024);
+        assert!(cache.get("k1").is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.insert("k1".into(), resp("m", "e1", "body"));
+        let got = cache.get("k1").expect("hit");
+        assert_eq!(got.body, "body");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.bytes(), 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_by_bytes_in_recency_order() {
+        let cache = ResponseCache::new(10);
+        cache.insert("a".into(), resp("m", "e", "aaaa")); // 4 bytes
+        cache.insert("b".into(), resp("m", "e", "bbbb")); // 8 bytes total
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), resp("m", "e", "cccc")); // 12 > 10: evict b
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("a").is_some(), "recently used survived");
+        assert!(cache.get("b").is_none(), "LRU victim evicted");
+        assert!(cache.get("c").is_some());
+        assert!(cache.bytes() <= 10);
+    }
+
+    #[test]
+    fn oversized_bodies_and_zero_budget_never_cache() {
+        let cache = ResponseCache::new(4);
+        cache.insert("big".into(), resp("m", "e", "too large"));
+        assert!(cache.get("big").is_none());
+        let off = ResponseCache::new(0);
+        off.insert("k".into(), resp("m", "e", "x"));
+        assert!(off.get("k").is_none());
+        assert_eq!(off.bytes(), 0);
+    }
+
+    #[test]
+    fn swap_purges_only_the_swapped_models_old_entries() {
+        let cache = ResponseCache::new(1024);
+        cache.insert(
+            ResponseCache::key("e1", "csv:a", "r1"),
+            resp("m", "e1", "v1 body"),
+        );
+        cache.insert(
+            ResponseCache::key("f1", "csv:a", "r1"),
+            resp("other", "f1", "other body"),
+        );
+        cache.note_model_etag("m", "e1");
+        cache.note_model_etag("other", "f1");
+        assert_eq!(cache.len(), 2);
+        // m swaps e1 → e2: m's entry purged, other's untouched.
+        cache.note_model_etag("m", "e2");
+        assert!(cache.get(&ResponseCache::key("e1", "csv:a", "r1")).is_none());
+        assert!(cache.get(&ResponseCache::key("f1", "csv:a", "r1")).is_some());
+        assert_eq!(cache.evictions(), 1);
+        // Re-noting the same etag is a no-op.
+        cache.note_model_etag("m", "e2");
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn key_separates_wire_formats_and_etags() {
+        let k1 = ResponseCache::key("e1", "csv:a", "model=m;seed=1");
+        assert_ne!(k1, ResponseCache::key("e1", "csv:b", "model=m;seed=1"));
+        assert_ne!(k1, ResponseCache::key("e1", "jsonl", "model=m;seed=1"));
+        assert_ne!(k1, ResponseCache::key("e2", "csv:a", "model=m;seed=1"));
+        assert_eq!(k1, ResponseCache::key("e1", "csv:a", "model=m;seed=1"));
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let cache = ResponseCache::new(64);
+        cache.insert("k".into(), resp("m", "e", "xyz"));
+        cache.get("k");
+        cache.get("nope");
+        let json = cache.to_json();
+        for needle in [
+            "\"hits\":1",
+            "\"misses\":1",
+            "\"evictions\":0",
+            "\"bytes\":3",
+            "\"entries\":1",
+            "\"budget_bytes\":64",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

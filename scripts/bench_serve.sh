@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Serving-layer benchmark (DESIGN.md §12): sustained req/s, per-class
-# latency percentiles, and hot-swap downtime for the `serd-repro serve`
-# HTTP server, written to BENCH_serve.json at the repo root.
+# Serving-layer benchmark (DESIGN.md §12, §15): sustained req/s over
+# keep-alive connections, per-class latency percentiles with the cache
+# hit/miss split (`synthesize_cached` vs cold `synthesize_csv`), hot-swap
+# downtime, and admission-control load shedding, written to
+# BENCH_serve.json at the repo root.
 #
 # The driver (crates/bench/src/bin/bench_serve.rs) fits two artifact
 # versions, boots an in-process server, drives a fixed request mix from
-# client threads, and renames one version over the other mid-run; it exits
-# non-zero if any request fails — swap downtime must be zero.
+# persistent keep-alive clients, renames one version over the other
+# mid-run, then floods a deliberately undersized second server to prove
+# the admission queue sheds. It exits non-zero if any request fails, if
+# cached and uncached bodies differ, if the overload phase sheds nothing,
+# or if the cached p50 is not at least 10x faster than cold synthesis.
 #
 # Usage: scripts/bench_serve.sh
 # Knobs: SERVE_BENCH_SECS (default 3), SERVE_BENCH_SCALE (default 0.02),
@@ -16,8 +21,8 @@ cd "$(dirname "$0")/.."
 
 OUT="BENCH_serve.json"
 
-echo "== serve bench (throughput + latency + hot swap) =="
+echo "== serve bench (throughput + caching + hot swap + shedding) =="
 cargo run --offline --release -q -p bench --bin bench_serve > "$OUT"
 
 echo "wrote $OUT"
-grep -E '"sustained_rps"|"failed_requests"|"swaps_observed"' "$OUT"
+grep -E '"sustained_rps"|"failed_requests"|"swaps_observed"|"cached_speedup_p50"|"overload"' "$OUT"

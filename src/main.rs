@@ -344,6 +344,7 @@ fn cmd_serve(opts: &ServeOpts) -> Result<(), ApiError> {
         models_dir: opts.models.clone(),
         addr: opts.addr.clone(),
         workers: opts.workers,
+        ..Default::default()
     };
     let server = serd_repro::serve::Server::bind(&cfg)?;
     println!(
@@ -352,6 +353,10 @@ fn cmd_serve(opts: &ServeOpts) -> Result<(), ApiError> {
         cfg.models_dir.display(),
         server.local_addr(),
         opts.workers,
+    );
+    println!(
+        "keep-alive: {} req/conn, idle {} ms; cache budget {} B; queue depth {}; watch {} ms",
+        cfg.keepalive_max, cfg.idle_ms, cfg.cache_budget, cfg.queue_depth, cfg.watch_ms,
     );
     println!("endpoints: /healthz  /models  /metrics  /synthesize?model=<name>&seed=<u64>");
     server.run();

@@ -104,7 +104,12 @@ impl TestServer {
             models_dir: models_dir.to_path_buf(),
             addr: "127.0.0.1:0".to_string(),
             workers,
+            ..ServeConfig::default()
         };
+        TestServer::start_cfg(cfg)
+    }
+
+    fn start_cfg(cfg: ServeConfig) -> TestServer {
         let server = Arc::new(Server::bind(&cfg).unwrap());
         let runner = Arc::clone(&server);
         let handle = std::thread::spawn(move || runner.run());
@@ -272,6 +277,17 @@ fn serve_end_to_end_with_hot_swap() {
         assert!(
             *body == expected_v1 || *body == expected_v2,
             "mid-swap response matches neither version (etag {etag})"
+        );
+        // The etag always matches the body's generation: a cached v1 body
+        // can never ride out under a v2 etag (or vice versa).
+        let expected = if etag.contains(".v1.") {
+            &expected_v1
+        } else {
+            &expected_v2
+        };
+        assert_eq!(
+            body, expected,
+            "etag {etag} served the other generation's body"
         );
     }
     // Same etag => same bytes: the version a request starts on is the
@@ -461,12 +477,222 @@ fn same_length_republish_is_detected_without_mtime() {
     assert_eq!(cache.swaps(), 1);
 }
 
+/// Keep-alive parity: N requests down one persistent connection are
+/// byte-identical to the same N requests on fresh connections, the server
+/// honors its per-connection request budget with `Connection: close`, and
+/// duplicate synthesis requests are answered from the response cache
+/// (`X-Cache: hit`) with identical bytes.
+#[test]
+fn keepalive_requests_match_fresh_connections_and_hit_the_cache() {
+    let fx = fixture();
+    let models = fx.base.join("models_keepalive");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::copy(&fx.v1, models.join("restaurant.serd")).unwrap();
+
+    let cfg = ServeConfig {
+        models_dir: models.clone(),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        keepalive_max: 4,
+        ..ServeConfig::default()
+    };
+    let ts = TestServer::start_cfg(cfg);
+    let addr = ts.addr();
+
+    let paths = [
+        "/synthesize?model=restaurant&seed=11&format=csv&table=a",
+        "/synthesize?model=restaurant&seed=11",
+        "/healthz",
+        "/synthesize?model=restaurant&seed=11&format=csv&table=matches",
+        "/synthesize?model=restaurant&seed=12&format=csv&table=a",
+        "/synthesize?model=restaurant&seed=11&format=csv&table=a",
+    ];
+    // Baseline: every path on its own fresh connection.
+    let fresh: Vec<client::Response> = paths.iter().map(|p| get(addr, p)).collect();
+    // The same sequence down one keep-alive client.
+    let mut conn = client::Conn::new(addr);
+    for (path, baseline) in paths.iter().zip(&fresh) {
+        let resp = conn.get(path).expect("keep-alive request failed");
+        assert_eq!(resp.status, baseline.status, "{path}");
+        assert_eq!(
+            resp.body, baseline.body,
+            "keep-alive response for {path} differs from a fresh connection"
+        );
+        assert_eq!(
+            resp.header("x-model-etag"),
+            baseline.header("x-model-etag"),
+            "{path}"
+        );
+    }
+    // Six requests under a budget of four: the server closed the first
+    // connection after request 4 and the client rolled onto a second —
+    // without a failure-driven reconnect.
+    assert_eq!(conn.requests(), paths.len() as u64);
+    assert_eq!(conn.connections(), 2, "request budget was not enforced");
+    assert_eq!(conn.reconnects(), 0);
+
+    // The duplicate of the first path (sent twice above) was served from
+    // the response cache with identical bytes.
+    let repeat = conn.get(paths[0]).expect("repeat request");
+    assert_eq!(repeat.header("x-cache"), Some("hit"), "expected a cache hit");
+    assert_eq!(repeat.body, fresh[0].body);
+    // Parameter order does not defeat the cache.
+    let reordered = conn
+        .get("/synthesize?seed=11&format=csv&model=restaurant&table=a")
+        .expect("reordered request");
+    assert_eq!(reordered.header("x-cache"), Some("hit"));
+    assert_eq!(reordered.body, fresh[0].body);
+
+    let metrics = get(addr, "/metrics");
+    for needle in [
+        "\"response_cache\":{\"hits\":",
+        "\"admission\":{\"queued\":",
+        "\"keepalive\":{\"connections_total\":",
+        "\"model_requests\":{\"restaurant\":",
+    ] {
+        assert!(metrics.body.contains(needle), "missing {needle} in {}", metrics.body);
+    }
+    let hits_field = metrics
+        .body
+        .split("\"response_cache\":{\"hits\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("response_cache.hits in /metrics");
+    assert!(hits_field >= 2, "expected >=2 cache hits, got {hits_field}");
+}
+
+/// Admission control: with one worker pinned by an open connection and the
+/// depth-1 queue holding another, the next connection is shed with `503`,
+/// a `Retry-After` hint, and the structured `overloaded` error body.
+#[test]
+fn saturated_queue_sheds_with_503_and_retry_after() {
+    let fx = fixture();
+    let models = fx.base.join("models_overload");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::copy(&fx.v1, models.join("restaurant.serd")).unwrap();
+
+    let cfg = ServeConfig {
+        models_dir: models.clone(),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        idle_ms: 30_000, // pinned connections stay pinned for the whole test
+        ..ServeConfig::default()
+    };
+    let ts = TestServer::start_cfg(cfg);
+    let addr = ts.addr();
+
+    // Pin the only worker: an admitted connection that never sends a
+    // request holds the worker in its read loop until the idle timeout.
+    let pin_worker = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    // Fill the depth-1 queue with a second idle connection.
+    let fill_queue = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // The third connection must be shed — an immediate 503, not a hang.
+    let shed = get(addr, "/healthz");
+    assert_eq!(shed.status, 503, "{}", shed.body);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert!(shed.wants_close());
+    assert!(
+        shed.body.contains("\"kind\":\"overloaded\"") && shed.body.contains("\"status\":503"),
+        "shed body is not the structured overload error: {}",
+        shed.body
+    );
+    assert!(ts.server.metrics().shed_total() >= 1);
+
+    // Releasing the pinned connection frees the worker; the queued
+    // connection and new traffic proceed normally.
+    drop(pin_worker);
+    drop(fill_queue);
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    assert_eq!(get(addr, "/healthz").status, 200);
+}
+
+/// A hot swap under keep-alive load with caching on: no request fails, no
+/// response ever pairs a v2 etag with a v1 body (or vice versa), and the
+/// cache serves the new generation after the swap.
+#[test]
+fn hot_swap_never_serves_a_stale_cached_body() {
+    let fx = fixture();
+    let models = fx.base.join("models_swap_cache");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::copy(&fx.v1, models.join("restaurant.serd")).unwrap();
+
+    let ts = TestServer::start(&models, 2);
+    let addr = ts.addr();
+    let path = "/synthesize?model=restaurant&seed=11&format=csv&table=a";
+    let expected_v1 = fx.cli_csv(1, "A_syn.csv");
+    let expected_v2 = fx.cli_csv(2, "A_syn.csv");
+
+    // Warm the cache on v1.
+    let warm = get(addr, path);
+    assert_eq!(warm.body, expected_v1);
+    assert_eq!(get(addr, path).header("x-cache"), Some("hit"));
+
+    // Swap to v2 while keep-alive clients replay the same (cacheable)
+    // request in a loop.
+    let stop = AtomicBool::new(false);
+    let seen = std::thread::scope(|s| {
+        let mut clients = Vec::new();
+        for _ in 0..3 {
+            let stop = &stop;
+            clients.push(s.spawn(move || {
+                let mut conn = client::Conn::new(addr);
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = conn.get(path).expect("request during swap");
+                    assert_eq!(resp.status, 200, "failed during swap: {}", resp.body);
+                    seen.push((
+                        resp.header("x-model-etag").unwrap().to_string(),
+                        resp.body,
+                    ));
+                }
+                seen
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let staging = models.join("incoming.tmp");
+        std::fs::copy(&fx.v2, &staging).unwrap();
+        std::fs::rename(&staging, models.join("restaurant.serd")).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        stop.store(true, Ordering::Relaxed);
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert!(!seen.is_empty());
+    let mut saw_v2 = false;
+    for (etag, body) in &seen {
+        let expected = if etag.contains(".v1.") {
+            &expected_v1
+        } else {
+            saw_v2 = true;
+            &expected_v2
+        };
+        assert_eq!(body, expected, "etag {etag} paired with a stale body");
+    }
+    assert!(saw_v2, "swap never became visible under load");
+
+    // Settled: v2 bytes, and the second post-swap request hits the cache
+    // under the new etag.
+    let post = get(addr, path);
+    assert_eq!(post.body, expected_v2);
+    let post2 = get(addr, path);
+    assert_eq!(post2.header("x-cache"), Some("hit"));
+    assert_eq!(post2.body, expected_v2);
+}
+
 #[test]
 fn serve_requires_an_existing_models_dir() {
     let cfg = ServeConfig {
         models_dir: PathBuf::from("/nonexistent-serd-models"),
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
+        ..ServeConfig::default()
     };
     let err = match Server::bind(&cfg) {
         Err(e) => e,
